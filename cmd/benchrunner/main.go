@@ -1,0 +1,82 @@
+// Command benchrunner regenerates the paper's evaluation (§8): every table
+// and figure is reproduced as a text table with the paper's expected shape
+// noted underneath.
+//
+// Usage:
+//
+//	benchrunner [-exp all|fig7|fig8|table1|fig9|fig10|fig11|fig12|table2|ablation|reclamation|jsens|similarity|footprint] [-quick] [-tweets N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"opportune/internal/experiments"
+	"opportune/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig7, fig8, table1, fig9, fig10, fig11, fig12, table2, ablation, reclamation, jsens, similarity, footprint")
+	quick := flag.Bool("quick", false, "run at reduced scale")
+	tweets := flag.Int("tweets", 0, "override tweet-log size (0 = scale default)")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *tweets > 0 {
+		sc := cfg.Scale
+		ratio := float64(*tweets) / float64(sc.Tweets)
+		sc.Tweets = *tweets
+		sc.Checkins = int(float64(sc.Checkins) * ratio)
+		sc.Landmarks = int(float64(sc.Landmarks) * ratio)
+		sc.Users = int(float64(sc.Users) * ratio)
+		cfg.Scale = sc
+	}
+	fmt.Printf("# opportune benchrunner — scale: %d tweets, %d check-ins, %d landmarks, %d users\n\n",
+		cfg.Scale.Tweets, cfg.Scale.Checkins, cfg.Scale.Landmarks, cfg.Scale.Users)
+
+	type runner struct {
+		name string
+		run  func() (interface{ Render() string }, error)
+	}
+	runners := []runner{
+		{"fig7", func() (interface{ Render() string }, error) { return experiments.Fig7(cfg) }},
+		{"fig8", func() (interface{ Render() string }, error) { return experiments.Fig8(cfg) }},
+		{"table1", func() (interface{ Render() string }, error) { return experiments.Table1(cfg) }},
+		{"fig9", func() (interface{ Render() string }, error) { return experiments.Fig9(cfg) }},
+		{"fig10", func() (interface{ Render() string }, error) { return experiments.Fig10(cfg, nil) }},
+		{"fig11", func() (interface{ Render() string }, error) { return experiments.Fig11(cfg) }},
+		{"fig12", func() (interface{ Render() string }, error) { return experiments.Fig12(cfg) }},
+		{"table2", func() (interface{ Render() string }, error) { return experiments.Table2(cfg) }},
+		{"ablation", func() (interface{ Render() string }, error) { return experiments.Ablation(cfg) }},
+		{"reclamation", func() (interface{ Render() string }, error) { return experiments.Reclamation(cfg) }},
+		{"jsens", func() (interface{ Render() string }, error) { return experiments.JSensitivity(cfg) }},
+		{"similarity", func() (interface{ Render() string }, error) { return experiments.Similarity(cfg) }},
+		{"footprint", func() (interface{ Render() string }, error) { return experiments.Footprint(cfg) }},
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		ran++
+		start := time.Now()
+		res, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("[%s completed in %.1fs wall]\n\n", r.name, time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	_ = workload.DefaultScale
+}

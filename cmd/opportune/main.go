@@ -1,0 +1,186 @@
+// Command opportune runs HiveQL-dialect queries against the simulated
+// analytics stack, with opportunistic-view rewriting.
+//
+// Usage:
+//
+//	# run the built-in workload's data + UDFs, then execute SQL
+//	opportune -workload 'SELECT user_id, COUNT(*) AS n FROM twtr GROUP BY user_id HAVING n > 20'
+//
+//	# run one of the paper's 32 workload queries (with rewriting)
+//	opportune -workload -query a1v2
+//
+//	# run an analyst's whole session (views accumulate across versions)
+//	opportune -workload -analyst 5
+//
+//	# read a script from stdin
+//	echo 'SELECT tile, COUNT(*) AS n FROM land APPLY UDF_GEO_TILE(lat, lon, 0.5) GROUP BY tile' | opportune -workload
+//
+// Flags select the rewrite mode (-mode bfr|off|dp|syntactic), the data
+// scale (-tweets), and whether to list views afterwards (-views).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"opportune/internal/hiveql"
+	"opportune/internal/session"
+	"opportune/internal/workload"
+)
+
+func main() {
+	useWorkload := flag.Bool("workload", false, "install the synthetic TWTR/4SQ/LAND logs and UDF library")
+	tweets := flag.Int("tweets", 0, "tweet-log rows (default: workload default scale)")
+	mode := flag.String("mode", "bfr", "rewrite mode: bfr, off, dp, syntactic")
+	queryID := flag.String("query", "", "run a workload query by name, e.g. a1v2")
+	analyst := flag.Int("analyst", 0, "run all four versions of one analyst's query (1-8)")
+	showViews := flag.Bool("views", false, "list opportunistic views after execution")
+	explain := flag.Bool("explain", false, "print the annotated job DAG instead of executing")
+	maxRows := flag.Int("maxrows", 20, "result rows to print")
+	flag.Parse()
+
+	var m session.Mode
+	switch *mode {
+	case "bfr":
+		m = session.ModeBFR
+	case "off":
+		m = session.ModeOriginal
+	case "dp":
+		m = session.ModeDP
+	case "syntactic":
+		m = session.ModeSyntactic
+	default:
+		fail("unknown mode %q", *mode)
+	}
+
+	if !*useWorkload {
+		fail("this CLI operates on the built-in workload; pass -workload (see -h)")
+	}
+	sc := workload.DefaultScale()
+	if *tweets > 0 {
+		ratio := float64(*tweets) / float64(sc.Tweets)
+		sc.Tweets = *tweets
+		sc.Checkins = int(float64(sc.Checkins)*ratio) + 1
+		sc.Landmarks = int(float64(sc.Landmarks)*ratio) + 1
+		sc.Users = int(float64(sc.Users)*ratio) + 1
+	}
+	fmt.Fprintf(os.Stderr, "installing workload: %d tweets, %d check-ins, %d landmarks (calibrating %d UDFs)...\n",
+		sc.Tweets, sc.Checkins, sc.Landmarks, 11)
+	s, err := workload.NewSession(sc)
+	if err != nil {
+		fail("install: %v", err)
+	}
+
+	switch {
+	case *analyst >= 1 && *analyst <= 8:
+		for v := 1; v <= 4; v++ {
+			q := workload.QueryFor(*analyst, v)
+			mt, err := workload.Exec(s, q, m)
+			if err != nil {
+				fail("%s: %v", q.Name, err)
+			}
+			report(s, q.Name, mt, *maxRows)
+		}
+	case *queryID != "":
+		var a, v int
+		if _, err := fmt.Sscanf(*queryID, "a%dv%d", &a, &v); err != nil {
+			fail("bad -query %q (want e.g. a1v2)", *queryID)
+		}
+		q := workload.QueryFor(a, v)
+		fmt.Printf("-- %s\n%s\n\n", q.Name, q.SQL)
+		if *explain {
+			st, err := hiveql.ParseOne(q.SQL)
+			if err != nil {
+				fail("%v", err)
+			}
+			w, err := s.Opt.Compile(st.Plan)
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Println(w.Explain())
+			return
+		}
+		mt, err := workload.Exec(s, q, m)
+		if err != nil {
+			fail("%s: %v", q.Name, err)
+		}
+		report(s, q.Name, mt, *maxRows)
+	default:
+		script := strings.Join(flag.Args(), " ")
+		if strings.TrimSpace(script) == "" {
+			b, err := io.ReadAll(os.Stdin)
+			if err != nil {
+				fail("stdin: %v", err)
+			}
+			script = string(b)
+		}
+		if strings.TrimSpace(script) == "" {
+			fail("no SQL given (positional args or stdin)")
+		}
+		stmts, err := hiveql.Parse(script)
+		if err != nil {
+			fail("%v", err)
+		}
+		for i, st := range stmts {
+			name := st.Table
+			if name == "" {
+				name = fmt.Sprintf("result_%d", i+1)
+			}
+			if *explain {
+				w, err := s.Opt.Compile(st.Plan)
+				if err != nil {
+					fail("statement %d: %v", i+1, err)
+				}
+				fmt.Println(w.Explain())
+				continue
+			}
+			mt, err := s.Run(st.Plan, name, m)
+			if err != nil {
+				fail("statement %d: %v", i+1, err)
+			}
+			report(s, name, mt, *maxRows)
+		}
+	}
+
+	if *showViews {
+		fmt.Println("\nopportunistic views:")
+		for _, v := range s.Cat.Views() {
+			fmt.Printf("  %-22s %8d rows %10d bytes  %v\n", v.Name, v.Stats.Rows, v.Stats.Bytes, v.Cols)
+		}
+	}
+}
+
+func report(s *session.Session, name string, m *session.Metrics, maxRows int) {
+	rel, err := s.Store.Read(m.ResultName)
+	if err != nil {
+		fail("read result: %v", err)
+	}
+	status := "original plan"
+	if m.Rewrite != nil && m.Rewrite.Improved {
+		status = "rewritten from views"
+	}
+	fmt.Printf("== %s: %d rows | %s | %d jobs | %.3f simulated s (+%.3fs stats) | rewrite search %.3fs | %.2f MB moved\n",
+		name, rel.Len(), status, m.Jobs, m.ExecSeconds, m.StatsSeconds, m.RewriteSeconds,
+		float64(m.DataMovedBytes)/1e6)
+	cols := rel.Schema().Cols()
+	fmt.Println(strings.Join(cols, "\t"))
+	for i := 0; i < rel.Len() && i < maxRows; i++ {
+		parts := make([]string, len(cols))
+		for j := range cols {
+			parts[j] = rel.Row(i)[j].String()
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+	if rel.Len() > maxRows {
+		fmt.Printf("... (%d more rows)\n", rel.Len()-maxRows)
+	}
+	fmt.Println()
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "opportune: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module opportune
+
+go 1.22

@@ -1,0 +1,121 @@
+package afk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"opportune/internal/expr"
+	"opportune/internal/value"
+)
+
+// Algebraic laws of the annotation model. These are what make the
+// rewriter's equivalence reasoning sound: semantically interchangeable
+// plan shapes must produce Equal annotations.
+
+func algebraBase() Annotation {
+	return NewBase("t", []string{"id", "a", "b", "c"}, "id")
+}
+
+func TestLawFilterCommutes(t *testing.T) {
+	f := func(x, y int8) bool {
+		p1 := expr.NewCmp("a", expr.Gt, value.NewFloat(float64(x)))
+		p2 := expr.NewCmp("b", expr.Lt, value.NewFloat(float64(y)))
+		base := algebraBase()
+		ab := base.WithFilter(p1).WithFilter(p2)
+		ba := base.WithFilter(p2).WithFilter(p1)
+		return ab.Equal(ba) && ab.Canon() == ba.Canon()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLawFilterIdempotent(t *testing.T) {
+	p := expr.NewCmp("a", expr.Gt, value.NewFloat(3))
+	once := algebraBase().WithFilter(p)
+	twice := once.WithFilter(p)
+	if !once.Equal(twice) || once.Canon() != twice.Canon() {
+		t.Error("re-applying a filter changed the annotation")
+	}
+}
+
+func TestLawRedundantFilterAbsorbed(t *testing.T) {
+	// {a>5} ∧ {a>3} ≡ {a>5}: both Equal and canonical fingerprint agree.
+	tight := algebraBase().WithFilter(expr.NewCmp("a", expr.Gt, value.NewFloat(5)))
+	both := tight.WithFilter(expr.NewCmp("a", expr.Gt, value.NewFloat(3)))
+	if !tight.Equal(both) {
+		t.Error("redundant weaker filter broke equivalence")
+	}
+	if tight.Canon() != both.Canon() {
+		t.Error("redundant weaker filter changed the fingerprint")
+	}
+}
+
+func TestLawProjectIdempotent(t *testing.T) {
+	once := algebraBase().Project("a", "b")
+	twice := once.Project("a", "b")
+	if !once.Equal(twice) {
+		t.Error("projection not idempotent")
+	}
+}
+
+func TestLawProjectFilterCommute(t *testing.T) {
+	// When the filter column survives the projection, order is irrelevant.
+	p := expr.NewCmp("a", expr.Gt, value.NewFloat(1))
+	base := algebraBase()
+	fp := base.WithFilter(p).Project("a", "b")
+	pf := base.Project("a", "b").WithFilter(p)
+	if !fp.Equal(pf) || fp.Canon() != pf.Canon() {
+		t.Error("project/filter order changed the annotation")
+	}
+}
+
+func TestLawRenameRoundTrip(t *testing.T) {
+	base := algebraBase()
+	rt := base.Rename("a", "x").Rename("x", "a")
+	if !base.Equal(rt) || base.Canon() != rt.Canon() {
+		t.Error("rename round trip changed the annotation")
+	}
+	// Renaming never changes semantic identity at all.
+	if !base.Equal(base.Rename("a", "x")) {
+		t.Error("rename changed semantic identity (names must not matter)")
+	}
+}
+
+func TestLawGroupByContextSensitivity(t *testing.T) {
+	// Aggregating before vs after a filter must NOT be equal: the groups
+	// differ. This is the context sensitivity that prevents unsound reuse.
+	p := expr.NewCmp("a", expr.Gt, value.NewFloat(1))
+	base := algebraBase()
+	mkAgg := func(in Annotation) Annotation {
+		sig := AggSig("agg_sum", "", []*Sig{in.MustSig("b")}, in.F.Canon(), []*Sig{in.MustSig("c")})
+		return in.GroupBy([]string{"c"}, []Attr{{Name: "s", Sig: sig}})
+	}
+	plain := mkAgg(base)
+	filterThenAgg := mkAgg(base.WithFilter(p))
+	if plain.Equal(filterThenAgg) {
+		t.Error("pre-aggregation filter ignored by aggregate identity")
+	}
+	// A post-aggregation filter on the aggregate output is a *different*
+	// thing again: neither of the above.
+	aggThenFilter := plain.WithFilter(expr.NewCmp("s", expr.Gt, value.NewFloat(0)))
+	if aggThenFilter.Equal(filterThenAgg) || aggThenFilter.Equal(plain) {
+		t.Error("post-aggregation filter conflated with pre-aggregation")
+	}
+}
+
+func TestLawJoinSymmetricAnnotation(t *testing.T) {
+	// Joining l⋈r and r⋈l on the same shared-signature key yields Equal
+	// annotations (names may bind differently; identity must not).
+	l := algebraBase().GroupBy([]string{"a"}, []Attr{{
+		Name: "n", Sig: AggSig("agg_count", "", []*Sig{BaseSig("t", "a")}, "{}", []*Sig{BaseSig("t", "a")}),
+	}})
+	r := algebraBase().GroupBy([]string{"a"}, []Attr{{
+		Name: "m", Sig: AggSig("agg_sum", "", []*Sig{BaseSig("t", "b")}, "{}", []*Sig{BaseSig("t", "a")}),
+	}})
+	lr := Join(l, r, "a", "a")
+	rl := Join(r, l, "a", "a")
+	if !lr.Equal(rl) {
+		t.Errorf("join not symmetric:\n  %s\n  %s", lr.Canon(), rl.Canon())
+	}
+}

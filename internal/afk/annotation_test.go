@@ -1,0 +1,265 @@
+package afk
+
+import (
+	"testing"
+
+	"opportune/internal/expr"
+	"opportune/internal/value"
+)
+
+// twtrBase mirrors the paper's Fig 4 scan of the Twitter log:
+// A={tweet_id, user_id, tweet_text}, F=∅, K={tweet_id}.
+func twtrBase() Annotation {
+	return NewBase("twtr", []string{"tweet_id", "user_id", "tweet_text"}, "tweet_id")
+}
+
+func TestNewBase(t *testing.T) {
+	a := twtrBase()
+	if len(a.A) != 3 {
+		t.Fatalf("A size = %d", len(a.A))
+	}
+	if len(a.F) != 0 {
+		t.Error("base scan has filters")
+	}
+	if !a.K.Has(BaseSig("twtr", "tweet_id")) || len(a.K) != 1 {
+		t.Errorf("K = %v", a.K.Canon())
+	}
+	if at, ok := a.Attr("user_id"); !ok || at.Sig.ID() != "b:twtr.user_id" {
+		t.Error("Attr lookup wrong")
+	}
+	if _, ok := a.Attr("nope"); ok {
+		t.Error("Attr found missing name")
+	}
+	if a.SigOf("nope") != nil {
+		t.Error("SigOf found missing name")
+	}
+	if a.NameOfSig("b:twtr.user_id") != "user_id" {
+		t.Error("NameOfSig wrong")
+	}
+	if a.NameOfSig("b:none.x") != "" {
+		t.Error("NameOfSig invented a name")
+	}
+}
+
+func TestProjectKeepsFK(t *testing.T) {
+	a := twtrBase().WithFilter(expr.NewCmp("user_id", expr.Gt, value.NewInt(0)))
+	p := a.Project("user_id", "tweet_text")
+	if len(p.A) != 2 {
+		t.Errorf("A = %v", p.Names())
+	}
+	if len(p.F) != 1 {
+		t.Error("projection dropped filters")
+	}
+	// K survives even though tweet_id was projected away: granularity is a
+	// property of the data, not the visible columns.
+	if !p.K.Has(BaseSig("twtr", "tweet_id")) {
+		t.Error("projection dropped keys")
+	}
+}
+
+func TestWithFilterLiftsToSigs(t *testing.T) {
+	a := twtrBase().WithFilter(expr.NewCmp("user_id", expr.Gt, value.NewInt(100)))
+	found := false
+	for _, p := range a.F {
+		if p.Attr == "b:twtr.user_id" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("filter not lifted to signature terms: %v", a.F)
+	}
+	// renamed column, same signature, same lifted filter
+	b := twtrBase().Rename("user_id", "uid").WithFilter(expr.NewCmp("uid", expr.Gt, value.NewInt(100)))
+	if !a.F.Equal(b.F) {
+		t.Error("rename changed lifted filter identity")
+	}
+}
+
+func TestWithAttrAndGroupBy(t *testing.T) {
+	a := twtrBase()
+	score := DerivedSig("sentiment", "", []*Sig{a.MustSig("tweet_text")})
+	a = a.WithAttr("sent_score", score)
+	if !a.A.Has(score) {
+		t.Error("WithAttr missing")
+	}
+	sum := AggSig("sum", "", []*Sig{score}, a.F.Canon(), []*Sig{a.MustSig("user_id")})
+	g := a.GroupBy([]string{"user_id"}, []Attr{{Name: "sent_sum", Sig: sum}})
+	if len(g.A) != 2 {
+		t.Errorf("grouped A = %v", g.Names())
+	}
+	if !g.K.Equal(NewSigSet(a.MustSig("user_id"))) {
+		t.Errorf("grouped K = %s", g.K.Canon())
+	}
+	if g.SigOf("sent_sum") == nil {
+		t.Error("aggregate attr missing")
+	}
+}
+
+func TestJoinPaperRule(t *testing.T) {
+	// Fig 4: join UDF output (K={user_id}) with groupby-count (K={user_id})
+	// on user_id gives K={user_id}.
+	l := twtrBase().GroupBy([]string{"user_id"}, []Attr{{
+		Name: "sent_sum",
+		Sig:  AggSig("sum_sent", "", []*Sig{BaseSig("twtr", "tweet_text")}, "{}", []*Sig{BaseSig("twtr", "user_id")}),
+	}})
+	r := twtrBase().GroupBy([]string{"user_id"}, []Attr{{
+		Name: "cnt",
+		Sig:  AggSig("count", "", []*Sig{BaseSig("twtr", "tweet_id")}, "{}", []*Sig{BaseSig("twtr", "user_id")}),
+	}})
+	j := Join(l, r, "user_id", "user_id")
+	if !j.K.Equal(NewSigSet(BaseSig("twtr", "user_id"))) {
+		t.Errorf("join K = %s", j.K.Canon())
+	}
+	// user_id appears once; sent_sum and cnt both present
+	if len(j.A) != 3 {
+		t.Errorf("join A = %v", j.Names())
+	}
+	if j.SigOf("sent_sum") == nil || j.SigOf("cnt") == nil {
+		t.Error("join lost an aggregate")
+	}
+}
+
+func TestJoinDifferentKeysAddsCondAndFallback(t *testing.T) {
+	l := NewBase("fsq", []string{"checkin_id", "user_id", "location_id"}, "checkin_id")
+	r := NewBase("land", []string{"location_id", "name"}, "location_id")
+	// join on location_id: base sigs differ (fsq.location_id vs land.location_id)
+	j := Join(l, r, "location_id", "location_id")
+	// join condition recorded
+	hasEq := false
+	for _, p := range j.F {
+		if p.Kind == expr.KindAttrEq {
+			hasEq = true
+		}
+	}
+	if !hasEq {
+		t.Error("join condition missing from F")
+	}
+	// K1={checkin_id}, K2={location_id}: union ∩ join = {land.location_id}
+	if !j.K.HasID("b:land.location_id") {
+		t.Errorf("join K = %s", j.K.Canon())
+	}
+	// Name collision on location_id resolved (one name binding kept).
+	names := j.Names()
+	seen := map[string]int{}
+	for _, n := range names {
+		seen[n]++
+	}
+	for n, c := range seen {
+		if c > 1 {
+			t.Errorf("duplicate name %q", n)
+		}
+	}
+}
+
+func TestEqualSemantic(t *testing.T) {
+	mk := func(lit float64) Annotation {
+		return twtrBase().WithFilter(expr.NewCmp("user_id", expr.Lt, value.NewFloat(lit)))
+	}
+	if !mk(10).Equal(mk(10)) {
+		t.Error("identical annotations unequal")
+	}
+	if mk(10).Equal(mk(20)) {
+		t.Error("different filters equal")
+	}
+	if twtrBase().Equal(twtrBase().Project("user_id")) {
+		t.Error("different A equal")
+	}
+	g := twtrBase().GroupBy([]string{"user_id"}, nil)
+	ann := twtrBase().Project("user_id")
+	if ann.Equal(g) {
+		t.Error("different K equal")
+	}
+	// mutually implying filter sets are equal: {d<10, d<20} ≡ {d<10}
+	a := mk(10)
+	b := mk(10).WithFilter(expr.NewCmp("user_id", expr.Lt, value.NewFloat(20)))
+	if !a.Equal(b) {
+		t.Error("mutually implying filter sets not equal")
+	}
+}
+
+func TestCanonStable(t *testing.T) {
+	a := twtrBase().WithFilter(expr.NewCmp("user_id", expr.Gt, value.NewInt(5)))
+	b := twtrBase().WithFilter(expr.NewCmp("user_id", expr.Gt, value.NewInt(5)))
+	if a.Canon() != b.Canon() {
+		t.Error("canon unstable")
+	}
+	if a.Canon() == twtrBase().Canon() {
+		t.Error("canon ignores filters")
+	}
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestClonesAreIndependent(t *testing.T) {
+	a := twtrBase()
+	b := a.Clone().WithFilter(expr.NewCmp("user_id", expr.Gt, value.NewInt(1)))
+	if len(a.F) != 0 {
+		t.Error("Clone aliases F")
+	}
+	_ = b
+	c := a.WithAttr("x", DerivedSig("f", "", []*Sig{a.MustSig("user_id")}))
+	if a.A.Has(c.MustSig("x")) {
+		t.Error("WithAttr mutated receiver")
+	}
+}
+
+func TestGroupedFlagAndLessAggregated(t *testing.T) {
+	fds := NewFDSet()
+	raw := twtrBase()
+	if raw.Grouped {
+		t.Error("base scan marked grouped")
+	}
+	g := raw.GroupBy([]string{"user_id"}, nil)
+	if !g.Grouped {
+		t.Error("GroupBy did not mark grouped")
+	}
+	if !g.Project("user_id").Grouped || !g.Rename("user_id", "u").Grouped {
+		t.Error("projection/rename lost Grouped")
+	}
+	// global aggregate: grouped with no keys
+	global := raw.GroupBy(nil, []Attr{{Name: "n", Sig: AggSig("count", "", []*Sig{raw.MustSig("tweet_id")}, "{}", nil)}})
+	if !global.Grouped || len(global.K) != 0 {
+		t.Error("global aggregate annotation wrong")
+	}
+	// raw data is less aggregated than anything
+	if !raw.LessAggregated(g, fds) || !raw.LessAggregated(global, fds) {
+		t.Error("raw not less aggregated")
+	}
+	// global aggregate is less aggregated only than another global
+	if global.LessAggregated(g, fds) {
+		t.Error("global aggregate claimed less aggregated than user grouping")
+	}
+	if !global.LessAggregated(global, fds) {
+		t.Error("global not less aggregated than global")
+	}
+	// user grouping not less aggregated than raw record-level target
+	if g.LessAggregated(raw, fds) {
+		t.Error("user grouping claimed to refine record-level")
+	}
+	// join propagates grouped
+	j := Join(g, raw.GroupBy([]string{"user_id"}, nil), "user_id", "user_id")
+	if !j.Grouped {
+		t.Error("join of grouped inputs not grouped")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	a := twtrBase()
+	mustPanic("dup attr names", func() {
+		New([]Attr{{Name: "x", Sig: BaseSig("d", "a")}, {Name: "x", Sig: BaseSig("d", "b")}}, expr.NewSet(), NewSigSet())
+	})
+	mustPanic("project unknown", func() { a.Project("zzz") })
+	mustPanic("MustSig unknown", func() { a.MustSig("zzz") })
+	mustPanic("groupby unknown key", func() { a.GroupBy([]string{"zzz"}, nil) })
+	mustPanic("filter unknown attr", func() { a.WithFilter(expr.NewCmp("zzz", expr.Eq, value.NewInt(1))) })
+}

@@ -1,0 +1,129 @@
+package afk
+
+import "sort"
+
+// FDSet is a set of functional dependencies over attribute signature IDs.
+// It powers the "less aggregated" refinement check: grouping by keys X
+// refines grouping by keys Y iff Y ⊆ closure(X).
+//
+// Two sources populate it: dataset registration declares record keys
+// (tweet_id → every TWTR column), and every derived attribute contributes
+// inputs → derived (a deterministic per-tuple UDF output is functionally
+// determined by its inputs).
+type FDSet struct {
+	fds []fd
+}
+
+type fd struct {
+	from []string // determinant signature IDs (sorted)
+	to   string   // determined signature ID
+}
+
+// NewFDSet creates an empty FD set.
+func NewFDSet() *FDSet { return &FDSet{} }
+
+// Add declares from → to. Duplicate declarations are ignored.
+func (f *FDSet) Add(from []string, to string) {
+	sorted := append([]string(nil), from...)
+	sort.Strings(sorted)
+	for _, e := range f.fds {
+		if e.to == to && eqStrs(e.from, sorted) {
+			return
+		}
+	}
+	f.fds = append(f.fds, fd{from: sorted, to: to})
+}
+
+// AddKey declares that key determines each of the given attributes.
+func (f *FDSet) AddKey(key string, attrs []string) {
+	for _, a := range attrs {
+		if a != key {
+			f.Add([]string{key}, a)
+		}
+	}
+}
+
+// Len returns the number of dependencies.
+func (f *FDSet) Len() int { return len(f.fds) }
+
+// Clone copies the FD set.
+func (f *FDSet) Clone() *FDSet {
+	c := &FDSet{fds: make([]fd, len(f.fds))}
+	copy(c.fds, f.fds)
+	return c
+}
+
+// Each visits every dependency (for persistence).
+func (f *FDSet) Each(fn func(from []string, to string)) {
+	for _, e := range f.fds {
+		fn(append([]string(nil), e.from...), e.to)
+	}
+}
+
+// Closure computes the attribute closure of the given IDs under the FDs
+// (standard fixpoint).
+func (f *FDSet) Closure(ids []string) map[string]bool {
+	closure := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		closure[id] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range f.fds {
+			if closure[e.to] {
+				continue
+			}
+			all := true
+			for _, from := range e.from {
+				if !closure[from] {
+					all = false
+					break
+				}
+			}
+			if all {
+				closure[e.to] = true
+				changed = true
+			}
+		}
+	}
+	return closure
+}
+
+// Determines reports whether X → y follows from the FDs.
+func (f *FDSet) Determines(x []string, y string) bool {
+	return f.Closure(x)[y]
+}
+
+// Refines reports whether the partition induced by grouping keys vK is at
+// least as fine as the one induced by qK: every qK key is functionally
+// determined by the vK keys. An empty qK is the global (coarsest) partition
+// and is refined by anything; an empty vK is itself global and refines only
+// an empty qK. (Record-level, never-grouped data is handled one level up,
+// by Annotation.LessAggregated.)
+func (f *FDSet) Refines(vK, qK SigSet) bool {
+	if len(qK) == 0 {
+		return true
+	}
+	if len(vK) == 0 {
+		return false
+	}
+	closure := f.Closure(vK.IDs())
+	for id := range qK {
+		if !closure[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func eqStrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,240 @@
+package afk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"opportune/internal/cost"
+	"opportune/internal/expr"
+	"opportune/internal/value"
+)
+
+// fig5View and fig5Query reproduce the paper's Fig 5 example:
+// v: A={a,b,c}, F={}, K={} ; q: A={b,c,d}, F={d<10}, K={c}, d = f(a,b).
+func fig5() (q, v Annotation, fds *FDSet) {
+	a, b, c := BaseSig("t", "a"), BaseSig("t", "b"), BaseSig("t", "c")
+	d := DerivedSig("f", "", []*Sig{a, b})
+	v = New([]Attr{{"a", a}, {"b", b}, {"c", c}}, expr.NewSet(), NewSigSet())
+	q = New([]Attr{{"b", b}, {"c", c}, {"d", d}},
+		expr.NewSet(expr.NewCmp(d.ID(), expr.Lt, value.NewFloat(10))),
+		NewSigSet(c))
+	fds = NewFDSet()
+	fds.Add([]string{a.ID(), b.ID()}, d.ID())
+	return q, v, fds
+}
+
+func TestCanProduce(t *testing.T) {
+	a, b := BaseSig("t", "a"), BaseSig("t", "b")
+	d := DerivedSig("f", "", []*Sig{a, b})
+	nested := DerivedSig("g", "", []*Sig{d})
+	avail := NewSigSet(a, b)
+	if !CanProduce(a, avail) {
+		t.Error("present attr not producible")
+	}
+	if !CanProduce(d, avail) {
+		t.Error("derived from present inputs not producible")
+	}
+	if !CanProduce(nested, avail) {
+		t.Error("nested derivation not producible")
+	}
+	if CanProduce(BaseSig("t", "z"), avail) {
+		t.Error("missing base attr producible")
+	}
+	if CanProduce(DerivedSig("f", "", []*Sig{BaseSig("t", "z")}), avail) {
+		t.Error("derived from missing input producible")
+	}
+	// derived attr already present is producible even without inputs
+	if !CanProduce(d, NewSigSet(d)) {
+		t.Error("present derived attr not producible")
+	}
+	// a zero-input derived sig is not producible unless present
+	weird := DerivedSig("const", "", nil)
+	if CanProduce(weird, avail) {
+		t.Error("zero-input derivation producible from nothing")
+	}
+}
+
+func TestGuessCompleteFig5(t *testing.T) {
+	q, v, fds := fig5()
+	// The paper: v is guessed complete w.r.t. q (even though grouping on c
+	// might in reality destroy a,b — the guess is optimistic).
+	if !GuessComplete(q, v, fds) {
+		t.Error("Fig 5 guess should be complete")
+	}
+	fix := ComputeFix(q, v)
+	if len(fix.NewAttrs) != 1 || fix.NewAttrs[0].UDF != "f" {
+		t.Errorf("fix new attrs = %v", fix.NewAttrs)
+	}
+	if len(fix.Filters) != 1 {
+		t.Errorf("fix filters = %v", fix.Filters)
+	}
+	if !fix.Rekey || !fix.RekeyTo.HasID("b:t.c") {
+		t.Errorf("fix rekey = %v %s", fix.Rekey, fix.RekeyTo.Canon())
+	}
+	// a is in v but not q: needs dropping
+	if len(fix.DropAttrs) != 1 {
+		t.Errorf("fix drops = %v", fix.DropAttrs)
+	}
+	ops := fix.OpTypes()
+	if len(ops) != 3 {
+		t.Errorf("fix op types = %v", ops)
+	}
+}
+
+func TestGuessCompleteFailsOnMissingAttr(t *testing.T) {
+	q, v, fds := fig5()
+	// Remove b from the view: d=f(a,b) is no longer producible.
+	v2 := v.Project("a", "c")
+	if GuessComplete(q, v2, fds) {
+		t.Error("guess complete despite unproducible attribute")
+	}
+}
+
+func TestGuessCompleteFailsOnStrongerViewFilter(t *testing.T) {
+	q, v, _ := fig5()
+	fds := NewFDSet()
+	// View filtered on a<5, which q's filters do not imply.
+	v2 := v.WithFilter(expr.NewCmp("a", expr.Lt, value.NewFloat(5)))
+	if GuessComplete(q, v2, fds) {
+		t.Error("guess complete despite stronger view filter")
+	}
+}
+
+func TestGuessCompleteWeakerViewFilterOK(t *testing.T) {
+	a := BaseSig("t", "a")
+	v := New([]Attr{{"a", a}}, expr.NewSet(expr.NewCmp(a.ID(), expr.Lt, value.NewFloat(100))), NewSigSet())
+	q := New([]Attr{{"a", a}}, expr.NewSet(expr.NewCmp(a.ID(), expr.Lt, value.NewFloat(10))), NewSigSet())
+	if !GuessComplete(q, v, NewFDSet()) {
+		t.Error("weaker view filter rejected")
+	}
+	// and the reverse direction fails
+	if GuessComplete(v, q, NewFDSet()) {
+		t.Error("stronger view filter accepted")
+	}
+	// fix contains only the tighter filter
+	fix := ComputeFix(q, v)
+	if len(fix.Filters) != 1 || !fix.Filters[0].Lit.IsNumeric() {
+		t.Errorf("fix filters = %v", fix.Filters)
+	}
+	if fix.Rekey || len(fix.NewAttrs) != 0 {
+		t.Errorf("unexpected fix parts: %+v", fix)
+	}
+}
+
+func TestGuessCompleteFailsOnOverAggregation(t *testing.T) {
+	tid, uid := BaseSig("t", "tid"), BaseSig("t", "uid")
+	day := BaseSig("t", "day")
+	fds := NewFDSet()
+	fds.AddKey(tid.ID(), []string{uid.ID(), day.ID()})
+	// view grouped by uid; query needs (uid, day) grouping
+	v := New([]Attr{{"uid", uid}, {"day", day}}, expr.NewSet(), NewSigSet(uid))
+	q := New([]Attr{{"uid", uid}, {"day", day}}, expr.NewSet(), NewSigSet(uid, day))
+	if GuessComplete(q, v, fds) {
+		t.Error("over-aggregated view accepted")
+	}
+	// the reverse (view finer than query) is fine
+	if !GuessComplete(v, q, fds) {
+		t.Error("finer view rejected")
+	}
+}
+
+func TestGuessCompleteFilterOnUnproducibleAttr(t *testing.T) {
+	a, z := BaseSig("t", "a"), BaseSig("t", "z")
+	v := New([]Attr{{"a", a}}, expr.NewSet(), NewSigSet())
+	// q filters on z, which v cannot produce; but z is not in q.A either
+	// (it was consumed by the filter then projected away).
+	q := New([]Attr{{"a", a}}, expr.NewSet(expr.NewCmp(z.ID(), expr.Lt, value.NewFloat(1))), NewSigSet())
+	if GuessComplete(q, v, NewFDSet()) {
+		t.Error("compensation filter over unproducible attribute accepted")
+	}
+}
+
+func TestFixEmptyOnEquivalent(t *testing.T) {
+	q, _, _ := fig5()
+	fix := ComputeFix(q, q)
+	if !fix.Empty() {
+		t.Errorf("self-fix not empty: %+v", fix)
+	}
+	if len(fix.OpTypes()) != 0 {
+		t.Error("empty fix has op types")
+	}
+}
+
+func TestFixOpTypesSubsets(t *testing.T) {
+	a := BaseSig("t", "a")
+	b := BaseSig("t", "b")
+	base := New([]Attr{{"a", a}, {"b", b}}, expr.NewSet(), NewSigSet())
+	// only filter differs
+	q1 := New([]Attr{{"a", a}, {"b", b}}, expr.NewSet(expr.NewCmp(a.ID(), expr.Gt, value.NewFloat(0))), NewSigSet())
+	ops := ComputeFix(q1, base).OpTypes()
+	if len(ops) != 1 || ops[0] != cost.OpFilter {
+		t.Errorf("filter-only fix ops = %v", ops)
+	}
+	// only projection differs
+	q2 := base.Project("a")
+	ops = ComputeFix(q2, base).OpTypes()
+	if len(ops) != 1 || ops[0] != cost.OpAttr {
+		t.Errorf("projection-only fix ops = %v", ops)
+	}
+	// only grouping differs
+	q3 := New([]Attr{{"a", a}, {"b", b}}, expr.NewSet(), NewSigSet(a))
+	ops = ComputeFix(q3, base).OpTypes()
+	if len(ops) != 1 || ops[0] != cost.OpGroup {
+		t.Errorf("group-only fix ops = %v", ops)
+	}
+}
+
+// TestGuessCompleteNeverFalseNegative is the paper's core guarantee: if an
+// actual rewrite exists (we construct v �then⊇ q by applying compensations),
+// GuessComplete must accept. We generate random views and derive q from
+// them by applying random project/filter/group compensations — since q was
+// literally produced from v, a rewrite exists, so the guess must say yes.
+func TestGuessCompleteNeverFalseNegative(t *testing.T) {
+	uid := BaseSig("t", "uid")
+	val := BaseSig("t", "val")
+	tid := BaseSig("t", "tid")
+	fds := NewFDSet()
+	fds.AddKey(tid.ID(), []string{uid.ID(), val.ID()})
+
+	f := func(filterLit int8, doFilter, doProject, doGroup bool) bool {
+		v := New([]Attr{{"tid", tid}, {"uid", uid}, {"val", val}}, expr.NewSet(), NewSigSet(tid))
+		q := v
+		if doFilter {
+			q = q.WithFilter(expr.NewCmp("val", expr.Lt, value.NewFloat(float64(filterLit))))
+		}
+		if doGroup {
+			sum := AggSig("sum", "", []*Sig{val}, q.F.Canon(), []*Sig{uid})
+			q = q.GroupBy([]string{"uid"}, []Attr{{Name: "s", Sig: sum}})
+		} else if doProject {
+			q = q.Project("uid", "val")
+		}
+		return GuessComplete(q, v, fds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkGuessComplete measures the containment heuristic on the Fig 5
+// shapes — the check runs once per candidate the search examines.
+func BenchmarkGuessComplete(b *testing.B) {
+	q, v, fds := fig5()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !GuessComplete(q, v, fds) {
+			b.Fatal("guess failed")
+		}
+	}
+}
+
+// BenchmarkAnnotationJoin measures the multi-input annotation rule.
+func BenchmarkAnnotationJoin(b *testing.B) {
+	l := NewBase("twtr", []string{"tweet_id", "user_id", "text", "ts", "lat", "lon"}, "tweet_id").
+		GroupBy([]string{"user_id"}, nil)
+	r := NewBase("fsq", []string{"checkin_id", "user_id", "location_id", "ts"}, "checkin_id")
+	r = r.Rename("user_id", "cuser").Rename("ts", "cts")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Join(l, r, "user_id", "cuser")
+	}
+}

@@ -1,0 +1,226 @@
+// Package afk implements the paper's gray-box UDF model (§3): relations are
+// annotated with (A, F, K) — attributes, applied filters, grouping keys —
+// and every derived attribute carries a signature recording its
+// dependencies on the input. The package provides the annotation algebra
+// for the three local-function operation types, the semantic equivalence
+// test, the GUESSCOMPLETE containment heuristic (§4.1), and the fix
+// computation that feeds OPTCOST (§4.3).
+package afk
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// registry interns every constructed signature by ID so that predicate
+// references (which carry only IDs) can be resolved back to structural
+// signatures, e.g. when checking that a compensation filter's attributes
+// are producible from a view.
+var registry sync.Map // map[string]*Sig
+
+// Lookup resolves a signature ID to its structural signature, if any
+// signature with that ID has been constructed in this process.
+func Lookup(id string) (*Sig, bool) {
+	v, ok := registry.Load(id)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Sig), true
+}
+
+// Sig is the identity of an attribute: either a base log column or an
+// attribute derived by a UDF (or relational aggregate), in which case its
+// dependencies on the input are recorded (paper Fig 3b: "Sig. of new
+// attribute sent_sum = {UDF_FOODIES, user_id, tweet_text, {f}, {k}}").
+//
+// Two attributes are the same attribute iff their signatures are equal.
+// Signatures are immutable after construction; ID() is cached.
+type Sig struct {
+	// Base attribute: Dataset.Column.
+	Dataset string
+	Column  string
+
+	// Derived attribute: UDF name, parameter fingerprint, and inputs.
+	UDF    string
+	Params string
+	Inputs []*Sig
+
+	// Agg marks attributes produced by a grouping local function (op type
+	// 3), e.g. a per-user sum. Their values depend on group membership, so
+	// the identity additionally includes the filter context and grouping
+	// keys at creation time. Per-tuple derived attributes (op type 1) omit
+	// these: filters only remove tuples and do not change surviving values.
+	Agg     bool
+	CtxF    string // canonical filter-set context (Agg only)
+	GroupBy []*Sig // grouping keys at creation (Agg only)
+
+	id string // cached canonical identity
+}
+
+// BaseSig constructs the signature of a raw log column.
+func BaseSig(dataset, column string) *Sig {
+	s := &Sig{Dataset: dataset, Column: column}
+	s.id = "b:" + dataset + "." + column
+	registry.Store(s.id, s)
+	return s
+}
+
+// DerivedSig constructs a per-tuple derived attribute signature. Inputs
+// keep their original (argument) order — needed to re-apply the UDF during
+// compensation — while the ID canonicalizes over a sorted copy, so argument
+// order does not change identity.
+func DerivedSig(udf, params string, inputs []*Sig) *Sig {
+	s := &Sig{UDF: udf, Params: params, Inputs: append([]*Sig(nil), inputs...)}
+	s.id = s.computeID()
+	registry.Store(s.id, s)
+	return s
+}
+
+// AggSig constructs a per-group derived attribute signature; ctxF is the
+// canonical filter-set context and groupBy the grouping keys at creation.
+func AggSig(udf, params string, inputs []*Sig, ctxF string, groupBy []*Sig) *Sig {
+	s := &Sig{
+		UDF: udf, Params: params, Inputs: append([]*Sig(nil), inputs...),
+		Agg: true, CtxF: ctxF, GroupBy: append([]*Sig(nil), groupBy...),
+	}
+	s.id = s.computeID()
+	registry.Store(s.id, s)
+	return s
+}
+
+func sortedSigs(in []*Sig) []*Sig {
+	out := append([]*Sig(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// IsBase reports whether this is a raw log column.
+func (s *Sig) IsBase() bool { return s.UDF == "" }
+
+// ID returns the canonical identity string.
+func (s *Sig) ID() string { return s.id }
+
+func (s *Sig) computeID() string {
+	var sb strings.Builder
+	sb.WriteString("d:")
+	sb.WriteString(s.UDF)
+	if s.Params != "" {
+		sb.WriteString("[")
+		sb.WriteString(s.Params)
+		sb.WriteString("]")
+	}
+	sb.WriteString("(")
+	for i, in := range sortedSigs(s.Inputs) {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(in.ID())
+	}
+	sb.WriteString(")")
+	if s.Agg {
+		sb.WriteString("|F=")
+		sb.WriteString(s.CtxF)
+		sb.WriteString("|K=")
+		for i, k := range sortedSigs(s.GroupBy) {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			sb.WriteString(k.ID())
+		}
+	}
+	return sb.String()
+}
+
+// String renders a short human-readable form.
+func (s *Sig) String() string {
+	if s.IsBase() {
+		return s.Dataset + "." + s.Column
+	}
+	ins := make([]string, len(s.Inputs))
+	for i, in := range s.Inputs {
+		ins[i] = in.String()
+	}
+	kind := ""
+	if s.Agg {
+		kind = "agg "
+	}
+	return fmt.Sprintf("%s%s(%s)", kind, s.UDF, strings.Join(ins, ","))
+}
+
+// SigSet is a set of signatures keyed by ID.
+type SigSet map[string]*Sig
+
+// NewSigSet builds a set.
+func NewSigSet(sigs ...*Sig) SigSet {
+	s := make(SigSet, len(sigs))
+	for _, x := range sigs {
+		s[x.ID()] = x
+	}
+	return s
+}
+
+// Add inserts a signature.
+func (ss SigSet) Add(s *Sig) SigSet { ss[s.ID()] = s; return ss }
+
+// Has reports membership.
+func (ss SigSet) Has(s *Sig) bool { _, ok := ss[s.ID()]; return ok }
+
+// HasID reports membership by ID.
+func (ss SigSet) HasID(id string) bool { _, ok := ss[id]; return ok }
+
+// Clone copies the set.
+func (ss SigSet) Clone() SigSet {
+	c := make(SigSet, len(ss))
+	for k, v := range ss {
+		c[k] = v
+	}
+	return c
+}
+
+// Equal reports set equality by IDs.
+func (ss SigSet) Equal(o SigSet) bool {
+	if len(ss) != len(o) {
+		return false
+	}
+	for k := range ss {
+		if _, ok := o[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports ss ⊆ o.
+func (ss SigSet) Subset(o SigSet) bool {
+	for k := range ss {
+		if _, ok := o[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IDs returns the sorted member IDs.
+func (ss SigSet) IDs() []string {
+	out := make([]string, 0, len(ss))
+	for k := range ss {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sigs returns members sorted by ID.
+func (ss SigSet) Sigs() []*Sig {
+	ids := ss.IDs()
+	out := make([]*Sig, len(ids))
+	for i, id := range ids {
+		out[i] = ss[id]
+	}
+	return out
+}
+
+// Canon renders the set canonically.
+func (ss SigSet) Canon() string { return "{" + strings.Join(ss.IDs(), ";") + "}" }

@@ -1,0 +1,198 @@
+package afk
+
+import (
+	"testing"
+)
+
+func TestBaseSig(t *testing.T) {
+	s := BaseSig("twtr", "user_id")
+	if !s.IsBase() {
+		t.Error("base sig not base")
+	}
+	if s.ID() != "b:twtr.user_id" {
+		t.Errorf("ID = %q", s.ID())
+	}
+	if s.String() != "twtr.user_id" {
+		t.Errorf("String = %q", s.String())
+	}
+	if BaseSig("twtr", "user_id").ID() != s.ID() {
+		t.Error("same base column, different IDs")
+	}
+	if BaseSig("twtr", "text").ID() == s.ID() {
+		t.Error("different columns, same ID")
+	}
+}
+
+func TestDerivedSigInputOrderIndependent(t *testing.T) {
+	a := BaseSig("twtr", "a")
+	b := BaseSig("twtr", "b")
+	s1 := DerivedSig("f", "", []*Sig{a, b})
+	s2 := DerivedSig("f", "", []*Sig{b, a})
+	if s1.ID() != s2.ID() {
+		t.Error("input order changed identity")
+	}
+	if s1.IsBase() {
+		t.Error("derived sig is base")
+	}
+}
+
+func TestDerivedSigParamsMatter(t *testing.T) {
+	a := BaseSig("twtr", "a")
+	s1 := DerivedSig("f", "th=0.5", []*Sig{a})
+	s2 := DerivedSig("f", "th=0.9", []*Sig{a})
+	if s1.ID() == s2.ID() {
+		t.Error("different params, same identity")
+	}
+}
+
+func TestAggSigContextMatters(t *testing.T) {
+	a := BaseSig("twtr", "text")
+	u := BaseSig("twtr", "user_id")
+	s1 := AggSig("sum_sent", "", []*Sig{a}, "{}", []*Sig{u})
+	s2 := AggSig("sum_sent", "", []*Sig{a}, "{f1}", []*Sig{u})
+	if s1.ID() == s2.ID() {
+		t.Error("different filter context, same identity for aggregate")
+	}
+	s3 := AggSig("sum_sent", "", []*Sig{a}, "{}", []*Sig{a})
+	if s1.ID() == s3.ID() {
+		t.Error("different group keys, same identity for aggregate")
+	}
+	// Per-tuple derived attr is NOT context sensitive.
+	d1 := DerivedSig("score", "", []*Sig{a})
+	d2 := DerivedSig("score", "", []*Sig{a})
+	if d1.ID() != d2.ID() {
+		t.Error("per-tuple derived attrs differ")
+	}
+	if s1.String() == "" || d1.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestNestedDerived(t *testing.T) {
+	a := BaseSig("twtr", "text")
+	tok := DerivedSig("tokenize", "", []*Sig{a})
+	sent := DerivedSig("sentiment", "", []*Sig{tok})
+	sent2 := DerivedSig("sentiment", "", []*Sig{DerivedSig("tokenize", "", []*Sig{a})})
+	if sent.ID() != sent2.ID() {
+		t.Error("structurally equal nested sigs differ")
+	}
+}
+
+func TestSigSet(t *testing.T) {
+	a, b, c := BaseSig("d", "a"), BaseSig("d", "b"), BaseSig("d", "c")
+	s := NewSigSet(a, b)
+	if !s.Has(a) || s.Has(c) {
+		t.Error("membership wrong")
+	}
+	if !s.HasID(a.ID()) {
+		t.Error("HasID wrong")
+	}
+	if !s.Subset(NewSigSet(a, b, c)) {
+		t.Error("Subset false negative")
+	}
+	if NewSigSet(a, c).Subset(s) {
+		t.Error("Subset false positive")
+	}
+	if !s.Equal(NewSigSet(b, a)) {
+		t.Error("Equal order-sensitive")
+	}
+	if s.Equal(NewSigSet(a)) {
+		t.Error("Equal on different sizes")
+	}
+	cl := s.Clone().Add(c)
+	if s.Has(c) || !cl.Has(c) {
+		t.Error("Clone aliases")
+	}
+	ids := NewSigSet(c, a, b).IDs()
+	if len(ids) != 3 || ids[0] > ids[1] || ids[1] > ids[2] {
+		t.Errorf("IDs not sorted: %v", ids)
+	}
+	sigs := NewSigSet(c, a).Sigs()
+	if len(sigs) != 2 || sigs[0].ID() > sigs[1].ID() {
+		t.Error("Sigs not sorted")
+	}
+	if NewSigSet(a, b).Canon() != NewSigSet(b, a).Canon() {
+		t.Error("Canon order-sensitive")
+	}
+}
+
+func TestFDClosure(t *testing.T) {
+	f := NewFDSet()
+	f.Add([]string{"tweet_id"}, "user_id")
+	f.Add([]string{"tweet_id"}, "text")
+	f.Add([]string{"user_id", "text"}, "score")
+	cl := f.Closure([]string{"tweet_id"})
+	for _, want := range []string{"tweet_id", "user_id", "text", "score"} {
+		if !cl[want] {
+			t.Errorf("closure missing %s", want)
+		}
+	}
+	if f.Closure([]string{"user_id"})["text"] {
+		t.Error("closure overshoot")
+	}
+	if !f.Determines([]string{"tweet_id"}, "score") {
+		t.Error("Determines false negative")
+	}
+	if f.Determines([]string{"text"}, "user_id") {
+		t.Error("Determines false positive")
+	}
+	// duplicate add ignored
+	n := f.Len()
+	f.Add([]string{"tweet_id"}, "user_id")
+	f.Add([]string{"user_id", "text"}, "score")
+	if f.Len() != n {
+		t.Error("duplicate FD added")
+	}
+	c := f.Clone()
+	c.Add([]string{"x"}, "y")
+	if f.Len() == c.Len() {
+		t.Error("Clone aliases")
+	}
+}
+
+func TestFDKeyHelper(t *testing.T) {
+	f := NewFDSet()
+	f.AddKey("k", []string{"k", "a", "b"})
+	if f.Len() != 2 { // k->k skipped
+		t.Errorf("Len = %d", f.Len())
+	}
+	if !f.Determines([]string{"k"}, "b") {
+		t.Error("AddKey missing dependency")
+	}
+}
+
+func TestRefines(t *testing.T) {
+	tid := BaseSig("twtr", "tweet_id")
+	uid := BaseSig("twtr", "user_id")
+	day := BaseSig("twtr", "day")
+	f := NewFDSet()
+	f.AddKey(tid.ID(), []string{uid.ID(), day.ID()})
+
+	// record key refines any derivable grouping
+	if !f.Refines(NewSigSet(tid), NewSigSet(uid)) {
+		t.Error("tweet_id should refine user_id")
+	}
+	// user grouping does not refine (user, day)
+	if f.Refines(NewSigSet(uid), NewSigSet(uid, day)) {
+		t.Error("user_id should not refine (user_id, day)")
+	}
+	// (user, day) refines user
+	if !f.Refines(NewSigSet(uid, day), NewSigSet(uid)) {
+		t.Error("(user_id, day) should refine user_id")
+	}
+	// identical keys refine
+	if !f.Refines(NewSigSet(uid), NewSigSet(uid)) {
+		t.Error("same keys should refine")
+	}
+	// anything refines the global partition
+	if !f.Refines(NewSigSet(uid), NewSigSet()) {
+		t.Error("grouped data should refine global")
+	}
+	// global refines only global
+	if f.Refines(NewSigSet(), NewSigSet(uid)) {
+		t.Error("global should not refine user grouping")
+	}
+	if !f.Refines(NewSigSet(), NewSigSet()) {
+		t.Error("global should refine global")
+	}
+}

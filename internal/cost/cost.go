@@ -1,0 +1,199 @@
+// Package cost implements the system's cost model (paper §4.2).
+//
+// It is the MRShare-style "data" cost model extended in a limited way to
+// cost UDFs: each MR job costs the sum of reading+mapping (Cm), sort/copy
+// (Cs), transfer (Ct), aggregate+reduce (Cr), and materialization (Cw).
+// Local functions written as arbitrary user code get a per-UDF scalar
+// multiplier on the CPU portion of Cm/Cr, calibrated empirically by running
+// the UDF on a 1% sample the first time it is registered (see internal/udf).
+//
+// A local function that performs several of the model's three operation
+// types is costed at the *cheapest* of them — the non-subsumable cost
+// property (Definition 1) — which is what makes OPTCOST a true lower bound.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// OpType enumerates the three operation types a local function may perform
+// (paper §3.1).
+type OpType uint8
+
+const (
+	// OpAttr adds or discards attributes (operation type 1).
+	OpAttr OpType = iota
+	// OpFilter discards tuples by applying filters (operation type 2).
+	OpFilter
+	// OpGroup groups tuples on a common key (operation type 3).
+	OpGroup
+)
+
+// String names the op type.
+func (t OpType) String() string {
+	switch t {
+	case OpAttr:
+		return "attr"
+	case OpFilter:
+		return "filter"
+	case OpGroup:
+		return "group"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(t))
+	}
+}
+
+// Params holds the calibrated constants of the cost model. Rates are in
+// bytes per second; CPU baselines are in seconds per tuple for a
+// unit-scalar local function of each operation type.
+type Params struct {
+	ReadRate    float64 // HDFS sequential read, bytes/s (Cm data part)
+	WriteRate   float64 // HDFS write incl. replication, bytes/s (Cw)
+	ShuffleRate float64 // network transfer, bytes/s (Ct)
+	SortFactor  float64 // seconds per byte for map-side sort/spill (Cs)
+
+	// CPUBaseline[t] is seconds/tuple for operation type t at scalar 1.
+	// Grouping is the most expensive baseline (hashing + state), attribute
+	// manipulation intermediate, filtering cheapest.
+	CPUBaseline [3]float64
+
+	// SplitRows is the number of input rows per map task (split); map-side
+	// combiners aggregate within a split before the shuffle.
+	SplitRows int64
+}
+
+// DefaultParams returns constants modeled after a small Hadoop-era cluster
+// node: ~80MB/s scan, ~50MB/s write (3-way replication amortized), ~40MB/s
+// shuffle. They need not be accurate — the cost model's job is to rank
+// plans (paper §4.2) — but they are the single source for both the
+// optimizer's estimates and the engine's simulated wall-clock, so estimated
+// and "measured" times are commensurable.
+func DefaultParams() Params {
+	return Params{
+		ReadRate:    80e6,
+		WriteRate:   50e6,
+		ShuffleRate: 40e6,
+		SortFactor:  1.0 / 60e6,
+		CPUBaseline: [3]float64{
+			OpAttr:   0.5e-6,
+			OpFilter: 0.2e-6,
+			OpGroup:  1.0e-6,
+		},
+		SplitRows: 4096,
+	}
+}
+
+// LocalFn describes one local function for costing purposes: the set of
+// operation types it performs and its calibrated scalar multiplier.
+type LocalFn struct {
+	Ops    []OpType
+	Scalar float64 // >= 1 after calibration; 1 for plain relational ops
+}
+
+// CPUSecondsPerTuple returns the per-tuple CPU cost of the local function
+// under the non-subsumable cost property: the cheapest operation type it
+// performs, scaled by the calibrated multiplier.
+func (p Params) CPUSecondsPerTuple(lf LocalFn) float64 {
+	if len(lf.Ops) == 0 {
+		return 0
+	}
+	min := math.Inf(1)
+	for _, t := range lf.Ops {
+		if b := p.CPUBaseline[t]; b < min {
+			min = b
+		}
+	}
+	s := lf.Scalar
+	if s < 1 {
+		s = 1
+	}
+	return min * s
+}
+
+// JobSpec describes one MR job's data volumes and compute, either estimated
+// (optimizer) or measured (engine).
+type JobSpec struct {
+	InputBytes int64 // bytes read from HDFS
+	InputRows  int64 // rows fed to map local functions
+
+	MapFns []LocalFn // map-side local functions, applied in sequence
+
+	// Map-side combining: CombineFns run over CombineRows before the
+	// shuffle (zero when the job has no combiner).
+	CombineFns  []LocalFn
+	CombineRows int64
+
+	ShuffleBytes int64 // bytes sorted+spilled+transferred (0 for map-only)
+	ShuffleRows  int64 // rows entering reduce
+
+	ReduceFns []LocalFn // reduce-side local functions (empty for map-only)
+
+	OutputBytes int64 // bytes materialized to HDFS
+}
+
+// Breakdown is a job cost split into the model's five components (seconds).
+type Breakdown struct {
+	Cm, Cs, Ct, Cr, Cw float64
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 { return b.Cm + b.Cs + b.Ct + b.Cr + b.Cw }
+
+// Add accumulates another breakdown.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{b.Cm + o.Cm, b.Cs + o.Cs, b.Ct + o.Ct, b.Cr + o.Cr, b.Cw + o.Cw}
+}
+
+// String renders the breakdown.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("Cm=%.3f Cs=%.3f Ct=%.3f Cr=%.3f Cw=%.3f total=%.3f",
+		b.Cm, b.Cs, b.Ct, b.Cr, b.Cw, b.Total())
+}
+
+// JobCost computes the cost breakdown of one MR job.
+func (p Params) JobCost(s JobSpec) Breakdown {
+	var b Breakdown
+	b.Cm = float64(s.InputBytes) / p.ReadRate
+	for _, lf := range s.MapFns {
+		b.Cm += float64(s.InputRows) * p.CPUSecondsPerTuple(lf)
+	}
+	for _, lf := range s.CombineFns {
+		b.Cm += float64(s.CombineRows) * p.CPUSecondsPerTuple(lf)
+	}
+	b.Cs = float64(s.ShuffleBytes) * p.SortFactor
+	b.Ct = float64(s.ShuffleBytes) / p.ShuffleRate
+	for _, lf := range s.ReduceFns {
+		b.Cr += float64(s.ShuffleRows) * p.CPUSecondsPerTuple(lf)
+	}
+	b.Cw = float64(s.OutputBytes) / p.WriteRate
+	return b
+}
+
+// Stats are simple cardinality statistics used to estimate job volumes.
+type Stats struct {
+	Rows  int64
+	Bytes int64
+}
+
+// AvgRowBytes returns the average encoded row width, defaulting to 64 bytes
+// when unknown.
+func (s Stats) AvgRowBytes() float64 {
+	if s.Rows <= 0 || s.Bytes <= 0 {
+		return 64
+	}
+	return float64(s.Bytes) / float64(s.Rows)
+}
+
+// Scale returns stats scaled by a row-count selectivity, preserving average
+// row width.
+func (s Stats) Scale(sel float64) Stats {
+	if sel < 0 {
+		sel = 0
+	}
+	rows := int64(float64(s.Rows) * sel)
+	if s.Rows > 0 && rows == 0 && sel > 0 {
+		rows = 1
+	}
+	return Stats{Rows: rows, Bytes: int64(float64(rows) * s.AvgRowBytes())}
+}

@@ -1,0 +1,171 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpTypeString(t *testing.T) {
+	if OpAttr.String() != "attr" || OpFilter.String() != "filter" || OpGroup.String() != "group" {
+		t.Error("op type names wrong")
+	}
+	if OpType(9).String() != "op(9)" {
+		t.Error("unknown op type name")
+	}
+}
+
+func TestCPUSecondsPerTupleNonSubsumable(t *testing.T) {
+	p := DefaultParams()
+	// A local function doing all three op types costs the cheapest (filter).
+	all := LocalFn{Ops: []OpType{OpAttr, OpFilter, OpGroup}, Scalar: 1}
+	if got, want := p.CPUSecondsPerTuple(all), p.CPUBaseline[OpFilter]; got != want {
+		t.Errorf("non-subsumable cost = %g, want cheapest %g", got, want)
+	}
+	// Single op type costs its own baseline.
+	if got := p.CPUSecondsPerTuple(LocalFn{Ops: []OpType{OpGroup}, Scalar: 1}); got != p.CPUBaseline[OpGroup] {
+		t.Errorf("group cost = %g", got)
+	}
+	// Scalar scales up.
+	s3 := p.CPUSecondsPerTuple(LocalFn{Ops: []OpType{OpAttr}, Scalar: 3})
+	if s3 != 3*p.CPUBaseline[OpAttr] {
+		t.Errorf("scalar not applied: %g", s3)
+	}
+	// Scalar below 1 clamps to 1 (calibration noise must not make UDFs
+	// cheaper than relational baseline).
+	if got := p.CPUSecondsPerTuple(LocalFn{Ops: []OpType{OpAttr}, Scalar: 0.5}); got != p.CPUBaseline[OpAttr] {
+		t.Errorf("sub-1 scalar not clamped: %g", got)
+	}
+	// Empty op set costs nothing.
+	if p.CPUSecondsPerTuple(LocalFn{}) != 0 {
+		t.Error("empty local function has cost")
+	}
+}
+
+func TestNonSubsumablePropertyHolds(t *testing.T) {
+	// Property (Definition 1): for any nonempty subset S of op types, the
+	// cost of a local function performing S is <= the cost of each single
+	// op in S (at the same scalar).
+	p := DefaultParams()
+	f := func(mask uint8, scalarRaw uint8) bool {
+		mask = mask%7 + 1 // nonempty subset of 3 ops
+		scalar := 1 + float64(scalarRaw%10)
+		var ops []OpType
+		for t := OpType(0); t < 3; t++ {
+			if mask&(1<<t) != 0 {
+				ops = append(ops, t)
+			}
+		}
+		combined := p.CPUSecondsPerTuple(LocalFn{Ops: ops, Scalar: scalar})
+		for _, op := range ops {
+			single := p.CPUSecondsPerTuple(LocalFn{Ops: []OpType{op}, Scalar: scalar})
+			if combined > single {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJobCostComponents(t *testing.T) {
+	p := DefaultParams()
+	spec := JobSpec{
+		InputBytes:   int64(p.ReadRate), // exactly 1 second of read
+		InputRows:    1000,
+		MapFns:       []LocalFn{{Ops: []OpType{OpAttr}, Scalar: 2}},
+		ShuffleBytes: int64(p.ShuffleRate), // 1 second transfer
+		ShuffleRows:  500,
+		ReduceFns:    []LocalFn{{Ops: []OpType{OpGroup}, Scalar: 1}},
+		OutputBytes:  int64(p.WriteRate), // 1 second write
+	}
+	b := p.JobCost(spec)
+	wantCm := 1 + 1000*2*p.CPUBaseline[OpAttr]
+	if !approx(b.Cm, wantCm) {
+		t.Errorf("Cm = %g, want %g", b.Cm, wantCm)
+	}
+	if !approx(b.Ct, 1) {
+		t.Errorf("Ct = %g", b.Ct)
+	}
+	if !approx(b.Cw, 1) {
+		t.Errorf("Cw = %g", b.Cw)
+	}
+	wantCr := 500 * p.CPUBaseline[OpGroup]
+	if !approx(b.Cr, wantCr) {
+		t.Errorf("Cr = %g, want %g", b.Cr, wantCr)
+	}
+	wantCs := float64(spec.ShuffleBytes) * p.SortFactor
+	if !approx(b.Cs, wantCs) {
+		t.Errorf("Cs = %g, want %g", b.Cs, wantCs)
+	}
+	if !approx(b.Total(), b.Cm+b.Cs+b.Ct+b.Cr+b.Cw) {
+		t.Error("Total != sum of components")
+	}
+}
+
+func TestJobCostMapOnly(t *testing.T) {
+	p := DefaultParams()
+	b := p.JobCost(JobSpec{InputBytes: 1e6, InputRows: 10, OutputBytes: 1e6})
+	if b.Cs != 0 || b.Ct != 0 || b.Cr != 0 {
+		t.Errorf("map-only job has shuffle/reduce cost: %v", b)
+	}
+	if b.Cm <= 0 || b.Cw <= 0 {
+		t.Errorf("map-only job missing read/write cost: %v", b)
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	a := Breakdown{1, 2, 3, 4, 5}
+	b := Breakdown{10, 20, 30, 40, 50}
+	s := a.Add(b)
+	if s != (Breakdown{11, 22, 33, 44, 55}) {
+		t.Errorf("Add = %v", s)
+	}
+	if s.Total() != 165 {
+		t.Errorf("Total = %g", s.Total())
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := Stats{Rows: 100, Bytes: 6400}
+	if s.AvgRowBytes() != 64 {
+		t.Errorf("AvgRowBytes = %g", s.AvgRowBytes())
+	}
+	if (Stats{}).AvgRowBytes() != 64 {
+		t.Error("default row width wrong")
+	}
+	half := s.Scale(0.5)
+	if half.Rows != 50 || half.Bytes != 3200 {
+		t.Errorf("Scale(0.5) = %+v", half)
+	}
+	// tiny selectivity keeps at least one row
+	tiny := s.Scale(0.0001)
+	if tiny.Rows != 1 {
+		t.Errorf("Scale(0.0001).Rows = %d", tiny.Rows)
+	}
+	if s.Scale(0).Rows != 0 {
+		t.Error("Scale(0) should be empty")
+	}
+	if s.Scale(-1).Rows != 0 {
+		t.Error("negative selectivity should clamp to 0")
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9*(1+abs(a)+abs(b))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

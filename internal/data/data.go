@@ -1,0 +1,253 @@
+// Package data defines schemas, rows, and in-memory relations — the tuple
+// substrate the MapReduce engine executes over.
+package data
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"opportune/internal/value"
+)
+
+// Schema is an ordered list of column names. Column order matters for row
+// layout; name lookup is by linear scan (schemas are narrow).
+type Schema struct {
+	cols []string
+	idx  map[string]int
+}
+
+// NewSchema builds a schema from column names. Duplicate names panic: a
+// relation cannot have two columns with the same name.
+func NewSchema(cols ...string) *Schema {
+	s := &Schema{cols: append([]string(nil), cols...), idx: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := s.idx[c]; dup {
+			panic(fmt.Sprintf("data: duplicate column %q in schema", c))
+		}
+		s.idx[c] = i
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Cols returns the column names in order. The caller must not mutate it.
+func (s *Schema) Cols() []string { return s.cols }
+
+// Col returns the name of column i.
+func (s *Schema) Col(i int) string { return s.cols[i] }
+
+// Index returns the position of a column and whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.idx[name]
+	return i, ok
+}
+
+// MustIndex returns the position of a column, panicking if absent. Used by
+// compiled operators whose columns were validated at plan time.
+func (s *Schema) MustIndex(name string) int {
+	i, ok := s.idx[name]
+	if !ok {
+		panic(fmt.Sprintf("data: column %q not in schema [%s]", name, strings.Join(s.cols, ",")))
+	}
+	return i
+}
+
+// Has reports whether the schema contains the column.
+func (s *Schema) Has(name string) bool { _, ok := s.idx[name]; return ok }
+
+// Equal reports whether two schemas have identical columns in identical order.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != o.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns a new schema containing the named columns in the given order.
+func (s *Schema) Project(cols ...string) *Schema {
+	for _, c := range cols {
+		if !s.Has(c) {
+			panic(fmt.Sprintf("data: project: column %q not in schema", c))
+		}
+	}
+	return NewSchema(cols...)
+}
+
+// String renders the schema as "(a, b, c)".
+func (s *Schema) String() string { return "(" + strings.Join(s.cols, ", ") + ")" }
+
+// Row is a vector of values aligned with a Schema.
+type Row []value.V
+
+// Clone returns a deep-enough copy (values are immutable).
+func (r Row) Clone() Row {
+	c := make(Row, len(r))
+	copy(c, r)
+	return c
+}
+
+// EncodedSize is the simulated on-disk size of the row in bytes: a 4-byte
+// length header plus each value's encoding.
+func (r Row) EncodedSize() int {
+	n := 4
+	for _, v := range r {
+		n += v.EncodedSize()
+	}
+	return n
+}
+
+// Relation is an in-memory table: a schema plus rows. It is the unit stored
+// in the simulated HDFS and passed between MR phases.
+type Relation struct {
+	schema *Schema
+	rows   []Row
+}
+
+// NewRelation creates an empty relation with the given schema.
+func NewRelation(schema *Schema) *Relation {
+	return &Relation{schema: schema}
+}
+
+// Schema returns the relation's schema.
+func (rel *Relation) Schema() *Schema { return rel.schema }
+
+// Len returns the row count.
+func (rel *Relation) Len() int { return len(rel.rows) }
+
+// Rows returns the backing slice. Callers must treat it as read-only.
+func (rel *Relation) Rows() []Row { return rel.rows }
+
+// Row returns row i.
+func (rel *Relation) Row(i int) Row { return rel.rows[i] }
+
+// Append adds a row. The row length must match the schema.
+func (rel *Relation) Append(r Row) {
+	if len(r) != rel.schema.Len() {
+		panic(fmt.Sprintf("data: row width %d != schema width %d", len(r), rel.schema.Len()))
+	}
+	rel.rows = append(rel.rows, r)
+}
+
+// AppendAll adds every row of another relation; schemas must be equal.
+func (rel *Relation) AppendAll(o *Relation) {
+	if !rel.schema.Equal(o.schema) {
+		panic("data: AppendAll schema mismatch")
+	}
+	rel.rows = append(rel.rows, o.rows...)
+}
+
+// EncodedSize is the total simulated byte size of all rows.
+func (rel *Relation) EncodedSize() int64 {
+	var n int64
+	for _, r := range rel.rows {
+		n += int64(r.EncodedSize())
+	}
+	return n
+}
+
+// Get returns the value of the named column in row r.
+func (rel *Relation) Get(r int, col string) value.V {
+	return rel.rows[r][rel.schema.MustIndex(col)]
+}
+
+// SortBy sorts rows in place by the named columns ascending (value.Compare
+// order), stably.
+func (rel *Relation) SortBy(cols ...string) {
+	idxs := make([]int, len(cols))
+	for i, c := range cols {
+		idxs[i] = rel.schema.MustIndex(c)
+	}
+	sort.SliceStable(rel.rows, func(a, b int) bool {
+		for _, ix := range idxs {
+			c := value.Compare(rel.rows[a][ix], rel.rows[b][ix])
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// Key extracts the values of the given column indexes as a comparable
+// grouping key string. FNV over encoded values keeps keys compact while the
+// appended raw strings keep them collision-safe for test-scale data.
+func Key(r Row, idxs []int) string {
+	h := fnv.New64a()
+	var sb strings.Builder
+	for _, ix := range idxs {
+		v := r[ix]
+		sb.WriteString(v.String())
+		sb.WriteByte(0x1f)
+	}
+	h.Write([]byte(sb.String()))
+	return sb.String()
+}
+
+// GroupBy partitions rows by the values of the named columns, returning a
+// map from group key to row indexes, plus the ordered list of keys (order of
+// first appearance, for determinism).
+func (rel *Relation) GroupBy(cols ...string) (map[string][]int, []string) {
+	idxs := make([]int, len(cols))
+	for i, c := range cols {
+		idxs[i] = rel.schema.MustIndex(c)
+	}
+	groups := make(map[string][]int)
+	var order []string
+	for i, r := range rel.rows {
+		k := Key(r, idxs)
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	return groups, order
+}
+
+// DistinctCount returns the number of distinct values in the named column.
+func (rel *Relation) DistinctCount(col string) int {
+	ix := rel.schema.MustIndex(col)
+	seen := make(map[string]struct{})
+	for _, r := range rel.rows {
+		seen[r[ix].String()] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Fingerprint returns a deterministic hash of schema + all row contents,
+// independent of row order. Used by tests to check result equivalence
+// between original and rewritten plans.
+func (rel *Relation) Fingerprint() uint64 {
+	rowHashes := make([]uint64, 0, len(rel.rows))
+	for _, r := range rel.rows {
+		h := fnv.New64a()
+		for _, v := range r {
+			var b [8]byte
+			u := v.Hash()
+			for i := 0; i < 8; i++ {
+				b[i] = byte(u >> (8 * i))
+			}
+			h.Write(b[:])
+		}
+		rowHashes = append(rowHashes, h.Sum64())
+	}
+	sort.Slice(rowHashes, func(a, b int) bool { return rowHashes[a] < rowHashes[b] })
+	h := fnv.New64a()
+	h.Write([]byte(rel.schema.String()))
+	for _, u := range rowHashes {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}

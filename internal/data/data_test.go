@@ -1,0 +1,202 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+
+	"opportune/internal/value"
+)
+
+func mkRel(t *testing.T) *Relation {
+	t.Helper()
+	rel := NewRelation(NewSchema("id", "name", "score"))
+	rel.Append(Row{value.NewInt(3), value.NewStr("c"), value.NewFloat(0.5)})
+	rel.Append(Row{value.NewInt(1), value.NewStr("a"), value.NewFloat(0.9)})
+	rel.Append(Row{value.NewInt(2), value.NewStr("b"), value.NewFloat(0.1)})
+	rel.Append(Row{value.NewInt(1), value.NewStr("a2"), value.NewFloat(0.7)})
+	return rel
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema("a", "b", "c")
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Col(1) != "b" {
+		t.Errorf("Col(1) = %q", s.Col(1))
+	}
+	if i, ok := s.Index("c"); !ok || i != 2 {
+		t.Errorf("Index(c) = %d,%v", i, ok)
+	}
+	if _, ok := s.Index("z"); ok {
+		t.Error("Index(z) found")
+	}
+	if !s.Has("a") || s.Has("z") {
+		t.Error("Has wrong")
+	}
+	if s.String() != "(a, b, c)" {
+		t.Errorf("String = %q", s.String())
+	}
+	p := s.Project("c", "a")
+	if p.Len() != 2 || p.Col(0) != "c" || p.Col(1) != "a" {
+		t.Errorf("Project = %v", p)
+	}
+	if !s.Equal(NewSchema("a", "b", "c")) {
+		t.Error("Equal false for same schema")
+	}
+	if s.Equal(NewSchema("a", "c", "b")) {
+		t.Error("Equal true for reordered schema")
+	}
+	if s.Equal(NewSchema("a", "b")) {
+		t.Error("Equal true for shorter schema")
+	}
+}
+
+func TestSchemaPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("dup columns", func() { NewSchema("a", "a") })
+	s := NewSchema("a")
+	mustPanic("MustIndex missing", func() { s.MustIndex("z") })
+	mustPanic("Project missing", func() { s.Project("z") })
+}
+
+func TestRelationAppendAndGet(t *testing.T) {
+	rel := mkRel(t)
+	if rel.Len() != 4 {
+		t.Fatalf("Len = %d", rel.Len())
+	}
+	if got := rel.Get(0, "name"); got.Str() != "c" {
+		t.Errorf("Get(0,name) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("width-mismatched Append did not panic")
+		}
+	}()
+	rel.Append(Row{value.NewInt(1)})
+}
+
+func TestSortBy(t *testing.T) {
+	rel := mkRel(t)
+	rel.SortBy("id", "name")
+	ids := []int64{1, 1, 2, 3}
+	names := []string{"a", "a2", "b", "c"}
+	for i := range ids {
+		if rel.Get(i, "id").Int() != ids[i] || rel.Get(i, "name").Str() != names[i] {
+			t.Fatalf("row %d = %v", i, rel.Row(i))
+		}
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	rel := mkRel(t)
+	groups, order := rel.GroupBy("id")
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if len(order) != 3 {
+		t.Fatalf("order = %d", len(order))
+	}
+	// id=1 appears in rows 1 and 3
+	found := false
+	for _, idxs := range groups {
+		if len(idxs) == 2 {
+			found = true
+			if rel.Get(idxs[0], "id").Int() != 1 || rel.Get(idxs[1], "id").Int() != 1 {
+				t.Error("two-row group is not id=1")
+			}
+		}
+	}
+	if !found {
+		t.Error("no group of size 2")
+	}
+}
+
+func TestDistinctCount(t *testing.T) {
+	rel := mkRel(t)
+	if got := rel.DistinctCount("id"); got != 3 {
+		t.Errorf("DistinctCount(id) = %d", got)
+	}
+	if got := rel.DistinctCount("name"); got != 4 {
+		t.Errorf("DistinctCount(name) = %d", got)
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	rel := NewRelation(NewSchema("a"))
+	rel.Append(Row{value.NewInt(1)})
+	rel.Append(Row{value.NewStr("xy")})
+	want := int64((4 + 9) + (4 + 1 + 4 + 2))
+	if got := rel.EncodedSize(); got != want {
+		t.Errorf("EncodedSize = %d, want %d", got, want)
+	}
+}
+
+func TestAppendAll(t *testing.T) {
+	a := mkRel(t)
+	b := NewRelation(NewSchema("id", "name", "score"))
+	b.Append(Row{value.NewInt(9), value.NewStr("z"), value.NewFloat(1)})
+	a.AppendAll(b)
+	if a.Len() != 5 {
+		t.Errorf("Len after AppendAll = %d", a.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched AppendAll did not panic")
+		}
+	}()
+	a.AppendAll(NewRelation(NewSchema("x")))
+}
+
+func TestFingerprintOrderIndependent(t *testing.T) {
+	a := mkRel(t)
+	b := mkRel(t)
+	b.SortBy("score")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint changed under reorder")
+	}
+	c := mkRel(t)
+	c.Append(Row{value.NewInt(5), value.NewStr("e"), value.NewFloat(0)})
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("fingerprint identical despite extra row")
+	}
+}
+
+func TestKeyDistinguishesGroups(t *testing.T) {
+	// Property: rows differing in a keyed column yield different keys.
+	f := func(x, y int64) bool {
+		r1 := Row{value.NewInt(x)}
+		r2 := Row{value.NewInt(y)}
+		k1, k2 := Key(r1, []int{0}), Key(r2, []int{0})
+		return (x == y) == (k1 == k2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyMultiColumnNoConcatCollision(t *testing.T) {
+	// ("ab","c") must not collide with ("a","bc").
+	r1 := Row{value.NewStr("ab"), value.NewStr("c")}
+	r2 := Row{value.NewStr("a"), value.NewStr("bc")}
+	if Key(r1, []int{0, 1}) == Key(r2, []int{0, 1}) {
+		t.Error("multi-column key collision")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{value.NewInt(1), value.NewStr("a")}
+	c := r.Clone()
+	c[0] = value.NewInt(2)
+	if r[0].Int() != 1 {
+		t.Error("Clone aliases original")
+	}
+}

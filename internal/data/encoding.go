@@ -1,0 +1,180 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"opportune/internal/value"
+)
+
+// Binary relation format (persisted datasets):
+//
+//	magic "OPRL" | uvarint ncols | ncols × (uvarint len, bytes)
+//	uvarint nrows | nrows × row
+//	row: ncols × value
+//	value: kind byte | payload (int/float: 8 bytes LE; bool: 1 byte;
+//	       string: uvarint len + bytes; null: nothing)
+
+var relMagic = [4]byte{'O', 'P', 'R', 'L'}
+
+// Write serializes the relation.
+func (rel *Relation) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(relMagic[:]); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(rel.schema.Len()))
+	for _, c := range rel.schema.Cols() {
+		writeString(bw, c)
+	}
+	writeUvarint(bw, uint64(rel.Len()))
+	for _, r := range rel.rows {
+		for _, v := range r {
+			if err := writeValue(bw, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRelation deserializes a relation written by Write.
+func ReadRelation(r io.Reader) (*Relation, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("data: reading magic: %w", err)
+	}
+	if magic != relMagic {
+		return nil, fmt.Errorf("data: bad magic %q", magic)
+	}
+	ncols, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if ncols == 0 || ncols > 1<<20 {
+		// Zero columns would make rows free to decode, letting a corrupt
+		// row count spin unboundedly; the writer never emits it.
+		return nil, fmt.Errorf("data: unreasonable column count %d", ncols)
+	}
+	cols := make([]string, ncols)
+	seen := make(map[string]bool, ncols)
+	for i := range cols {
+		if cols[i], err = readString(br); err != nil {
+			return nil, err
+		}
+		if seen[cols[i]] {
+			return nil, fmt.Errorf("data: duplicate column %q in encoded schema", cols[i])
+		}
+		seen[cols[i]] = true
+	}
+	rel := NewRelation(NewSchema(cols...))
+	nrows, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nrows; i++ {
+		row := make(Row, ncols)
+		for j := range row {
+			if row[j], err = readValue(br); err != nil {
+				return nil, fmt.Errorf("data: row %d col %d: %w", i, j, err)
+			}
+		}
+		rel.Append(row)
+	}
+	return rel, nil
+}
+
+func writeUvarint(w *bufio.Writer, u uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], u)
+	w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<30 {
+		return "", fmt.Errorf("data: unreasonable string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func writeValue(w *bufio.Writer, v value.V) error {
+	if err := w.WriteByte(byte(v.Kind())); err != nil {
+		return err
+	}
+	switch v.Kind() {
+	case value.Null:
+	case value.Int:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v.Int()))
+		w.Write(b[:])
+	case value.Float:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.Float()))
+		w.Write(b[:])
+	case value.Bool:
+		b := byte(0)
+		if v.Bool() {
+			b = 1
+		}
+		w.WriteByte(b)
+	case value.Str:
+		writeString(w, v.Str())
+	default:
+		return fmt.Errorf("data: cannot encode kind %v", v.Kind())
+	}
+	return nil
+}
+
+func readValue(r *bufio.Reader) (value.V, error) {
+	kb, err := r.ReadByte()
+	if err != nil {
+		return value.NullV, err
+	}
+	switch value.Kind(kb) {
+	case value.Null:
+		return value.NullV, nil
+	case value.Int:
+		var b [8]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return value.NullV, err
+		}
+		return value.NewInt(int64(binary.LittleEndian.Uint64(b[:]))), nil
+	case value.Float:
+		var b [8]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return value.NullV, err
+		}
+		return value.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b[:]))), nil
+	case value.Bool:
+		b, err := r.ReadByte()
+		if err != nil {
+			return value.NullV, err
+		}
+		return value.NewBool(b != 0), nil
+	case value.Str:
+		s, err := readString(r)
+		if err != nil {
+			return value.NullV, err
+		}
+		return value.NewStr(s), nil
+	default:
+		return value.NullV, fmt.Errorf("data: bad value kind %d", kb)
+	}
+}

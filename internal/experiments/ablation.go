@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"opportune/internal/session"
+	"opportune/internal/storage"
+	"opportune/internal/workload"
+)
+
+// AblationEntry compares BFREWRITE variants on one holdout query.
+type AblationEntry struct {
+	Analyst int
+
+	// Full BFREWRITE.
+	FullCandidates, FullAttempts int
+	FullRuntimeSec               float64
+	// OPTCOST disabled (uniform zero lower bound): the search loses both
+	// its candidate ordering and its early-termination condition.
+	NoOptCandidates, NoOptAttempts int
+	NoOptRuntimeSec                float64
+	// GUESSCOMPLETE disabled: REWRITEENUM runs on every candidate examined.
+	NoGuessAttempts   int
+	NoGuessRuntimeSec float64
+
+	CostsAgree bool
+}
+
+// AblationResult quantifies each pruning source of BFREWRITE (DESIGN.md
+// §6): OPTCOST ordering/termination and the GUESSCOMPLETE gate. All
+// variants find rewrites of the same cost; only the work differs.
+type AblationResult struct {
+	Entries []AblationEntry
+}
+
+// Ablation runs the pruning-source ablation in the user-evolution setting.
+func Ablation(c Config) (*AblationResult, error) {
+	res := &AblationResult{}
+	for holdout := 1; holdout <= 8; holdout++ {
+		s, err := newSession(c)
+		if err != nil {
+			return nil, err
+		}
+		for a := 1; a <= 8; a++ {
+			if a == holdout {
+				continue
+			}
+			if _, err := run(s, workload.QueryFor(a, 1), session.ModeOriginal); err != nil {
+				return nil, err
+			}
+		}
+		q := workload.QueryFor(holdout, 1)
+		views := s.Cat.Views()
+		e := AblationEntry{Analyst: holdout}
+
+		w1, err := compileQuery(s, q)
+		if err != nil {
+			return nil, err
+		}
+		full := s.Rew.BFRewrite(w1, views)
+		e.FullCandidates = full.Counters.CandidatesConsidered
+		e.FullAttempts = full.Counters.RewriteAttempts
+		e.FullRuntimeSec = full.Runtime.Seconds()
+
+		s.Rew.DisableOptCost = true
+		w2, err := compileQuery(s, q)
+		if err != nil {
+			return nil, err
+		}
+		noOpt := s.Rew.BFRewrite(w2, views)
+		s.Rew.DisableOptCost = false
+		e.NoOptCandidates = noOpt.Counters.CandidatesConsidered
+		e.NoOptAttempts = noOpt.Counters.RewriteAttempts
+		e.NoOptRuntimeSec = noOpt.Runtime.Seconds()
+
+		s.Rew.DisableGuessComplete = true
+		w3, err := compileQuery(s, q)
+		if err != nil {
+			return nil, err
+		}
+		noGuess := s.Rew.BFRewrite(w3, views)
+		s.Rew.DisableGuessComplete = false
+		e.NoGuessAttempts = noGuess.Counters.RewriteAttempts
+		e.NoGuessRuntimeSec = noGuess.Runtime.Seconds()
+
+		e.CostsAgree = agree(full.Cost, noOpt.Cost) && agree(full.Cost, noGuess.Cost)
+		res.Entries = append(res.Entries, e)
+	}
+	return res, nil
+}
+
+// Render prints the ablation table.
+func (r *AblationResult) Render() string {
+	var rows [][]string
+	for _, e := range r.Entries {
+		rows = append(rows, []string{
+			fmt.Sprintf("A%d", e.Analyst),
+			fmt.Sprintf("%d/%d/%.3fs", e.FullCandidates, e.FullAttempts, e.FullRuntimeSec),
+			fmt.Sprintf("%d/%d/%.3fs", e.NoOptCandidates, e.NoOptAttempts, e.NoOptRuntimeSec),
+			fmt.Sprintf("-/%d/%.3fs", e.NoGuessAttempts, e.NoGuessRuntimeSec),
+			fmt.Sprintf("%v", e.CostsAgree),
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString("Ablation: BFREWRITE pruning sources (candidates/attempts/runtime per variant)\n")
+	sb.WriteString(table([]string{"holdout", "full BFR", "no OPTCOST", "no GUESSCOMPLETE", "same cost"}, rows))
+	sb.WriteString("\nexpected: disabling OPTCOST inflates candidates examined and runtime;\ndisabling GUESSCOMPLETE inflates REWRITEENUM attempts; rewrite quality unchanged\n")
+	return sb.String()
+}
+
+// ReclamationEntry is one storage-budget × policy cell.
+type ReclamationEntry struct {
+	Policy     string
+	BudgetFrac float64 // of the unlimited view footprint
+	ImprovePct float64 // avg v2-v4 improvement under that budget
+}
+
+// ReclamationResult evaluates the §10 storage-reclamation policies: the
+// query-evolution experiment re-run under bounded view storage.
+type ReclamationResult struct {
+	UnlimitedBytes int64
+	Entries        []ReclamationEntry
+}
+
+// Reclamation runs the policy comparison for analyst 1's session.
+func Reclamation(c Config) (*ReclamationResult, error) {
+	// Measure the unlimited footprint first.
+	s, err := newSession(c)
+	if err != nil {
+		return nil, err
+	}
+	for v := 1; v <= 4; v++ {
+		if _, err := run(s, workload.QueryFor(1, v), session.ModeBFR); err != nil {
+			return nil, err
+		}
+	}
+	unlimited := s.Store.ViewBytes()
+
+	res := &ReclamationResult{UnlimitedBytes: unlimited}
+	policies := map[string]storage.ReclamationPolicy{
+		"lru": storage.PolicyLRU, "lfu": storage.PolicyLFU,
+		"cost-benefit": storage.PolicyCostBenefit, "fifo": storage.PolicyFIFO,
+	}
+	// The reusable aggregate views are tiny relative to the join
+	// intermediates, so budgets must shrink well below the footprint before
+	// reuse degrades.
+	for _, frac := range []float64{1.0, 0.05, 0.01} {
+		for _, name := range []string{"lru", "lfu", "cost-benefit", "fifo"} {
+			s, err := newSession(c)
+			if err != nil {
+				return nil, err
+			}
+			s.Store.ViewCapacityBytes = int64(frac * float64(unlimited))
+			s.Store.Policy = policies[name]
+			orig, err := newSession(c)
+			if err != nil {
+				return nil, err
+			}
+			var sumO, sumR float64
+			for v := 1; v <= 4; v++ {
+				q := workload.QueryFor(1, v)
+				mo, err := run(orig, q, session.ModeOriginal)
+				if err != nil {
+					return nil, err
+				}
+				mr, err := run(s, q, session.ModeBFR)
+				if err != nil {
+					return nil, err
+				}
+				if v >= 2 {
+					sumO += repSeconds(mo)
+					sumR += repSeconds(mr)
+				}
+			}
+			res.Entries = append(res.Entries, ReclamationEntry{
+				Policy: name, BudgetFrac: frac, ImprovePct: pctImprove(sumO, sumR),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render prints the reclamation table.
+func (r *ReclamationResult) Render() string {
+	var rows [][]string
+	for _, e := range r.Entries {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", e.BudgetFrac*100), e.Policy, f1(e.ImprovePct),
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("Storage reclamation (§10): A1's session under a view-storage budget\n(unlimited footprint: %d bytes)\n", r.UnlimitedBytes))
+	sb.WriteString(table([]string{"budget", "policy", "v2-v4 improvement(%)"}, rows))
+	sb.WriteString("\nexpected: benefit degrades as the budget shrinks; at extreme budgets the\nfrequency-aware policy (LFU) retains the hot aggregate views longest,\nwhile recency/arrival policies evict them in favour of the latest bulky\nintermediates\n")
+	return sb.String()
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import "testing"
+
+func TestAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	r, err := Ablation(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 8 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	for _, e := range r.Entries {
+		if !e.CostsAgree {
+			t.Errorf("A%d: ablated variants found different rewrite costs", e.Analyst)
+		}
+		if e.NoOptCandidates < e.FullCandidates {
+			t.Errorf("A%d: disabling OPTCOST reduced candidates (%d < %d)",
+				e.Analyst, e.NoOptCandidates, e.FullCandidates)
+		}
+		if e.NoGuessAttempts < e.FullAttempts {
+			t.Errorf("A%d: disabling GUESSCOMPLETE reduced attempts (%d < %d)",
+				e.Analyst, e.NoGuessAttempts, e.FullAttempts)
+		}
+	}
+	if r.Render() == "" {
+		t.Error("render broken")
+	}
+}
+
+func TestReclamationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	r, err := Reclamation(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 12 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	// full budget: all policies achieve the unconstrained benefit
+	for _, e := range r.Entries {
+		if e.BudgetFrac == 1.0 && e.ImprovePct < 25 {
+			t.Errorf("policy %s at 100%% budget: %.1f%%", e.Policy, e.ImprovePct)
+		}
+		if e.ImprovePct < 0 {
+			t.Errorf("negative improvement: %+v", e)
+		}
+	}
+	if r.Render() == "" {
+		t.Error("render broken")
+	}
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment drivers are exercised at QuickConfig scale; assertions
+// check the paper's qualitative shapes, not absolute numbers.
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	r, err := Fig7(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 32 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	for _, e := range r.Entries {
+		if e.Version == 1 && e.ImprovePct > 1 {
+			t.Errorf("A%dv1 improved (%f%%) with no views", e.Analyst, e.ImprovePct)
+		}
+		if e.OrigSec <= 0 {
+			t.Errorf("A%dv%d ORIG time zero", e.Analyst, e.Version)
+		}
+	}
+	if avg := r.AvgImprovementV2toV4(); avg < 25 {
+		t.Errorf("avg v2-v4 improvement = %.1f%%, want the paper's substantial-speedup shape", avg)
+	}
+	out := r.Render()
+	for _, want := range []string{"Figure 7", "A1v2", "improve"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	r, err := Fig8(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 8 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	improved := 0
+	for _, e := range r.Entries {
+		if e.RewrSec > e.OrigSec+1e-9 {
+			t.Errorf("A%d: REWR slower than ORIG", e.Analyst)
+		}
+		if e.RewrMovedBytes > e.OrigMovedBytes {
+			t.Errorf("A%d: REWR moved more data", e.Analyst)
+		}
+		if e.ImprovePct > 5 {
+			improved++
+		}
+	}
+	if improved < 5 {
+		t.Errorf("only %d/8 holdouts improved; cross-analyst overlap too weak", improved)
+	}
+	if !strings.Contains(r.Render(), "Figure 8") {
+		t.Error("render broken")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	r, err := Table1(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ImprovePct) != 7 {
+		t.Fatalf("points = %d", len(r.ImprovePct))
+	}
+	// non-decreasing (within noise) and ends high
+	for i := 1; i < len(r.ImprovePct); i++ {
+		if r.ImprovePct[i] < r.ImprovePct[i-1]-5 {
+			t.Errorf("improvement decreased at analyst %d: %v", i+1, r.ImprovePct)
+		}
+	}
+	if last := r.ImprovePct[len(r.ImprovePct)-1]; last < 30 {
+		t.Errorf("final improvement %.1f%% too small: %v", last, r.ImprovePct)
+	}
+	if !strings.Contains(r.Render(), "Table 1") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	r, err := Fig9(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 8 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	for _, e := range r.Entries {
+		if !e.CostsAgree {
+			t.Errorf("A%d: BFR cost %g != DP cost %g", e.Analyst, e.BFRCost, e.DPCost)
+		}
+		if e.BFRCandidates > e.DPCandidates {
+			t.Errorf("A%d: BFR considered more candidates than DP", e.Analyst)
+		}
+		if e.BFRAttempts > e.DPAttempts {
+			t.Errorf("A%d: BFR attempted more rewrites than DP", e.Analyst)
+		}
+	}
+	if !strings.Contains(r.Render(), "Figure 9") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	r, err := Fig10(QuickConfig(), []int{10, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	p0, p1 := r.Points[0], r.Points[1]
+	if p1.DPCandidates <= p0.DPCandidates {
+		t.Error("DP candidate space did not grow with views")
+	}
+	if p1.BFRCandidates > p1.DPCandidates {
+		t.Error("BFR explored more than DP")
+	}
+	if !strings.Contains(r.Render(), "Figure 10") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	r, err := Fig11(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	for _, s := range r.Series {
+		if len(s.Points) < 2 {
+			t.Errorf("%s: trace too short", s.Query)
+			continue
+		}
+		if s.Points[0].ErrorPct < 99 {
+			t.Errorf("%s: error does not start at 100%% (%.1f)", s.Query, s.Points[0].ErrorPct)
+		}
+		last := s.Points[len(s.Points)-1]
+		if last.ErrorPct > 0.5 {
+			t.Errorf("%s: search did not converge to the optimal (%.1f%%)", s.Query, last.ErrorPct)
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].ErrorPct > s.Points[i-1].ErrorPct+1e-6 {
+				t.Errorf("%s: error increased mid-search", s.Query)
+			}
+		}
+		if s.TotalRewritesBFR > s.TotalRewritesDP {
+			t.Errorf("%s: BFR found more rewrites (%d) than DP (%d)", s.Query, s.TotalRewritesBFR, s.TotalRewritesDP)
+		}
+	}
+	if !strings.Contains(r.Render(), "Figure 11") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig12AndTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	r, err := Fig12(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 3 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	for _, e := range r.Entries {
+		if e.SynImprove > e.BFRImprove+1e-6 {
+			t.Errorf("%s: syntactic (%f) beat BFR (%f); BFR must subsume it", e.Query, e.SynImprove, e.BFRImprove)
+		}
+	}
+	// v2 ties (identical prefix views exist); v3/v4 BFR pulls ahead overall
+	var bfrSum, synSum float64
+	for _, e := range r.Entries {
+		bfrSum += e.BFRImprove
+		synSum += e.SynImprove
+	}
+	if bfrSum <= synSum {
+		t.Errorf("BFR total %f <= syntactic total %f", bfrSum, synSum)
+	}
+
+	t2, err := Table2(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Entries) != 8 {
+		t.Fatalf("table2 entries = %d", len(t2.Entries))
+	}
+	for _, e := range t2.Entries {
+		if e.SyntacticImprove > 1 {
+			t.Errorf("A%d: syntactic improved (%.1f%%) despite identical views removed", e.Analyst, e.SyntacticImprove)
+		}
+	}
+	// The paper's BFR row is positive for all 8 analysts; our workload's
+	// related-but-non-identical overlap covers 4 (A1, A2, A7, A8 — wine,
+	// food, combined-profile, and geo-tile views), while A4/A5/A6's v1
+	// computations are unique so nothing survives the identical-view drop.
+	// The qualitative claim — syntactic 0 everywhere, BFR large wherever
+	// related views exist — is what this asserts.
+	bfrStill := 0
+	for _, e := range t2.Entries {
+		if e.BFRImprove > 10 {
+			bfrStill++
+		}
+	}
+	if bfrStill < 4 {
+		t.Errorf("BFR improved on only %d/8 analysts without identical views", bfrStill)
+	}
+	if !strings.Contains(t2.Render(), "Table 2") {
+		t.Error("render broken")
+	}
+}

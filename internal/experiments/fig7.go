@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"opportune/internal/session"
+	"opportune/internal/workload"
+)
+
+// Fig7Entry is one bar pair of Fig 7(a): one query version's ORIG and REWR
+// execution times plus the Fig 7(b) improvement.
+type Fig7Entry struct {
+	Analyst, Version int
+	OrigSec, RewrSec float64
+	ImprovePct       float64
+	RewriteWallSec   float64 // reported separately (see package comment)
+}
+
+// Fig7Result is the query-evolution experiment (§8.3.1): per analyst, v1 is
+// executed and v2–v4 are rewritten against the views of earlier versions;
+// views are dropped before each analyst begins.
+type Fig7Result struct {
+	Entries []Fig7Entry
+}
+
+// Fig7 runs the query-evolution experiment.
+func Fig7(c Config) (*Fig7Result, error) {
+	res := &Fig7Result{}
+	for a := 1; a <= 8; a++ {
+		rewr, err := newSession(c)
+		if err != nil {
+			return nil, err
+		}
+		orig, err := newSession(c)
+		if err != nil {
+			return nil, err
+		}
+		for v := 1; v <= 4; v++ {
+			q := workload.QueryFor(a, v)
+			mo, err := run(orig, q, session.ModeOriginal)
+			if err != nil {
+				return nil, err
+			}
+			mr, err := run(rewr, q, session.ModeBFR)
+			if err != nil {
+				return nil, err
+			}
+			res.Entries = append(res.Entries, Fig7Entry{
+				Analyst: a, Version: v,
+				OrigSec:        repSeconds(mo),
+				RewrSec:        repSeconds(mr),
+				ImprovePct:     pctImprove(repSeconds(mo), repSeconds(mr)),
+				RewriteWallSec: mr.RewriteSeconds,
+			})
+		}
+	}
+	return res, nil
+}
+
+// AvgImprovementV2toV4 is the headline number (paper: average 61%).
+func (r *Fig7Result) AvgImprovementV2toV4() float64 {
+	var sum float64
+	n := 0
+	for _, e := range r.Entries {
+		if e.Version >= 2 {
+			sum += e.ImprovePct
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Render prints Fig 7(a) and Fig 7(b).
+func (r *Fig7Result) Render() string {
+	var rows [][]string
+	for _, e := range r.Entries {
+		rows = append(rows, []string{
+			fmt.Sprintf("A%dv%d", e.Analyst, e.Version),
+			f3(e.OrigSec), f3(e.RewrSec), f1(e.ImprovePct), f3(e.RewriteWallSec),
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 7: Query Evolution — ORIG vs REWR execution time (simulated s)\n")
+	sb.WriteString(table([]string{"query", "ORIG(s)", "REWR(s)", "improve(%)", "rewrite-wall(s)"}, rows))
+	sb.WriteString(fmt.Sprintf("\naverage improvement v2-v4: %.1f%% (paper: avg 61%%, range 10-90%%)\n", r.AvgImprovementV2toV4()))
+	return sb.String()
+}

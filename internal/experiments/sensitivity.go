@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"opportune/internal/session"
+	"opportune/internal/workload"
+)
+
+// JSensEntry is one (J, holdout) cell of the J-sensitivity sweep.
+type JSensEntry struct {
+	J          int
+	Analyst    int
+	ImprovePct float64
+	RuntimeSec float64
+	Improved   bool
+}
+
+// JSensitivityResult sweeps the J parameter (§5: the maximum number of
+// views merged into one rewrite, set to 4 in the paper "for practical
+// reasons"). Small J limits expressiveness — targets needing multi-view
+// merges stop being rewritable — while large J inflates the candidate
+// space the search must manage.
+type JSensitivityResult struct {
+	Entries []JSensEntry
+}
+
+// JSensitivity runs the user-evolution scenario for analysts whose queries
+// exercise merging (A7's combined profile needs a 3-way merge) under
+// J ∈ {1,2,3,4}.
+func JSensitivity(c Config) (*JSensitivityResult, error) {
+	res := &JSensitivityResult{}
+	for _, holdout := range []int{1, 2, 7} {
+		for _, j := range []int{1, 2, 3, 4} {
+			s, err := newSession(c)
+			if err != nil {
+				return nil, err
+			}
+			for a := 1; a <= 8; a++ {
+				if a == holdout {
+					continue
+				}
+				if _, err := run(s, workload.QueryFor(a, 1), session.ModeOriginal); err != nil {
+					return nil, err
+				}
+			}
+			s.Rew.MaxViews = j
+			q := workload.QueryFor(holdout, 1)
+			mr, err := run(s, q, session.ModeBFR)
+			if err != nil {
+				return nil, err
+			}
+			orig, err := newSession(c)
+			if err != nil {
+				return nil, err
+			}
+			mo, err := run(orig, q, session.ModeOriginal)
+			if err != nil {
+				return nil, err
+			}
+			res.Entries = append(res.Entries, JSensEntry{
+				J: j, Analyst: holdout,
+				ImprovePct: pctImprove(repSeconds(mo), repSeconds(mr)),
+				RuntimeSec: mr.RewriteSeconds,
+				Improved:   mr.Rewrite != nil && mr.Rewrite.Improved,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render prints the J sweep.
+func (r *JSensitivityResult) Render() string {
+	var rows [][]string
+	for _, e := range r.Entries {
+		rows = append(rows, []string{
+			fmt.Sprintf("A%d", e.Analyst), fmt.Sprintf("%d", e.J),
+			f1(e.ImprovePct), f3(e.RuntimeSec), fmt.Sprintf("%v", e.Improved),
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString("J sensitivity (§5): max views merged per rewrite, user-evolution holdouts\n")
+	sb.WriteString(table([]string{"holdout", "J", "improve(%)", "search(s)", "rewritten"}, rows))
+	sb.WriteString("\nexpected: A7 (needs a 3-way merge) gains a step at J=3; search cost grows with J\n")
+	return sb.String()
+}
+
+// SimilarityEntry relates two queries' textual similarity to the benefit
+// one gets from the other's views.
+type SimilarityEntry struct {
+	From, To   string
+	TextSim    float64 // token Jaccard of the two SQL texts
+	ImprovePct float64 // benefit of To's run given From's views
+}
+
+// SimilarityResult is the §8.1 microbenchmark (reported in the extended
+// version [17]): the paper observed that query-text similarity "did not
+// directly correspond with result reusability". We measure token-Jaccard
+// similarity between query pairs against the realized rewrite benefit.
+type SimilarityResult struct {
+	Entries []SimilarityEntry
+	// Correlation is the Pearson correlation between similarity and
+	// benefit over the sampled pairs.
+	Correlation float64
+}
+
+// Similarity runs the microbenchmark over consecutive-version pairs (high
+// text similarity) and cross-analyst pairs (low text similarity).
+func Similarity(c Config) (*SimilarityResult, error) {
+	pairs := [][2]workload.Query{
+		// same analyst, consecutive versions: textually near-identical
+		{workload.QueryFor(1, 1), workload.QueryFor(1, 2)},
+		{workload.QueryFor(2, 1), workload.QueryFor(2, 2)},
+		{workload.QueryFor(3, 3), workload.QueryFor(3, 4)}, // param change: similar text, little reuse
+		{workload.QueryFor(4, 1), workload.QueryFor(4, 2)},
+		{workload.QueryFor(5, 1), workload.QueryFor(5, 2)},
+		{workload.QueryFor(7, 1), workload.QueryFor(7, 2)}, // structure change: similar topic, little reuse
+		// cross-analyst: textually dissimilar, yet reusable sub-computations
+		{workload.QueryFor(7, 1), workload.QueryFor(2, 1)},
+		{workload.QueryFor(3, 1), workload.QueryFor(8, 1)},
+		{workload.QueryFor(1, 1), workload.QueryFor(4, 1)},
+		{workload.QueryFor(6, 1), workload.QueryFor(5, 1)},
+	}
+	res := &SimilarityResult{}
+	for _, p := range pairs {
+		from, to := p[0], p[1]
+		s, err := newSession(c)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := run(s, from, session.ModeOriginal); err != nil {
+			return nil, err
+		}
+		mr, err := run(s, to, session.ModeBFR)
+		if err != nil {
+			return nil, err
+		}
+		orig, err := newSession(c)
+		if err != nil {
+			return nil, err
+		}
+		mo, err := run(orig, to, session.ModeOriginal)
+		if err != nil {
+			return nil, err
+		}
+		res.Entries = append(res.Entries, SimilarityEntry{
+			From: from.Name, To: to.Name,
+			TextSim:    tokenJaccard(from.SQL, to.SQL),
+			ImprovePct: pctImprove(repSeconds(mo), repSeconds(mr)),
+		})
+	}
+	res.Correlation = pearson(res.Entries)
+	return res, nil
+}
+
+// tokenJaccard is the token-set Jaccard similarity of two SQL texts.
+func tokenJaccard(a, b string) float64 {
+	ta, tb := tokens(a), tokens(b)
+	inter := 0
+	for w := range ta {
+		if tb[w] {
+			inter++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func tokens(s string) map[string]bool {
+	out := make(map[string]bool)
+	for _, w := range strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !('a' <= r && r <= 'z' || '0' <= r && r <= '9' || r == '_' || r == '.')
+	}) {
+		out[w] = true
+	}
+	return out
+}
+
+func pearson(es []SimilarityEntry) float64 {
+	n := float64(len(es))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for _, e := range es {
+		x, y := e.TextSim, e.ImprovePct
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	den := (n*sxx - sx*sx) * (n*syy - sy*sy)
+	if den <= 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / sqrt(den)
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// Render prints the similarity microbenchmark.
+func (r *SimilarityResult) Render() string {
+	entries := append([]SimilarityEntry(nil), r.Entries...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].TextSim > entries[j].TextSim })
+	var rows [][]string
+	for _, e := range entries {
+		rows = append(rows, []string{
+			e.From + " -> " + e.To, f2(e.TextSim), f1(e.ImprovePct),
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString("Query-text similarity vs reusability (§8.1 microbenchmark)\n")
+	sb.WriteString(table([]string{"pair", "text Jaccard", "benefit(%)"}, rows))
+	sb.WriteString(fmt.Sprintf("\nPearson correlation: %.2f\n", r.Correlation))
+	sb.WriteString("paper observation: text similarity does not directly correspond with\nreusability — high-similarity pairs can yield little benefit (parameter or\nstructure changes) while dissimilar cross-analyst pairs can yield a lot\n")
+	return sb.String()
+}

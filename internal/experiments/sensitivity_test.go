@@ -1,0 +1,106 @@
+package experiments
+
+import "testing"
+
+func TestJSensitivityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	r, err := JSensitivity(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 12 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	byA := map[int]map[int]JSensEntry{}
+	for _, e := range r.Entries {
+		if byA[e.Analyst] == nil {
+			byA[e.Analyst] = map[int]JSensEntry{}
+		}
+		byA[e.Analyst][e.J] = e
+	}
+	// improvement is non-decreasing in J for every analyst
+	for a, m := range byA {
+		for j := 2; j <= 4; j++ {
+			if m[j].ImprovePct < m[j-1].ImprovePct-5 {
+				t.Errorf("A%d: improvement dropped from J=%d (%.1f%%) to J=%d (%.1f%%)",
+					a, j-1, m[j-1].ImprovePct, j, m[j].ImprovePct)
+			}
+		}
+	}
+	// A7 needs a 3-way merge: the step must appear at J=3
+	if byA[7][2].ImprovePct > 10 && byA[7][1].Improved {
+		t.Logf("note: A7 found partial reuse below J=3")
+	}
+	if byA[7][3].ImprovePct <= byA[7][2].ImprovePct+5 {
+		t.Errorf("A7: no J=3 step (J=2: %.1f%%, J=3: %.1f%%)", byA[7][2].ImprovePct, byA[7][3].ImprovePct)
+	}
+	if r.Render() == "" {
+		t.Error("render broken")
+	}
+}
+
+func TestSimilarityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	r, err := Similarity(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 10 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	// the paper's point: similarity is a poor predictor — there must exist
+	// a high-similarity pair with low benefit and a low-similarity pair
+	// with high benefit.
+	highSimLowBenefit, lowSimHighBenefit := false, false
+	for _, e := range r.Entries {
+		if e.TextSim > 0.6 && e.ImprovePct < 20 {
+			highSimLowBenefit = true
+		}
+		if e.TextSim < 0.5 && e.ImprovePct > 40 {
+			lowSimHighBenefit = true
+		}
+	}
+	if !highSimLowBenefit {
+		t.Error("no high-similarity/low-benefit pair; microbenchmark shape missing")
+	}
+	if !lowSimHighBenefit {
+		t.Error("no low-similarity/high-benefit pair; microbenchmark shape missing")
+	}
+	if r.Correlation > 0.9 {
+		t.Errorf("correlation %.2f too strong; text similarity should be a poor predictor", r.Correlation)
+	}
+	if r.Render() == "" {
+		t.Error("render broken")
+	}
+}
+
+func TestFootprintShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	r, err := Footprint(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ViewCount < 80 {
+		t.Errorf("views = %d; the workload should retain ~100", r.ViewCount)
+	}
+	// The §10 claim at our proportions: retaining everything costs a small
+	// multiple of the base data, not an explosion.
+	if r.Ratio <= 0 || r.Ratio > 3 {
+		t.Errorf("views/base ratio = %.2f, want modest (paper: ~2.0x)", r.Ratio)
+	}
+	// cumulative ratio is non-decreasing
+	for i := 1; i < len(r.PerAnalyst); i++ {
+		if r.PerAnalyst[i] < r.PerAnalyst[i-1]-1e-9 {
+			t.Error("cumulative footprint decreased")
+		}
+	}
+	if r.Render() == "" {
+		t.Error("render broken")
+	}
+}

@@ -1,0 +1,30 @@
+package hiveql
+
+import "testing"
+
+// FuzzParse asserts the parser never panics: arbitrary input either parses
+// or returns an error. Run with `go test -fuzz=FuzzParse ./internal/hiveql`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM t",
+		"CREATE TABLE x AS SELECT a, COUNT(*) AS n FROM t WHERE a > 1 GROUP BY a HAVING n > 2 ORDER BY n DESC LIMIT 5",
+		"SELECT * FROM (SELECT a FROM t) JOIN u ON a = b APPLY F(a, 'x', 1.5)",
+		"SELECT a FROM t; SELECT b FROM u;",
+		"SELECT 'unterminated",
+		"((((((((",
+		"SELECT a FROM t WHERE a = NULL AND b != 'é' -- comment",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := Parse(src)
+		if err == nil {
+			for _, st := range stmts {
+				if st.Plan == nil {
+					t.Fatal("nil plan without error")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,130 @@
+// Package hiveql implements the declarative query dialect analysts write
+// (§2.1: "queries are written in HiveQL"). It is a HiveQL-flavoured SQL
+// subset with one extension: an APPLY clause invoking registered MR UDFs,
+// standing in for Hive's MAP ... USING 'script' / REDUCE ... USING
+// 'script' table functions (Fig 3a).
+//
+// Grammar (case-insensitive keywords):
+//
+//	script  := stmt (';' stmt)* [';']
+//	stmt    := CREATE TABLE ident AS select | select
+//	select  := SELECT item (',' item)*
+//	           FROM source (JOIN source ON colref '=' colref)*
+//	           [WHERE conj] [GROUP BY ident (',' ident)*] [HAVING conj]
+//	item    := '*' | colref [AS ident] | agg '(' (colref|'*') ')' AS ident
+//	source  := (ident | '(' select ')') [APPLY udf '(' args ')']*
+//	conj    := pred (AND pred)*
+//	pred    := colref op (literal | colref)
+//
+// Qualified column references (t.user_id) are accepted; resolution uses the
+// bare column name (the planner rejects ambiguous joins, so bare names are
+// unambiguous).
+package hiveql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , ; * .
+	tokOp     // = != <> < <= > >=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes a script.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+		case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
+		case c == '\'':
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("hiveql: unterminated string at offset %d", start)
+			}
+			l.toks = append(l.toks, token{tokString, l.src[start+1 : l.pos], start})
+			l.pos++
+		case strings.ContainsRune("(),;*.", rune(c)):
+			l.pos++
+			l.toks = append(l.toks, token{tokSymbol, string(c), start})
+		case strings.ContainsRune("=<>!", rune(c)):
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '=' || (c == '<' && l.src[l.pos] == '>')) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokOp, l.src[start:l.pos], start})
+		default:
+			return nil, fmt.Errorf("hiveql: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// keyword reports whether the token is the given keyword (case-insensitive).
+func (t token) keyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,523 @@
+package hiveql
+
+import (
+	"fmt"
+	"strings"
+
+	"opportune/internal/expr"
+	"opportune/internal/plan"
+	"opportune/internal/value"
+)
+
+// Statement is one parsed statement: a query plan plus the result table
+// name (empty for a bare SELECT).
+type Statement struct {
+	Table string
+	Plan  *plan.Node
+	Text  string
+}
+
+// Parse parses a script into statements. Plans are not annotated; callers
+// annotate/compile against their catalog.
+func Parse(src string) ([]*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	var stmts []*Statement
+	for !p.at(tokEOF) {
+		start := p.cur().pos
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		end := p.cur().pos
+		st.Text = strings.TrimSpace(src[start:min(end, len(src))])
+		stmts = append(stmts, st)
+		if !p.acceptSym(";") {
+			break
+		}
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errf("trailing input")
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("hiveql: empty script")
+	}
+	return stmts, nil
+}
+
+// ParseOne parses a script expected to contain exactly one statement.
+func ParseOne(src string) (*Statement, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("hiveql: expected one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) cur() token        { return p.toks[p.i] }
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	pos := p.cur().pos
+	line := 1 + strings.Count(p.src[:min(pos, len(p.src))], "\n")
+	return fmt.Errorf("hiveql: line %d (offset %d): %s", line, pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.cur().keyword(kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s, found %q", strings.ToUpper(kw), p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSym(s string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	if !p.acceptSym(s) {
+		return p.errf("expected %q, found %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", p.cur().text)
+	}
+	t := p.cur().text
+	p.i++
+	return t, nil
+}
+
+// colref parses a possibly qualified column reference, returning the bare
+// column name.
+func (p *parser) colref() (string, error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.acceptSym(".") {
+		return p.ident()
+	}
+	return name, nil
+}
+
+func (p *parser) statement() (*Statement, error) {
+	if p.acceptKw("create") {
+		if err := p.expectKw("table"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("as"); err != nil {
+			return nil, err
+		}
+		q, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Statement{Table: name, Plan: q}, nil
+	}
+	q, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &Statement{Plan: q}, nil
+}
+
+// selItem is one SELECT-list entry.
+type selItem struct {
+	star bool
+	col  string
+	as   string
+	agg  plan.AggFunc // non-empty for aggregate items
+}
+
+var aggFuncs = map[string]plan.AggFunc{
+	"count": plan.AggCount, "sum": plan.AggSum, "avg": plan.AggAvg,
+	"min": plan.AggMin, "max": plan.AggMax,
+}
+
+func (p *parser) selectStmt() (*plan.Node, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	var items []selItem
+	for {
+		it, err := p.selItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	root, err := p.source()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("join") {
+		right, err := p.source()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("on"); err != nil {
+			return nil, err
+		}
+		lc, err := p.colref()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokOp || p.cur().text != "=" {
+			return nil, p.errf("expected = in join condition")
+		}
+		p.i++
+		rc, err := p.colref()
+		if err != nil {
+			return nil, err
+		}
+		root = plan.JoinNodes(root, right, lc, rc)
+	}
+	if p.acceptKw("where") {
+		preds, err := p.conjunction()
+		if err != nil {
+			return nil, err
+		}
+		for _, pr := range preds {
+			root = plan.Filter(root, pr)
+		}
+	}
+	grouped := false
+	if p.acceptKw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		grouped = true
+		var keys []string
+		for {
+			k, err := p.colref()
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, k)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+		var aggs []plan.AggSpec
+		keySet := make(map[string]bool, len(keys))
+		for _, k := range keys {
+			keySet[k] = true
+		}
+		for _, it := range items {
+			switch {
+			case it.star:
+				return nil, p.errf("SELECT * cannot be combined with GROUP BY")
+			case it.agg != "":
+				aggs = append(aggs, plan.AggSpec{Func: it.agg, Col: it.col, As: it.as})
+			case !keySet[it.col]:
+				return nil, p.errf("non-aggregate column %q not in GROUP BY", it.col)
+			}
+		}
+		root = plan.GroupAgg(root, keys, aggs...)
+	}
+	if p.acceptKw("having") {
+		if !grouped {
+			return nil, p.errf("HAVING without GROUP BY")
+		}
+		preds, err := p.conjunction()
+		if err != nil {
+			return nil, err
+		}
+		for _, pr := range preds {
+			root = plan.Filter(root, pr)
+		}
+	}
+	// Final projection / rename.
+	out, err := projectItems(root, items, grouped, p)
+	if err != nil {
+		return nil, err
+	}
+	// ORDER BY / LIMIT apply to the final result.
+	var sortCols []string
+	var sortDesc []bool
+	if p.acceptKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colref()
+			if err != nil {
+				return nil, err
+			}
+			sortCols = append(sortCols, c)
+			sortDesc = append(sortDesc, p.acceptKw("desc"))
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	limit := int64(-1)
+	if p.acceptKw("limit") {
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("LIMIT needs a number")
+		}
+		v := value.Parse(p.cur().text)
+		if v.Kind() != value.Int || v.Int() < 0 {
+			return nil, p.errf("LIMIT needs a non-negative integer")
+		}
+		limit = v.Int()
+		p.i++
+	}
+	if len(sortCols) > 0 || limit >= 0 {
+		out = plan.Sort(out, sortCols, sortDesc, limit)
+	}
+	return out, nil
+}
+
+func projectItems(root *plan.Node, items []selItem, grouped bool, p *parser) (*plan.Node, error) {
+	if len(items) == 1 && items[0].star {
+		return root, nil
+	}
+	for _, it := range items {
+		if it.star {
+			return nil, p.errf("* must be the only select item")
+		}
+		if it.agg != "" && !grouped {
+			return nil, p.errf("aggregate %s(%s) without GROUP BY", it.agg, it.col)
+		}
+	}
+	cols := make([]string, len(items))
+	as := make([]string, len(items))
+	rename := false
+	for i, it := range items {
+		name := it.col
+		if it.agg != "" {
+			name = it.as // the GroupAgg already named the aggregate
+		}
+		cols[i] = name
+		as[i] = name
+		if it.as != "" && it.agg == "" {
+			as[i] = it.as
+			rename = true
+		}
+	}
+	if rename {
+		return plan.ProjectAs(root, cols, as), nil
+	}
+	return plan.Project(root, cols...), nil
+}
+
+func (p *parser) selItem() (selItem, error) {
+	if p.acceptSym("*") {
+		return selItem{star: true}, nil
+	}
+	if p.cur().kind == tokIdent {
+		if fn, ok := aggFuncs[strings.ToLower(p.cur().text)]; ok && p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "(" {
+			p.i += 2
+			col := ""
+			if !p.acceptSym("*") {
+				c, err := p.colref()
+				if err != nil {
+					return selItem{}, err
+				}
+				col = c
+			} else if fn != plan.AggCount {
+				return selItem{}, p.errf("%s(*) is not valid", fn)
+			}
+			if err := p.expectSym(")"); err != nil {
+				return selItem{}, err
+			}
+			if err := p.expectKw("as"); err != nil {
+				return selItem{}, p.errf("aggregates need AS <name>")
+			}
+			name, err := p.ident()
+			if err != nil {
+				return selItem{}, err
+			}
+			return selItem{col: col, as: name, agg: fn}, nil
+		}
+	}
+	col, err := p.colref()
+	if err != nil {
+		return selItem{}, err
+	}
+	it := selItem{col: col}
+	if p.acceptKw("as") {
+		name, err := p.ident()
+		if err != nil {
+			return selItem{}, err
+		}
+		it.as = name
+	}
+	return it, nil
+}
+
+// source parses a table, view, or parenthesized subquery, optionally
+// followed by an alias and APPLY chains.
+func (p *parser) source() (*plan.Node, error) {
+	var node *plan.Node
+	if p.acceptSym("(") {
+		sub, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		node = sub
+	} else {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		node = plan.Scan(name)
+	}
+	// optional alias (ignored for resolution; bare column names are used)
+	if p.cur().kind == tokIdent && !anyKeyword(p.cur()) {
+		p.i++
+	}
+	for p.acceptKw("apply") {
+		udfName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		var args []string
+		var params []value.V
+		for !p.acceptSym(")") {
+			if len(args)+len(params) > 0 {
+				if err := p.expectSym(","); err != nil {
+					return nil, err
+				}
+			}
+			switch p.cur().kind {
+			case tokIdent:
+				c, err := p.colref()
+				if err != nil {
+					return nil, err
+				}
+				if len(params) > 0 {
+					return nil, p.errf("UDF column arguments must precede parameters")
+				}
+				args = append(args, c)
+			case tokNumber:
+				params = append(params, value.Parse(p.cur().text))
+				p.i++
+			case tokString:
+				params = append(params, value.NewStr(p.cur().text))
+				p.i++
+			default:
+				return nil, p.errf("unexpected UDF argument %q", p.cur().text)
+			}
+		}
+		node = plan.Apply(node, udfName, args, params...)
+	}
+	return node, nil
+}
+
+// conjunction parses pred (AND pred)*.
+func (p *parser) conjunction() ([]expr.Pred, error) {
+	var preds []expr.Pred
+	for {
+		pr, err := p.predicate()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pr)
+		if !p.acceptKw("and") {
+			return preds, nil
+		}
+	}
+}
+
+func (p *parser) predicate() (expr.Pred, error) {
+	col, err := p.colref()
+	if err != nil {
+		return expr.Pred{}, err
+	}
+	if p.cur().kind != tokOp {
+		return expr.Pred{}, p.errf("expected comparison operator, found %q", p.cur().text)
+	}
+	op, ok := expr.ParseCmpOp(p.cur().text)
+	if !ok {
+		return expr.Pred{}, p.errf("bad operator %q", p.cur().text)
+	}
+	p.i++
+	switch p.cur().kind {
+	case tokNumber:
+		lit := value.Parse(p.cur().text)
+		p.i++
+		return expr.NewCmp(col, op, lit), nil
+	case tokString:
+		lit := value.NewStr(p.cur().text)
+		p.i++
+		return expr.NewCmp(col, op, lit), nil
+	case tokIdent:
+		if p.cur().keyword("null") {
+			p.i++
+			return expr.NewCmp(col, op, value.NullV), nil
+		}
+		rc, err := p.colref()
+		if err != nil {
+			return expr.Pred{}, err
+		}
+		if op != expr.Eq {
+			return expr.Pred{}, p.errf("column-to-column predicates support = only")
+		}
+		return expr.NewAttrEq(col, rc), nil
+	default:
+		return expr.Pred{}, p.errf("expected literal or column, found %q", p.cur().text)
+	}
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"having": true, "join": true, "on": true, "and": true, "as": true,
+	"create": true, "table": true, "apply": true, "order": true,
+	"limit": true, "desc": true,
+}
+
+func anyKeyword(t token) bool {
+	return t.kind == tokIdent && keywords[strings.ToLower(t.text)]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,323 @@
+package hiveql
+
+import (
+	"strings"
+	"testing"
+
+	"opportune/internal/expr"
+	"opportune/internal/plan"
+	"opportune/internal/value"
+)
+
+func parse1(t *testing.T, src string) *Statement {
+	t.Helper()
+	st, err := ParseOne(src)
+	if err != nil {
+		t.Fatalf("ParseOne(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestLexer(t *testing.T) {
+	toks, err := lex("SELECT a, b2 FROM t WHERE x >= 1.5 AND y != 'hi' -- comment\n;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Error("missing EOF")
+	}
+	// spot checks
+	if toks[0].kind != tokIdent || !toks[0].keyword("select") {
+		t.Error("keyword lexing")
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.kind == tokString && tk.text == "hi" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("string literal lost")
+	}
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex("SELECT @"); err == nil {
+		t.Error("bad char accepted")
+	}
+}
+
+func TestSimpleSelect(t *testing.T) {
+	st := parse1(t, "SELECT user_id, text FROM twtr")
+	if st.Table != "" {
+		t.Errorf("Table = %q", st.Table)
+	}
+	p := st.Plan
+	if p.Kind != plan.KindProject || len(p.Cols) != 2 {
+		t.Fatalf("plan = %s", p)
+	}
+	if p.Inputs[0].Kind != plan.KindScan || p.Inputs[0].Dataset != "twtr" {
+		t.Errorf("scan = %v", p.Inputs[0])
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	st := parse1(t, "SELECT * FROM twtr")
+	if st.Plan.Kind != plan.KindScan {
+		t.Errorf("star plan = %s", st.Plan)
+	}
+}
+
+func TestCreateTableAs(t *testing.T) {
+	st := parse1(t, "CREATE TABLE result AS SELECT * FROM twtr;")
+	if st.Table != "result" {
+		t.Errorf("Table = %q", st.Table)
+	}
+	if st.Text == "" || !strings.Contains(st.Text, "CREATE TABLE result") {
+		t.Errorf("Text = %q", st.Text)
+	}
+}
+
+func TestWhereConjunction(t *testing.T) {
+	st := parse1(t, "SELECT * FROM t WHERE a > 5 AND b = 'x' AND c <= -1.5 AND d = e")
+	// four filters stacked
+	n := st.Plan
+	count := 0
+	for n.Kind == plan.KindFilter {
+		count++
+		n = n.Inputs[0]
+	}
+	if count != 4 {
+		t.Errorf("filters = %d", count)
+	}
+	// innermost filter is the first predicate
+	if n.Kind != plan.KindScan {
+		t.Errorf("base = %s", n.Kind)
+	}
+	// check one predicate shape via re-parse
+	st2 := parse1(t, "SELECT * FROM t WHERE a = b")
+	if st2.Plan.Pred.Kind != expr.KindAttrEq {
+		t.Errorf("attr-eq pred = %v", st2.Plan.Pred)
+	}
+	st3 := parse1(t, "SELECT * FROM t WHERE a = NULL")
+	if st3.Plan.Pred.Lit.Kind() != value.Null {
+		t.Errorf("null literal = %v", st3.Plan.Pred.Lit)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	st := parse1(t, `
+		SELECT user_id, COUNT(*) AS n, SUM(score) AS s
+		FROM twtr WHERE score > 0
+		GROUP BY user_id HAVING n > 100`)
+	p := st.Plan // project( filter( groupagg( filter( scan ))))
+	if p.Kind != plan.KindProject {
+		t.Fatalf("root = %s", p.Kind)
+	}
+	f := p.Inputs[0]
+	if f.Kind != plan.KindFilter {
+		t.Fatalf("having missing: %s", f.Kind)
+	}
+	g := f.Inputs[0]
+	if g.Kind != plan.KindGroupAgg || len(g.Keys) != 1 || len(g.Aggs) != 2 {
+		t.Fatalf("groupagg = %+v", g)
+	}
+	if g.Aggs[0].Func != plan.AggCount || g.Aggs[0].Col != "" || g.Aggs[0].As != "n" {
+		t.Errorf("count spec = %+v", g.Aggs[0])
+	}
+	if g.Aggs[1].Func != plan.AggSum || g.Aggs[1].Col != "score" {
+		t.Errorf("sum spec = %+v", g.Aggs[1])
+	}
+}
+
+func TestJoins(t *testing.T) {
+	st := parse1(t, `
+		SELECT a, c FROM t1 x
+		JOIN t2 y ON x.a = y.b
+		JOIN (SELECT c FROM t3) z ON b = c`)
+	p := st.Plan
+	if p.Kind != plan.KindProject {
+		t.Fatalf("root = %s", p.Kind)
+	}
+	j2 := p.Inputs[0]
+	if j2.Kind != plan.KindJoin || j2.LCol != "b" || j2.RCol != "c" {
+		t.Fatalf("outer join = %+v", j2)
+	}
+	j1 := j2.Inputs[0]
+	if j1.Kind != plan.KindJoin || j1.LCol != "a" || j1.RCol != "b" {
+		t.Fatalf("inner join = %+v", j1)
+	}
+	if j2.Inputs[1].Kind != plan.KindProject {
+		t.Error("subquery join source lost")
+	}
+}
+
+func TestApplyChains(t *testing.T) {
+	st := parse1(t, `
+		SELECT user_id, total FROM twtr
+		APPLY UDF_WINE(text)
+		APPLY UDF_USER_TOTAL(user_id, wine_score, 0.5, 'mode')`)
+	p := st.Plan.Inputs[0] // under project
+	if p.Kind != plan.KindUDF || p.UDFName != "UDF_USER_TOTAL" {
+		t.Fatalf("outer UDF = %+v", p)
+	}
+	if len(p.UDFArgs) != 2 || len(p.UDFParams) != 2 {
+		t.Errorf("args/params = %v %v", p.UDFArgs, p.UDFParams)
+	}
+	if p.UDFParams[0].Kind() != value.Float || p.UDFParams[1].Str() != "mode" {
+		t.Errorf("params = %v", p.UDFParams)
+	}
+	inner := p.Inputs[0]
+	if inner.Kind != plan.KindUDF || inner.UDFName != "UDF_WINE" {
+		t.Fatalf("inner UDF = %+v", inner)
+	}
+}
+
+func TestSelectRename(t *testing.T) {
+	st := parse1(t, "SELECT user_id AS uid, text FROM twtr")
+	p := st.Plan
+	if p.Kind != plan.KindProject || len(p.As) != 2 || p.As[0] != "uid" || p.As[1] != "text" {
+		t.Fatalf("rename plan = %+v", p)
+	}
+}
+
+func TestMultiStatementScript(t *testing.T) {
+	stmts, err := Parse(`
+		CREATE TABLE t1 AS SELECT a FROM x;
+		-- a comment between statements
+		SELECT b FROM t1;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 2 || stmts[0].Table != "t1" || stmts[1].Table != "" {
+		t.Fatalf("stmts = %+v", stmts)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a, * FROM t",
+		"SELECT * , a FROM t",
+		"SELECT SUM(a) AS s FROM t",            // aggregate without group by
+		"SELECT a FROM t GROUP BY b",           // non-agg col not in keys
+		"SELECT SUM(*) AS s FROM t GROUP BY a", // sum(*)
+		"SELECT COUNT(*) FROM t GROUP BY a",    // aggregate needs AS
+		"SELECT * FROM t HAVING a > 1",         // having without group
+		"SELECT * FROM t WHERE a",              // missing op
+		"SELECT * FROM t WHERE a ! b",          // bad op
+		"SELECT * FROM t WHERE a < b",          // col-col non-eq
+		"SELECT * FROM t1 JOIN t2",             // missing ON
+		"SELECT * FROM t1 JOIN t2 ON a > b",    // non-eq join
+		"SELECT * FROM (SELECT a FROM t",       // unclosed subquery
+		"CREATE TABLE AS SELECT * FROM t",      // missing name
+		"CREATE t AS SELECT * FROM t",          // missing TABLE
+		"SELECT * FROM t APPLY f(0.5, col)",    // param before column
+		"SELECT * FROM t APPLY f(a b)",         // missing comma
+		"SELECT * FROM t; garbage",             // trailing input
+		"SELECT a FROM t GROUP BY a HAVING",    // empty having
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted: %q", src)
+		}
+	}
+}
+
+func TestStatementTextCaptured(t *testing.T) {
+	stmts, err := Parse("SELECT a FROM t ; SELECT b FROM u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmts[0].Text != "SELECT a FROM t" {
+		t.Errorf("text[0] = %q", stmts[0].Text)
+	}
+	if stmts[1].Text != "SELECT b FROM u" {
+		t.Errorf("text[1] = %q", stmts[1].Text)
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	// Keywords fold case; identifiers stay case-sensitive.
+	st := parse1(t, "select user_id, Count(*) As n from Twtr where user_id > 3 Group By user_id Having n > 1")
+	if st.Plan.Kind != plan.KindProject {
+		t.Errorf("root = %s", st.Plan.Kind)
+	}
+	// also: aggregate without AS should fail even lower-case
+	if _, err := Parse("select count(*) from t group by a"); err == nil {
+		t.Error("aggregate without AS accepted")
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	st := parse1(t, "SELECT a, b FROM t ORDER BY b DESC, a LIMIT 10")
+	p := st.Plan
+	if p.Kind != plan.KindSort {
+		t.Fatalf("root = %s", p.Kind)
+	}
+	if len(p.SortCols) != 2 || p.SortCols[0] != "b" || !p.SortDesc[0] || p.SortDesc[1] {
+		t.Errorf("sort spec = %v %v", p.SortCols, p.SortDesc)
+	}
+	if p.Limit != 10 {
+		t.Errorf("limit = %d", p.Limit)
+	}
+	// LIMIT alone
+	st2 := parse1(t, "SELECT a FROM t LIMIT 5")
+	if st2.Plan.Kind != plan.KindSort || len(st2.Plan.SortCols) != 0 || st2.Plan.Limit != 5 {
+		t.Errorf("limit-only plan = %+v", st2.Plan)
+	}
+	// ORDER BY alone: no limit
+	st3 := parse1(t, "SELECT a FROM t ORDER BY a")
+	if st3.Plan.Kind != plan.KindSort || st3.Plan.Limit != -1 {
+		t.Errorf("order-only plan = %+v", st3.Plan)
+	}
+	// errors
+	for _, bad := range []string{
+		"SELECT a FROM t ORDER a",
+		"SELECT a FROM t ORDER BY",
+		"SELECT a FROM t LIMIT",
+		"SELECT a FROM t LIMIT -3",
+		"SELECT a FROM t LIMIT 1.5",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("accepted: %q", bad)
+		}
+	}
+}
+
+func TestNegativeNumbersAndQualifiedCols(t *testing.T) {
+	st := parse1(t, "SELECT t.a FROM t WHERE t.a > -3")
+	if st.Plan.Kind != plan.KindProject || st.Plan.Cols[0] != "a" {
+		t.Errorf("qualified col = %+v", st.Plan)
+	}
+	f := st.Plan.Inputs[0]
+	if f.Pred.Lit.Int() != -3 {
+		t.Errorf("negative literal = %v", f.Pred.Lit)
+	}
+}
+
+// BenchmarkParse measures parsing of a representative workload query.
+func BenchmarkParse(b *testing.B) {
+	src := `CREATE TABLE out AS SELECT user_id, u2, wine_sum, strength, afflu FROM
+	 (SELECT user_id, SUM(wine_score) AS wine_sum FROM twtr APPLY UDF_W(text)
+	  GROUP BY user_id HAVING wine_sum > 8)
+	 JOIN (SELECT u1, u2, strength FROM twtr APPLY UDF_F(user_id, reply_to)
+	  WHERE strength > 1) ON user_id = u1
+	 JOIN (SELECT user_id AS auser, afflu FROM twtr APPLY UDF_A(user_id, text)
+	  WHERE afflu > 0.2) ON user_id = auser
+	 ORDER BY wine_sum DESC LIMIT 100`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

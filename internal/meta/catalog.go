@@ -1,0 +1,275 @@
+// Package meta is the materialized-view metadata store (§2.1): for every
+// base log and every opportunistic view it records the schema, the (A,F,K)
+// annotation, cardinality statistics, and the syntactic fingerprint of the
+// producing plan. It also owns the system-wide functional dependencies and
+// the UDF registry the annotation process consults.
+package meta
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"opportune/internal/afk"
+	"opportune/internal/cost"
+	"opportune/internal/data"
+	"opportune/internal/mr"
+	"opportune/internal/storage"
+	"opportune/internal/udf"
+)
+
+// TableInfo describes one dataset known to the system.
+type TableInfo struct {
+	Name   string
+	Cols   []string // ordered physical columns
+	KeyCol string   // record-key column of a base log ("" otherwise)
+	Ann    afk.Annotation
+	Stats  cost.Stats
+	IsView bool
+	// PlanFP is the syntactic fingerprint of the plan that produced a view;
+	// the caching baseline (BFR-SYNTACTIC) matches on it.
+	PlanFP string
+	// Distinct holds (estimated) distinct-value counts per column, used by
+	// the optimizer's cardinality estimation.
+	Distinct map[string]int64
+}
+
+// DistinctOf returns the distinct count hint for a column, or 0.
+func (t *TableInfo) DistinctOf(col string) int64 {
+	if t.Distinct == nil {
+		return 0
+	}
+	return t.Distinct[col]
+}
+
+// Catalog is the system catalog.
+type Catalog struct {
+	mu      sync.RWMutex
+	tables  map[string]*TableInfo
+	byCanon map[string]*TableInfo // annotation fingerprint -> view
+
+	// FDs holds functional dependencies over signature IDs (record keys
+	// and derived attributes).
+	FDs *afk.FDSet
+	// UDFs is the system's UDF registry.
+	UDFs *udf.Registry
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables:  make(map[string]*TableInfo),
+		byCanon: make(map[string]*TableInfo),
+		FDs:     afk.NewFDSet(),
+		UDFs:    udf.NewRegistry(),
+	}
+}
+
+// ByAnnotation resolves a view whose annotation fingerprint matches. The
+// optimizer uses it to estimate any plan node semantically identical to a
+// materialized view with the view's *measured* statistics — making
+// cardinality estimates a function of the logical target rather than the
+// producing plan, the property BFREWRITE's termination condition relies on.
+func (c *Catalog) ByAnnotation(canon string) (*TableInfo, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.byCanon[canon]
+	return t, ok
+}
+
+// RegisterBase declares a raw log: columns, record key, stats, and optional
+// distinct-count hints. The record key's FDs are installed.
+func (c *Catalog) RegisterBase(name string, cols []string, keyCol string, stats cost.Stats, distinct map[string]int64) *TableInfo {
+	ann := afk.NewBase(name, cols, keyCol)
+	if keyCol != "" {
+		key := ann.MustSig(keyCol)
+		ids := make([]string, 0, len(cols))
+		for _, col := range cols {
+			ids = append(ids, ann.MustSig(col).ID())
+		}
+		c.FDs.AddKey(key.ID(), ids)
+	}
+	info := &TableInfo{
+		Name: name, Cols: append([]string(nil), cols...), KeyCol: keyCol,
+		Ann: ann, Stats: stats, Distinct: distinct,
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[name] = info
+	return info
+}
+
+// RegisterView records an opportunistic view's metadata.
+func (c *Catalog) RegisterView(name string, cols []string, ann afk.Annotation, stats cost.Stats, planFP string) *TableInfo {
+	info := &TableInfo{
+		Name: name, Cols: append([]string(nil), cols...),
+		Ann: ann, Stats: stats, IsView: true, PlanFP: planFP,
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[name] = info
+	c.byCanon[ann.Canon()] = info
+	return info
+}
+
+// Table looks a dataset up.
+func (c *Catalog) Table(name string) (*TableInfo, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// MustTable panics for unknown names (plan validation happened earlier).
+func (c *Catalog) MustTable(name string) *TableInfo {
+	t, ok := c.Table(name)
+	if !ok {
+		panic(fmt.Sprintf("meta: unknown table %q", name))
+	}
+	return t
+}
+
+// Views returns all view infos, sorted by name.
+func (c *Catalog) Views() []*TableInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*TableInfo
+	for _, t := range c.tables {
+		if t.IsView {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DropView removes one view from the catalog.
+func (c *Catalog) DropView(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.tables[name]; ok && t.IsView {
+		delete(c.tables, name)
+		c.dropCanonLocked(t)
+	}
+}
+
+// dropCanonLocked unindexes a view's annotation fingerprint (only if it is
+// still the indexed one; another view may share the annotation).
+func (c *Catalog) dropCanonLocked(t *TableInfo) {
+	canon := t.Ann.Canon()
+	if c.byCanon[canon] == t {
+		delete(c.byCanon, canon)
+	}
+}
+
+// DropViews removes every view from the catalog, returning the count.
+func (c *Catalog) DropViews() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for name, t := range c.tables {
+		if t.IsView {
+			delete(c.tables, name)
+			c.dropCanonLocked(t)
+			n++
+		}
+	}
+	return n
+}
+
+// SyncWithStore drops catalog views whose backing data was evicted from the
+// store (capacity reclamation), keeping metadata consistent.
+func (c *Catalog) SyncWithStore(st *storage.Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, t := range c.tables {
+		if t.IsView && !st.Has(name) {
+			delete(c.tables, name)
+			c.dropCanonLocked(t)
+		}
+	}
+}
+
+// CollectStats runs the lightweight statistics job for a stored dataset
+// (§2.1). Byte size and row count are exact — HDFS file sizes are free and
+// the MR job counters report records written — while per-column distinct
+// counts are estimated from a 1% uniform sample whose read cost is charged
+// to the query that created the view. The simulated overhead seconds are
+// returned.
+func (c *Catalog) CollectStats(eng *mr.Engine, name string, seed int64) (float64, error) {
+	info, ok := c.Table(name)
+	if !ok {
+		return 0, fmt.Errorf("meta: unknown table %q", name)
+	}
+	ds, ok := eng.Store.Meta(name)
+	if !ok {
+		return 0, fmt.Errorf("meta: table %q not in store", name)
+	}
+	// 1% sample, floored at ~minSampleRows rows: tiny views are scanned
+	// fully, exactly as production ANALYZE does — a 1-row sample would
+	// make distinct-count estimates meaningless.
+	const minSampleRows = 100
+	frac := 0.01
+	if rows := ds.Rows(); rows > 0 && frac*float64(rows) < minSampleRows {
+		frac = float64(minSampleRows) / float64(rows)
+		if frac > 1 {
+			frac = 1
+		}
+	}
+	sample, err := eng.Store.Sample(name, frac, seed)
+	if err != nil {
+		return 0, err
+	}
+	sampleRows := int64(sample.Len())
+	estRows := ds.Rows()
+	distinct := make(map[string]int64, sample.Schema().Len())
+	for _, col := range sample.Schema().Cols() {
+		distinct[col] = chao1(sample, col, sampleRows, estRows)
+	}
+	c.mu.Lock()
+	info.Stats = cost.Stats{Rows: estRows, Bytes: ds.SizeBytes}
+	info.Distinct = distinct
+	c.mu.Unlock()
+
+	// Overhead: reading the sample bytes with a map task.
+	overhead := eng.Params.JobCost(cost.JobSpec{
+		InputBytes: sample.EncodedSize(),
+		InputRows:  sampleRows,
+		MapFns:     []cost.LocalFn{{Ops: []cost.OpType{cost.OpAttr}, Scalar: 1}},
+	})
+	return overhead.Total(), nil
+}
+
+// chao1 estimates a column's distinct count from a sample with the Chao1
+// abundance estimator: d̂ = d + f1(f1−1)/(2(f2+1)), where f1/f2 are the
+// numbers of values seen once/twice. Unlike linear scaling (d/frac), it is
+// stable for low-cardinality columns where the sample saturates. A sample
+// whose values are all unique is treated as a key column.
+func chao1(sample *data.Relation, col string, sampleRows, totalRows int64) int64 {
+	ix := sample.Schema().MustIndex(col)
+	counts := make(map[string]int64)
+	for _, r := range sample.Rows() {
+		counts[r[ix].String()]++
+	}
+	d := int64(len(counts))
+	if d == sampleRows && sampleRows > 1 {
+		return totalRows
+	}
+	var f1, f2 int64
+	for _, n := range counts {
+		switch n {
+		case 1:
+			f1++
+		case 2:
+			f2++
+		}
+	}
+	est := d + (f1*(f1-1))/(2*(f2+1))
+	if est > totalRows {
+		est = totalRows
+	}
+	if est < 1 && totalRows > 0 {
+		est = 1
+	}
+	return est
+}

@@ -1,0 +1,133 @@
+package meta
+
+import (
+	"testing"
+
+	"opportune/internal/cost"
+	"opportune/internal/data"
+	"opportune/internal/mr"
+	"opportune/internal/storage"
+	"opportune/internal/value"
+)
+
+func TestRegisterBaseAndFDs(t *testing.T) {
+	c := NewCatalog()
+	info := c.RegisterBase("twtr", []string{"tweet_id", "user_id", "text"}, "tweet_id",
+		cost.Stats{Rows: 10, Bytes: 100}, map[string]int64{"user_id": 5})
+	if info.Name != "twtr" || info.IsView {
+		t.Errorf("info = %+v", info)
+	}
+	if info.DistinctOf("user_id") != 5 || info.DistinctOf("text") != 0 {
+		t.Error("Distinct hints wrong")
+	}
+	// record key FDs installed
+	if !c.FDs.Determines([]string{"b:twtr.tweet_id"}, "b:twtr.user_id") {
+		t.Error("key FD missing")
+	}
+	got, ok := c.Table("twtr")
+	if !ok || got != info {
+		t.Error("Table lookup failed")
+	}
+	if _, ok := c.Table("x"); ok {
+		t.Error("found missing table")
+	}
+	// no key column: no FDs, no panic
+	before := c.FDs.Len()
+	c.RegisterBase("nokey", []string{"a"}, "", cost.Stats{}, nil)
+	if c.FDs.Len() != before {
+		t.Error("keyless base added FDs")
+	}
+	// MustTable
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTable(missing) did not panic")
+		}
+	}()
+	c.MustTable("missing")
+}
+
+func TestViews(t *testing.T) {
+	c := NewCatalog()
+	base := c.RegisterBase("twtr", []string{"a"}, "", cost.Stats{}, nil)
+	c.RegisterView("v2", []string{"a"}, base.Ann, cost.Stats{Rows: 1}, "fp2")
+	c.RegisterView("v1", []string{"a"}, base.Ann, cost.Stats{Rows: 2}, "fp1")
+	vs := c.Views()
+	if len(vs) != 2 || vs[0].Name != "v1" {
+		t.Errorf("Views = %v", vs)
+	}
+	c.DropView("v1")
+	c.DropView("twtr") // must not drop base
+	if len(c.Views()) != 1 {
+		t.Error("DropView wrong")
+	}
+	if _, ok := c.Table("twtr"); !ok {
+		t.Error("DropView removed base")
+	}
+	if n := c.DropViews(); n != 1 {
+		t.Errorf("DropViews = %d", n)
+	}
+}
+
+func TestSyncWithStore(t *testing.T) {
+	c := NewCatalog()
+	st := storage.NewStore()
+	base := c.RegisterBase("b", []string{"a"}, "", cost.Stats{}, nil)
+	rel := data.NewRelation(data.NewSchema("a"))
+	rel.Append(data.Row{value.NewInt(1)})
+	st.Put("v1", storage.View, rel)
+	c.RegisterView("v1", []string{"a"}, base.Ann, cost.Stats{}, "")
+	c.RegisterView("vgone", []string{"a"}, base.Ann, cost.Stats{}, "")
+	c.SyncWithStore(st)
+	if _, ok := c.Table("v1"); !ok {
+		t.Error("synced away live view")
+	}
+	if _, ok := c.Table("vgone"); ok {
+		t.Error("kept evicted view")
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	c := NewCatalog()
+	st := storage.NewStore()
+	rel := data.NewRelation(data.NewSchema("user_id", "score"))
+	for i := 0; i < 5000; i++ {
+		rel.Append(data.Row{value.NewInt(int64(i % 40)), value.NewFloat(float64(i))})
+	}
+	st.Put("v", storage.View, rel)
+	base := c.RegisterBase("b", []string{"user_id", "score"}, "", cost.Stats{}, nil)
+	info := c.RegisterView("v", []string{"user_id", "score"}, base.Ann, cost.Stats{}, "")
+	eng := mr.New(st, cost.DefaultParams())
+
+	overhead, err := c.CollectStats(eng, "v", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overhead <= 0 {
+		t.Error("no overhead charged")
+	}
+	// exact bytes
+	if info.Stats.Bytes != rel.EncodedSize() {
+		t.Errorf("Bytes = %d, want %d", info.Stats.Bytes, rel.EncodedSize())
+	}
+	// estimated rows within 3x of truth (1% sample of 5000 is noisy but sane)
+	if info.Stats.Rows < 1500 || info.Stats.Rows > 15000 {
+		t.Errorf("estimated Rows = %d, want ≈5000", info.Stats.Rows)
+	}
+	// distinct of a 40-value column should not be estimated near 5000
+	if d := info.DistinctOf("user_id"); d < 20 || d > 4000 {
+		t.Errorf("distinct(user_id) = %d", d)
+	}
+	// score is nearly unique per row: estimate should be near row estimate
+	if d := info.DistinctOf("score"); d < info.Stats.Rows/2 {
+		t.Errorf("distinct(score) = %d vs rows %d", d, info.Stats.Rows)
+	}
+
+	if _, err := c.CollectStats(eng, "missing", 1); err == nil {
+		t.Error("missing table accepted")
+	}
+	// registered in catalog but not in store
+	c.RegisterView("ghost", []string{"a"}, base.Ann, cost.Stats{}, "")
+	if _, err := c.CollectStats(eng, "ghost", 1); err == nil {
+		t.Error("ghost table accepted")
+	}
+}

@@ -1,0 +1,312 @@
+// Package mr is the MapReduce execution engine: it really executes map,
+// shuffle, and reduce phases over rows stored in the simulated HDFS,
+// materializes every job output (the opportunistic views), and accounts
+// data volumes exactly.
+//
+// Execution time is *simulated*: the engine feeds the measured volumes into
+// the same cost.Params the optimizer estimates with, yielding deterministic
+// per-job seconds. This substitutes for the paper's 20-node Hadoop cluster
+// (see DESIGN.md, Substitutions) while preserving what the evaluation
+// measures — relative execution time and bytes read/shuffled/written.
+package mr
+
+import (
+	"fmt"
+	"sort"
+
+	"opportune/internal/cost"
+	"opportune/internal/data"
+	"opportune/internal/storage"
+)
+
+// Emit passes one keyed row from a map task to the shuffle. For map-only
+// jobs the key is ignored.
+type Emit func(key string, r data.Row)
+
+// MapFunc processes one input row. input is the index into Job.Inputs,
+// letting joins tag which side a row came from (MR joins are a co-group of
+// multiple relations on a common key, §3.2).
+type MapFunc func(input int, r data.Row, emit Emit)
+
+// ReduceFunc processes one shuffle group.
+type ReduceFunc func(key string, rows []data.Row, emit func(data.Row))
+
+// Job is one MR job: map over the inputs, optional shuffle+reduce, output
+// materialized to the store.
+type Job struct {
+	Name   string
+	Inputs []string // dataset names read from the store
+
+	Map          MapFunc
+	MapOutSchema *data.Schema // schema of rows emitted by Map
+
+	// Combine, when set on a reduce job, runs map-side per split: rows a
+	// split emitted under one key are merged before the shuffle (the
+	// classic MR combiner). It must be algebraic: Reduce over combined
+	// partials must equal Reduce over the raw rows.
+	Combine ReduceFunc
+
+	Reduce       ReduceFunc   // nil for a map-only job
+	OutputSchema *data.Schema // schema of the materialized output
+
+	Output     string       // dataset name to materialize as
+	OutputKind storage.Kind // normally storage.View
+
+	// Costing metadata: local-function descriptors for the simulated CPU
+	// time of this job's map, combine, and reduce sides.
+	MapCost     []cost.LocalFn
+	CombineCost []cost.LocalFn
+	ReduceCost  []cost.LocalFn
+}
+
+// Result reports the measured volumes and simulated time of one job run.
+type Result struct {
+	Job          string
+	InputBytes   int64
+	InputRows    int64
+	CombineRows  int64 // rows fed to map-side combiners
+	Attempts     int   // execution attempts (>1 after recovered failures)
+	ShuffleBytes int64
+	ShuffleRows  int64
+	OutputBytes  int64
+	OutputRows   int64
+
+	Breakdown  cost.Breakdown
+	SimSeconds float64
+}
+
+// DataMovedBytes is the paper's "data manipulated" metric (Fig 8b): bytes
+// read from HDFS + moved across the network + written to HDFS.
+func (r Result) DataMovedBytes() int64 {
+	return r.InputBytes + r.ShuffleBytes + r.OutputBytes
+}
+
+// Engine executes jobs against a store.
+type Engine struct {
+	Store  *storage.Store
+	Params cost.Params
+
+	// MaxAttempts retries a job whose user code panicked (flaky UDFs are a
+	// fact of life in MR clusters). Every attempt restarts from the job's
+	// durable inputs — the very materializations the paper repurposes as
+	// opportunistic views exist to make this recovery possible. Failed
+	// attempts' simulated time is charged to the final result. Values < 2
+	// mean no retry.
+	MaxAttempts int
+}
+
+// New creates an engine over a store with the given cost parameters.
+func New(store *storage.Store, params cost.Params) *Engine {
+	return &Engine{Store: store, Params: params}
+}
+
+// Run executes one job: reads inputs, maps, shuffles (if reducing),
+// reduces, and materializes the output. The output relation is returned
+// along with measured volumes and simulated seconds. Panics in user code
+// (map/combine/reduce local functions) fail the attempt; the job restarts
+// from its durable inputs up to MaxAttempts times, with failed attempts'
+// simulated time charged to the result.
+func (e *Engine) Run(job *Job) (*data.Relation, *Result, error) {
+	attempts := e.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var wasted float64
+	for attempt := 1; ; attempt++ {
+		res := &Result{Job: job.Name}
+		rel, err := e.runAttempt(job, res)
+		if err != nil && attempt < attempts {
+			// Charge what the failed attempt read and computed before dying.
+			wasted += e.Params.JobCost(cost.JobSpec{
+				InputBytes: res.InputBytes,
+				InputRows:  res.InputRows,
+				MapFns:     job.MapCost,
+			}).Total()
+			continue
+		}
+		res.Attempts = attempt
+		res.SimSeconds += wasted
+		return rel, res, err
+	}
+}
+
+// runAttempt is one execution attempt; user-code panics become errors (the
+// partial volume accounting in res survives for wasted-time charging).
+func (e *Engine) runAttempt(job *Job, res *Result) (rel *data.Relation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rel = nil
+			err = fmt.Errorf("mr: job %q failed: %v", job.Name, r)
+		}
+	}()
+	return e.execute(job, res)
+}
+
+func (e *Engine) execute(job *Job, res *Result) (*data.Relation, error) {
+	if job.Map == nil {
+		return nil, fmt.Errorf("mr: job %q has no map function", job.Name)
+	}
+	if job.Output == "" {
+		return nil, fmt.Errorf("mr: job %q has no output name", job.Name)
+	}
+
+	// Map phase over each input, split into map tasks of Params.SplitRows
+	// input rows. When a combiner is set, each split's emissions are merged
+	// per key before entering the shuffle, so shuffle volume reflects the
+	// combined output (the point of combiners).
+	type keyed struct {
+		key string
+		row data.Row
+	}
+	var mapOut []keyed
+	var splitBuf []keyed
+	emit := func(key string, r data.Row) {
+		if len(r) != job.MapOutSchema.Len() {
+			panic(fmt.Sprintf("mr: job %q map emitted width %d, schema %s", job.Name, len(r), job.MapOutSchema))
+		}
+		splitBuf = append(splitBuf, keyed{key, r})
+	}
+	flushSplit := func() {
+		if len(splitBuf) == 0 {
+			return
+		}
+		if job.Combine == nil || job.Reduce == nil {
+			mapOut = append(mapOut, splitBuf...)
+			splitBuf = splitBuf[:0]
+			return
+		}
+		groups := make(map[string][]data.Row)
+		var order []string
+		for _, kr := range splitBuf {
+			if _, seen := groups[kr.key]; !seen {
+				order = append(order, kr.key)
+			}
+			groups[kr.key] = append(groups[kr.key], kr.row)
+		}
+		res.CombineRows += int64(len(splitBuf))
+		splitBuf = splitBuf[:0]
+		for _, k := range order {
+			key := k
+			job.Combine(key, groups[key], func(r data.Row) {
+				mapOut = append(mapOut, keyed{key, r})
+			})
+		}
+	}
+	splitRows := e.Params.SplitRows
+	if splitRows <= 0 {
+		splitRows = 1 << 62
+	}
+	for i, name := range job.Inputs {
+		rel, err := e.Store.Read(name)
+		if err != nil {
+			return nil, fmt.Errorf("mr: job %q: %w", job.Name, err)
+		}
+		res.InputBytes += rel.EncodedSize()
+		res.InputRows += int64(rel.Len())
+		for n, r := range rel.Rows() {
+			job.Map(i, r, emit)
+			if int64(n+1)%splitRows == 0 {
+				flushSplit()
+			}
+		}
+		flushSplit()
+	}
+
+	out := data.NewRelation(job.OutputSchema)
+	if job.Reduce == nil {
+		// Map-only: emitted rows are the output.
+		for _, kr := range mapOut {
+			out.Append(kr.row)
+		}
+	} else {
+		// Shuffle: group map output by key; account sort+transfer volume.
+		groups := make(map[string][]data.Row)
+		for _, kr := range mapOut {
+			res.ShuffleBytes += int64(kr.row.EncodedSize() + len(kr.key))
+			res.ShuffleRows++
+			groups[kr.key] = append(groups[kr.key], kr.row)
+		}
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic reduce order
+		emitOut := func(r data.Row) {
+			if len(r) != job.OutputSchema.Len() {
+				panic(fmt.Sprintf("mr: job %q reduce emitted width %d, schema %s", job.Name, len(r), job.OutputSchema))
+			}
+			out.Append(r)
+		}
+		for _, k := range keys {
+			job.Reduce(k, groups[k], emitOut)
+		}
+	}
+
+	res.OutputRows = int64(out.Len())
+	res.OutputBytes = out.EncodedSize()
+
+	// Materialize (every job output is retained: opportunistic views).
+	e.Store.Put(job.Output, job.OutputKind, out)
+
+	// Simulated execution time from measured volumes.
+	spec := cost.JobSpec{
+		InputBytes:   res.InputBytes,
+		InputRows:    res.InputRows,
+		MapFns:       job.MapCost,
+		CombineFns:   job.CombineCost,
+		CombineRows:  res.CombineRows,
+		ShuffleBytes: res.ShuffleBytes,
+		ShuffleRows:  res.ShuffleRows,
+		ReduceFns:    job.ReduceCost,
+		OutputBytes:  res.OutputBytes,
+	}
+	res.Breakdown = e.Params.JobCost(spec)
+	res.SimSeconds = res.Breakdown.Total()
+	return out, nil
+}
+
+// RunSequence executes jobs in order (callers supply a topological order of
+// the job DAG; each job's output is in the store before its consumers run).
+// It returns per-job results and the aggregate.
+func (e *Engine) RunSequence(jobs []*Job) ([]*Result, Aggregate, error) {
+	var results []*Result
+	var agg Aggregate
+	for _, j := range jobs {
+		_, res, err := e.Run(j)
+		if err != nil {
+			return results, agg, err
+		}
+		results = append(results, res)
+		agg.Jobs++
+		agg.SimSeconds += res.SimSeconds
+		agg.BytesRead += res.InputBytes
+		agg.BytesShuffled += res.ShuffleBytes
+		agg.BytesWritten += res.OutputBytes
+	}
+	return results, agg, nil
+}
+
+// Aggregate sums volumes and simulated time across a plan's jobs.
+type Aggregate struct {
+	Jobs          int
+	SimSeconds    float64
+	BytesRead     int64
+	BytesShuffled int64
+	BytesWritten  int64
+}
+
+// DataMovedBytes is total read+shuffle+write volume.
+func (a Aggregate) DataMovedBytes() int64 {
+	return a.BytesRead + a.BytesShuffled + a.BytesWritten
+}
+
+// Add merges another aggregate.
+func (a Aggregate) Add(o Aggregate) Aggregate {
+	return Aggregate{
+		Jobs:          a.Jobs + o.Jobs,
+		SimSeconds:    a.SimSeconds + o.SimSeconds,
+		BytesRead:     a.BytesRead + o.BytesRead,
+		BytesShuffled: a.BytesShuffled + o.BytesShuffled,
+		BytesWritten:  a.BytesWritten + o.BytesWritten,
+	}
+}

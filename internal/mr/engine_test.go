@@ -1,0 +1,339 @@
+package mr
+
+import (
+	"strings"
+	"testing"
+
+	"opportune/internal/cost"
+	"opportune/internal/data"
+	"opportune/internal/storage"
+	"opportune/internal/value"
+)
+
+func newEngine() (*Engine, *storage.Store) {
+	st := storage.NewStore()
+	return New(st, cost.DefaultParams()), st
+}
+
+func loadWords(st *storage.Store) {
+	rel := data.NewRelation(data.NewSchema("id", "text"))
+	rows := []string{"wine red wine", "beer", "red red red"}
+	for i, s := range rows {
+		rel.Append(data.Row{value.NewInt(int64(i)), value.NewStr(s)})
+	}
+	st.Put("docs", storage.Base, rel)
+}
+
+// wordCountJob is the canonical MR job: tokenize in map, sum in reduce.
+func wordCountJob() *Job {
+	mapOut := data.NewSchema("word", "n")
+	return &Job{
+		Name:   "wordcount",
+		Inputs: []string{"docs"},
+		Map: func(_ int, r data.Row, emit Emit) {
+			for _, w := range strings.Fields(r[1].Str()) {
+				emit(w, data.Row{value.NewStr(w), value.NewInt(1)})
+			}
+		},
+		MapOutSchema: mapOut,
+		Reduce: func(key string, rows []data.Row, emit func(data.Row)) {
+			var sum int64
+			for _, r := range rows {
+				sum += r[1].Int()
+			}
+			emit(data.Row{rows[0][0], value.NewInt(sum)})
+		},
+		OutputSchema: data.NewSchema("word", "count"),
+		Output:       "wc",
+		OutputKind:   storage.View,
+		MapCost:      []cost.LocalFn{{Ops: []cost.OpType{cost.OpAttr}, Scalar: 1}},
+		ReduceCost:   []cost.LocalFn{{Ops: []cost.OpType{cost.OpGroup}, Scalar: 1}},
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	e, st := newEngine()
+	loadWords(st)
+	out, res, err := e.Run(wordCountJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{}
+	for _, r := range out.Rows() {
+		counts[r[0].Str()] = r[1].Int()
+	}
+	want := map[string]int64{"wine": 2, "red": 4, "beer": 1}
+	for w, n := range want {
+		if counts[w] != n {
+			t.Errorf("count[%s] = %d, want %d", w, counts[w], n)
+		}
+	}
+	if len(counts) != 3 {
+		t.Errorf("distinct words = %d", len(counts))
+	}
+	// output materialized as a view
+	if !st.Has("wc") {
+		t.Error("output not materialized")
+	}
+	// volumes measured
+	if res.InputRows != 3 || res.InputBytes <= 0 {
+		t.Errorf("input volumes = %+v", res)
+	}
+	if res.ShuffleRows != 7 { // 7 words emitted
+		t.Errorf("ShuffleRows = %d, want 7", res.ShuffleRows)
+	}
+	if res.OutputRows != 3 {
+		t.Errorf("OutputRows = %d", res.OutputRows)
+	}
+	if res.SimSeconds <= 0 {
+		t.Error("no simulated time")
+	}
+	if res.DataMovedBytes() != res.InputBytes+res.ShuffleBytes+res.OutputBytes {
+		t.Error("DataMovedBytes mismatch")
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	e, st := newEngine()
+	loadWords(st)
+	schema := data.NewSchema("id")
+	job := &Job{
+		Name:   "project",
+		Inputs: []string{"docs"},
+		Map: func(_ int, r data.Row, emit Emit) {
+			emit("", data.Row{r[0]})
+		},
+		MapOutSchema: schema,
+		OutputSchema: schema,
+		Output:       "ids",
+		OutputKind:   storage.View,
+		MapCost:      []cost.LocalFn{{Ops: []cost.OpType{cost.OpAttr}, Scalar: 1}},
+	}
+	out, res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Errorf("rows = %d", out.Len())
+	}
+	if res.ShuffleBytes != 0 || res.ShuffleRows != 0 {
+		t.Errorf("map-only job shuffled: %+v", res)
+	}
+	if res.Breakdown.Ct != 0 || res.Breakdown.Cr != 0 {
+		t.Errorf("map-only job has transfer/reduce cost: %v", res.Breakdown)
+	}
+}
+
+func TestMultiInputCoGroupJoin(t *testing.T) {
+	e, st := newEngine()
+	left := data.NewRelation(data.NewSchema("uid", "name"))
+	left.Append(data.Row{value.NewInt(1), value.NewStr("ann")})
+	left.Append(data.Row{value.NewInt(2), value.NewStr("bob")})
+	right := data.NewRelation(data.NewSchema("uid", "city"))
+	right.Append(data.Row{value.NewInt(1), value.NewStr("sf")})
+	right.Append(data.Row{value.NewInt(3), value.NewStr("la")})
+	st.Put("users", storage.Base, left)
+	st.Put("homes", storage.Base, right)
+
+	mapOut := data.NewSchema("side", "uid", "payload")
+	job := &Job{
+		Name:   "join",
+		Inputs: []string{"users", "homes"},
+		Map: func(input int, r data.Row, emit Emit) {
+			emit(r[0].String(), data.Row{value.NewInt(int64(input)), r[0], r[1]})
+		},
+		MapOutSchema: mapOut,
+		Reduce: func(_ string, rows []data.Row, emit func(data.Row)) {
+			var names, cities []value.V
+			var uid value.V
+			for _, r := range rows {
+				uid = r[1]
+				if r[0].Int() == 0 {
+					names = append(names, r[2])
+				} else {
+					cities = append(cities, r[2])
+				}
+			}
+			for _, n := range names {
+				for _, c := range cities {
+					emit(data.Row{uid, n, c})
+				}
+			}
+		},
+		OutputSchema: data.NewSchema("uid", "name", "city"),
+		Output:       "joined",
+		OutputKind:   storage.View,
+	}
+	out, _, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("join rows = %d, want 1", out.Len())
+	}
+	r := out.Row(0)
+	if r[0].Int() != 1 || r[1].Str() != "ann" || r[2].Str() != "sf" {
+		t.Errorf("join row = %v", r)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	e, _ := newEngine()
+	if _, _, err := e.Run(&Job{Name: "x", Output: "o"}); err == nil {
+		t.Error("nil map accepted")
+	}
+	if _, _, err := e.Run(&Job{Name: "x", Map: func(int, data.Row, Emit) {}}); err == nil {
+		t.Error("empty output name accepted")
+	}
+	job := wordCountJob()
+	job.Inputs = []string{"missing"}
+	if _, _, err := e.Run(job); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	run := func() uint64 {
+		e, st := newEngine()
+		loadWords(st)
+		out, _, err := e.Run(wordCountJob())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Fingerprint()
+	}
+	if run() != run() {
+		t.Error("engine output not deterministic")
+	}
+}
+
+func TestRunSequenceAndAggregate(t *testing.T) {
+	e, st := newEngine()
+	loadWords(st)
+	wc := wordCountJob()
+	filterSchema := data.NewSchema("word", "count")
+	filter := &Job{
+		Name:   "popular",
+		Inputs: []string{"wc"},
+		Map: func(_ int, r data.Row, emit Emit) {
+			if r[1].Int() >= 2 {
+				emit("", r)
+			}
+		},
+		MapOutSchema: filterSchema,
+		OutputSchema: filterSchema,
+		Output:       "popular",
+		OutputKind:   storage.View,
+		MapCost:      []cost.LocalFn{{Ops: []cost.OpType{cost.OpFilter}, Scalar: 1}},
+	}
+	results, agg, err := e.RunSequence([]*Job{wc, filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || agg.Jobs != 2 {
+		t.Fatalf("results = %d, agg = %+v", len(results), agg)
+	}
+	out, err := st.Read("popular")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 { // wine(2), red(4)
+		t.Errorf("popular rows = %d", out.Len())
+	}
+	if agg.SimSeconds != results[0].SimSeconds+results[1].SimSeconds {
+		t.Error("aggregate time mismatch")
+	}
+	sum := agg.Add(Aggregate{Jobs: 1, SimSeconds: 1})
+	if sum.Jobs != 3 {
+		t.Error("Aggregate.Add wrong")
+	}
+	if agg.DataMovedBytes() != agg.BytesRead+agg.BytesShuffled+agg.BytesWritten {
+		t.Error("aggregate DataMovedBytes mismatch")
+	}
+	// failure propagates
+	bad := wordCountJob()
+	bad.Inputs = []string{"missing"}
+	if _, _, err := e.RunSequence([]*Job{bad}); err == nil {
+		t.Error("RunSequence swallowed error")
+	}
+}
+
+func TestMapEmitWidthBecomesJobFailure(t *testing.T) {
+	// Contract violations in user code fail the job (like a real cluster),
+	// they do not crash the engine.
+	e, st := newEngine()
+	loadWords(st)
+	job := wordCountJob()
+	job.Map = func(_ int, r data.Row, emit Emit) {
+		emit("k", data.Row{r[0]}) // wrong width
+	}
+	_, res, err := e.Run(job)
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("wrong-width emit: err = %v", err)
+	}
+	if res == nil || res.Attempts != 1 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestFlakyUDFRetriesFromDurableInputs(t *testing.T) {
+	e, st := newEngine()
+	loadWords(st)
+	e.MaxAttempts = 3
+	failures := 2
+	job := wordCountJob()
+	orig := job.Map
+	job.Map = func(i int, r data.Row, emit Emit) {
+		if failures > 0 && r[0].Int() == 1 {
+			failures--
+			panic("transient UDF failure")
+		}
+		orig(i, r, emit)
+	}
+	out, res, err := e.Run(job)
+	if err != nil {
+		t.Fatalf("job did not recover: %v", err)
+	}
+	if res.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", res.Attempts)
+	}
+	if out.Len() != 3 {
+		t.Errorf("rows = %d", out.Len())
+	}
+	// failed attempts' simulated time is charged
+	e2, st2 := newEngine()
+	loadWords(st2)
+	_, clean, err := e2.Run(wordCountJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimSeconds <= clean.SimSeconds {
+		t.Errorf("retries not charged: %g vs clean %g", res.SimSeconds, clean.SimSeconds)
+	}
+	// permanent failure exhausts attempts
+	e.MaxAttempts = 2
+	job2 := wordCountJob()
+	job2.Map = func(int, data.Row, Emit) { panic("permanent") }
+	if _, res, err := e.Run(job2); err == nil || res.Attempts != 2 {
+		t.Errorf("permanent failure: err=%v res=%+v", err, res)
+	}
+}
+
+// BenchmarkWordCountJob measures raw engine throughput on the canonical
+// map+shuffle+reduce job.
+func BenchmarkWordCountJob(b *testing.B) {
+	st := storage.NewStore()
+	rel := data.NewRelation(data.NewSchema("id", "text"))
+	for i := 0; i < 10000; i++ {
+		rel.Append(data.Row{value.NewInt(int64(i)), value.NewStr("the quick brown fox jumps over the lazy dog")})
+	}
+	st.Put("docs", storage.Base, rel)
+	e := New(st, cost.DefaultParams())
+	b.SetBytes(rel.EncodedSize() / int64(rel.Len()) * 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Run(wordCountJob()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

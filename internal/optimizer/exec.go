@@ -1,0 +1,564 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+
+	"opportune/internal/cost"
+	"opportune/internal/data"
+	"opportune/internal/mr"
+	"opportune/internal/plan"
+	"opportune/internal/storage"
+	"opportune/internal/udf"
+	"opportune/internal/value"
+)
+
+// Executable compiles the job DAG into runnable engine jobs in topological
+// order. Every job materializes its output under its deterministic view
+// name; when finalName is nonempty the sink additionally gets that name as
+// its output (the named result table of a CREATE TABLE ... AS query).
+func (o *Optimizer) Executable(w *Work, finalName string) ([]*mr.Job, error) {
+	jobs := make([]*mr.Job, 0, len(w.Nodes))
+	for _, jn := range w.Nodes {
+		out := jn.ViewName
+		if finalName != "" && jn == w.Sink() {
+			out = finalName
+		}
+		job, err := o.executableJob(jn, out)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, job)
+	}
+	return jobs, nil
+}
+
+// pipeline is a compiled map-side operator chain: it transforms one source
+// row into zero or more rows of the boundary-input schema.
+type pipeline func(r data.Row, emit func(data.Row))
+
+// buildPipeline compiles a stream's operator chain against its source
+// columns, also returning the engine-side local-function costs.
+func (o *Optimizer) buildPipeline(st stream) (pipeline, []cost.LocalFn, error) {
+	fn := pipeline(func(r data.Row, emit func(data.Row)) { emit(r) })
+	cols := st.srcCols
+	var fns []cost.LocalFn
+	for _, op := range st.ops {
+		stage, err := o.buildStage(op, cols)
+		if err != nil {
+			return nil, nil, err
+		}
+		prev := fn
+		fn = func(r data.Row, emit func(data.Row)) {
+			prev(r, func(mid data.Row) { stage(mid, emit) })
+		}
+		cols = op.OutCols
+		fns = append(fns, o.localFn(op, true))
+	}
+	return fn, fns, nil
+}
+
+// buildStage compiles a single pipeline operator given its input columns.
+func (o *Optimizer) buildStage(op *plan.Node, inCols []string) (pipeline, error) {
+	inSchema := data.NewSchema(inCols...)
+	switch op.Kind {
+	case plan.KindProject:
+		idxs := make([]int, len(op.Cols))
+		for i, c := range op.Cols {
+			ix, ok := inSchema.Index(c)
+			if !ok {
+				return nil, fmt.Errorf("optimizer: project column %q missing at execution", c)
+			}
+			idxs[i] = ix
+		}
+		return func(r data.Row, emit func(data.Row)) {
+			out := make(data.Row, len(idxs))
+			for i, ix := range idxs {
+				out[i] = r[ix]
+			}
+			emit(out)
+		}, nil
+
+	case plan.KindFilter:
+		pred, err := o.Eval.Compile(op.Pred, inSchema)
+		if err != nil {
+			return nil, err
+		}
+		return func(r data.Row, emit func(data.Row)) {
+			if pred(r) {
+				emit(r)
+			}
+		}, nil
+
+	case plan.KindUDF:
+		d, ok := o.Cat.UDFs.Get(op.UDFName)
+		if !ok || d.Kind != udf.KindMap {
+			return nil, fmt.Errorf("optimizer: %q is not a map UDF", op.UDFName)
+		}
+		argIdx := make([]int, len(op.UDFArgs))
+		for i, c := range op.UDFArgs {
+			ix, ok := inSchema.Index(c)
+			if !ok {
+				return nil, fmt.Errorf("optimizer: UDF arg column %q missing at execution", c)
+			}
+			argIdx[i] = ix
+		}
+		params := op.UDFParams
+		explode := d.Explode
+		var rowCounter int64
+		return func(r data.Row, emit func(data.Row)) {
+			args := make([]value.V, len(argIdx))
+			for i, ix := range argIdx {
+				args[i] = r[ix]
+			}
+			for _, outVals := range d.Map(args, params) {
+				out := make(data.Row, 0, len(r)+len(outVals)+1)
+				out = append(out, r...)
+				out = append(out, outVals...)
+				if explode {
+					rowCounter++
+					out = append(out, value.NewInt(rowCounter))
+				}
+				emit(out)
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("optimizer: operator %s cannot run map-side", op.Kind)
+}
+
+// executableJob compiles one JobNode into an engine job.
+func (o *Optimizer) executableJob(jn *JobNode, outName string) (*mr.Job, error) {
+	boundary := jn.Logical
+	job := &mr.Job{
+		Name:         fmt.Sprintf("job%d-%s", jn.Index, boundary.Kind),
+		Output:       outName,
+		OutputKind:   storage.View,
+		OutputSchema: data.NewSchema(jn.OutCols...),
+	}
+	pipes := make([]pipeline, len(jn.streams))
+	for i, st := range jn.streams {
+		p, fns, err := o.buildPipeline(st)
+		if err != nil {
+			return nil, err
+		}
+		pipes[i] = p
+		job.Inputs = append(job.Inputs, st.inputName())
+		job.MapCost = append(job.MapCost, fns...)
+	}
+
+	if !o.isBoundary(boundary) {
+		// Map-only job: single stream, pipeline output is the job output.
+		job.MapOutSchema = job.OutputSchema
+		p := pipes[0]
+		job.Map = func(_ int, r data.Row, emit mr.Emit) {
+			p(r, func(out data.Row) { emit("", out) })
+		}
+		return job, nil
+	}
+
+	switch boundary.Kind {
+	case plan.KindJoin:
+		return o.joinJob(jn, job, pipes)
+	case plan.KindGroupAgg:
+		return o.groupAggJob(jn, job, pipes)
+	case plan.KindUDF:
+		return o.aggUDFJob(jn, job, pipes)
+	case plan.KindSort:
+		return o.sortJob(jn, job, pipes)
+	}
+	return nil, fmt.Errorf("optimizer: unexpected boundary %s", boundary.Kind)
+}
+
+// joinJob compiles an equi-join: both sides shuffle on the join key; rows
+// are padded to a shared width with a side tag (a co-group, §3.2).
+func (o *Optimizer) joinJob(jn *JobNode, job *mr.Job, pipes []pipeline) (*mr.Job, error) {
+	boundary := jn.Logical
+	lCols := jn.streams[0].outNode.OutCols
+	rCols := jn.streams[1].outNode.OutCols
+	lIdx, ok := indexOf(lCols, boundary.LCol)
+	if !ok {
+		return nil, fmt.Errorf("optimizer: join key %q missing from left stream", boundary.LCol)
+	}
+	rIdx, ok := indexOf(rCols, boundary.RCol)
+	if !ok {
+		return nil, fmt.Errorf("optimizer: join key %q missing from right stream", boundary.RCol)
+	}
+	// Shuffle schema: side tag + left columns + right columns (null-padded).
+	shufCols := make([]string, 0, 1+len(lCols)+len(rCols))
+	shufCols = append(shufCols, "_side")
+	for _, c := range lCols {
+		shufCols = append(shufCols, "_l_"+c)
+	}
+	for _, c := range rCols {
+		shufCols = append(shufCols, "_r_"+c)
+	}
+	job.MapOutSchema = data.NewSchema(shufCols...)
+	width := 1 + len(lCols) + len(rCols)
+
+	job.Map = func(input int, r data.Row, emit mr.Emit) {
+		pipes[input](r, func(row data.Row) {
+			out := make(data.Row, width)
+			out[0] = value.NewInt(int64(input))
+			var key value.V
+			if input == 0 {
+				copy(out[1:], row)
+				key = row[lIdx]
+			} else {
+				copy(out[1+len(lCols):], row)
+				key = row[rIdx]
+			}
+			if key.IsNull() {
+				return // null keys never join
+			}
+			emit(key.String(), out)
+		})
+	}
+	job.Reduce = func(_ string, rows []data.Row, emit func(data.Row)) {
+		var ls, rs []data.Row
+		for _, r := range rows {
+			if r[0].Int() == 0 {
+				ls = append(ls, r[1:1+len(lCols)])
+			} else {
+				rs = append(rs, r[1+len(lCols):])
+			}
+		}
+		// Output columns: left columns then the right columns that survived
+		// (OutCols computed at annotation time).
+		rKeep := make([]int, 0, len(rCols))
+		for i := len(lCols); i < len(jn.OutCols); i++ {
+			ix, _ := indexOf(rCols, jn.OutCols[i])
+			rKeep = append(rKeep, ix)
+		}
+		for _, l := range ls {
+			for _, r := range rs {
+				out := make(data.Row, 0, len(jn.OutCols))
+				out = append(out, l...)
+				for _, ix := range rKeep {
+					out = append(out, r[ix])
+				}
+				emit(out)
+			}
+		}
+	}
+	job.ReduceCost = []cost.LocalFn{{Ops: []cost.OpType{cost.OpGroup, cost.OpFilter}, Scalar: 1}}
+	job.MapCost = append(job.MapCost, cost.LocalFn{Ops: []cost.OpType{cost.OpAttr}, Scalar: 1})
+	return job, nil
+}
+
+// groupAggJob compiles a group-by with built-in aggregates as a two-phase
+// aggregation: the map side emits per-row partial states, a combiner merges
+// partials within each map split (shrinking the shuffle), and the reducer
+// merges and finalizes. All built-ins are algebraic (AVG decomposes into
+// sum+count partials).
+func (o *Optimizer) groupAggJob(jn *JobNode, job *mr.Job, pipes []pipeline) (*mr.Job, error) {
+	boundary := jn.Logical
+	inCols := jn.streams[0].outNode.OutCols
+	keyIdx := make([]int, len(boundary.Keys))
+	for i, k := range boundary.Keys {
+		ix, ok := indexOf(inCols, k)
+		if !ok {
+			return nil, fmt.Errorf("optimizer: group key %q missing from stream", k)
+		}
+		keyIdx[i] = ix
+	}
+	aggs := make([]aggPhys, len(boundary.Aggs))
+	shufCols := make([]string, 0, len(keyIdx)+2*len(aggs))
+	for _, k := range boundary.Keys {
+		shufCols = append(shufCols, "_k_"+k)
+	}
+	off := len(keyIdx)
+	for i, a := range boundary.Aggs {
+		srcIdx := -1
+		if a.Col != "" {
+			ix, ok := indexOf(inCols, a.Col)
+			if !ok {
+				return nil, fmt.Errorf("optimizer: aggregate column %q missing from stream", a.Col)
+			}
+			srcIdx = ix
+		}
+		aggs[i] = aggPhys{fn: a.Func, src: srcIdx, off: off}
+		for p := 0; p < aggs[i].width(); p++ {
+			shufCols = append(shufCols, fmt.Sprintf("_p%d_%d", i, p))
+		}
+		off += aggs[i].width()
+	}
+	job.MapOutSchema = data.NewSchema(shufCols...)
+	nKeys := len(keyIdx)
+
+	job.Map = func(_ int, r data.Row, emit mr.Emit) {
+		pipes[0](r, func(row data.Row) {
+			out := make(data.Row, 0, len(shufCols))
+			for _, ix := range keyIdx {
+				out = append(out, row[ix])
+			}
+			for _, a := range aggs {
+				out = append(out, a.initPartials(row)...)
+			}
+			emit(data.Key(out, keyRange(nKeys)), out)
+		})
+	}
+	mergeGroup := func(rows []data.Row) data.Row {
+		acc := rows[0].Clone()
+		for _, r := range rows[1:] {
+			for _, a := range aggs {
+				a.merge(acc, r)
+			}
+		}
+		return acc
+	}
+	job.Combine = func(_ string, rows []data.Row, emit func(data.Row)) {
+		emit(mergeGroup(rows))
+	}
+	job.Reduce = func(_ string, rows []data.Row, emit func(data.Row)) {
+		acc := mergeGroup(rows)
+		out := make(data.Row, 0, len(jn.OutCols))
+		out = append(out, acc[:nKeys]...)
+		for _, a := range aggs {
+			out = append(out, a.finalize(acc))
+		}
+		emit(out)
+	}
+	if !o.combinersOn() {
+		job.Combine = nil
+	}
+	job.CombineCost = []cost.LocalFn{{Ops: []cost.OpType{cost.OpGroup}, Scalar: 1}}
+	job.ReduceCost = []cost.LocalFn{{Ops: []cost.OpType{cost.OpGroup}, Scalar: 1}}
+	return job, nil
+}
+
+func keyRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// aggPhys is the physical (partial-state) form of one aggregate: src is the
+// input column (-1 for COUNT(*)), off the first partial column in the
+// shuffle row.
+type aggPhys struct {
+	fn  plan.AggFunc
+	src int
+	off int
+}
+
+// width is the number of partial-state columns (AVG carries sum and count).
+func (a aggPhys) width() int {
+	if a.fn == plan.AggAvg {
+		return 2
+	}
+	return 1
+}
+
+// initPartials builds the partial state for one input row.
+func (a aggPhys) initPartials(row data.Row) []value.V {
+	switch a.fn {
+	case plan.AggCount:
+		if a.src < 0 || !row[a.src].IsNull() {
+			return []value.V{value.NewInt(1)}
+		}
+		return []value.V{value.NewInt(0)}
+	case plan.AggSum:
+		if row[a.src].IsNull() {
+			return []value.V{value.NewFloat(0)}
+		}
+		return []value.V{value.NewFloat(row[a.src].Float())}
+	case plan.AggAvg:
+		if row[a.src].IsNull() {
+			return []value.V{value.NewFloat(0), value.NewInt(0)}
+		}
+		return []value.V{value.NewFloat(row[a.src].Float()), value.NewInt(1)}
+	case plan.AggMin, plan.AggMax:
+		return []value.V{row[a.src]}
+	}
+	return []value.V{value.NullV}
+}
+
+// merge folds row's partial state into acc (in place).
+func (a aggPhys) merge(acc, row data.Row) {
+	switch a.fn {
+	case plan.AggCount:
+		acc[a.off] = value.NewInt(acc[a.off].Int() + row[a.off].Int())
+	case plan.AggSum:
+		acc[a.off] = value.NewFloat(acc[a.off].Float() + row[a.off].Float())
+	case plan.AggAvg:
+		acc[a.off] = value.NewFloat(acc[a.off].Float() + row[a.off].Float())
+		acc[a.off+1] = value.NewInt(acc[a.off+1].Int() + row[a.off+1].Int())
+	case plan.AggMin, plan.AggMax:
+		v := row[a.off]
+		if v.IsNull() {
+			return
+		}
+		cur := acc[a.off]
+		if cur.IsNull() ||
+			(a.fn == plan.AggMin && value.Compare(v, cur) < 0) ||
+			(a.fn == plan.AggMax && value.Compare(v, cur) > 0) {
+			acc[a.off] = v
+		}
+	}
+}
+
+// finalize converts the merged partial state into the output value.
+func (a aggPhys) finalize(acc data.Row) value.V {
+	switch a.fn {
+	case plan.AggCount:
+		return acc[a.off]
+	case plan.AggSum:
+		return acc[a.off]
+	case plan.AggAvg:
+		n := acc[a.off+1].Int()
+		if n == 0 {
+			return value.NullV
+		}
+		return value.NewFloat(acc[a.off].Float() / float64(n))
+	case plan.AggMin, plan.AggMax:
+		return acc[a.off]
+	}
+	return value.NullV
+}
+
+// aggUDFJob compiles an aggregate UDF: PreMap map-side, Reduce per group.
+func (o *Optimizer) aggUDFJob(jn *JobNode, job *mr.Job, pipes []pipeline) (*mr.Job, error) {
+	boundary := jn.Logical
+	d, ok := o.Cat.UDFs.Get(boundary.UDFName)
+	if !ok || d.Kind != udf.KindAgg {
+		return nil, fmt.Errorf("optimizer: %q is not an aggregate UDF", boundary.UDFName)
+	}
+	inCols := jn.streams[0].outNode.OutCols
+	argIdx := make([]int, len(boundary.UDFArgs))
+	for i, c := range boundary.UDFArgs {
+		ix, ok := indexOf(inCols, c)
+		if !ok {
+			return nil, fmt.Errorf("optimizer: UDF arg column %q missing from stream", c)
+		}
+		argIdx[i] = ix
+	}
+	params := boundary.UDFParams
+	nKeys := len(d.KeyNames)
+	payloadW := d.PayloadWidth()
+
+	shufCols := make([]string, 0, nKeys+payloadW)
+	for _, k := range d.KeyNames {
+		shufCols = append(shufCols, "_k_"+k)
+	}
+	for i := 0; i < payloadW; i++ {
+		shufCols = append(shufCols, fmt.Sprintf("_p%d", i))
+	}
+	job.MapOutSchema = data.NewSchema(shufCols...)
+
+	preMap := d.PreMap
+	if preMap == nil {
+		keyArgs := d.KeyArgs
+		preMap = func(args, _ []value.V) ([]value.V, []value.V, bool) {
+			keys := make([]value.V, len(keyArgs))
+			isKey := make(map[int]bool, len(keyArgs))
+			for i, ka := range keyArgs {
+				keys[i] = args[ka]
+				isKey[ka] = true
+			}
+			payload := make([]value.V, 0, len(args)-len(keyArgs))
+			for i, a := range args {
+				if !isKey[i] {
+					payload = append(payload, a)
+				}
+			}
+			return keys, payload, true
+		}
+	}
+	keyIdxs := make([]int, nKeys)
+	for i := range keyIdxs {
+		keyIdxs[i] = i
+	}
+	job.Map = func(_ int, r data.Row, emit mr.Emit) {
+		pipes[0](r, func(row data.Row) {
+			args := make([]value.V, len(argIdx))
+			for i, ix := range argIdx {
+				args[i] = row[ix]
+			}
+			keys, payload, keep := preMap(args, params)
+			if !keep {
+				return
+			}
+			out := make(data.Row, 0, nKeys+payloadW)
+			out = append(out, keys...)
+			out = append(out, payload...)
+			for len(out) < nKeys+payloadW {
+				out = append(out, value.NullV)
+			}
+			emit(data.Key(out, keyIdxs), out)
+		})
+	}
+	job.Reduce = func(_ string, rows []data.Row, emit func(data.Row)) {
+		keys := rows[0][:nKeys]
+		payloads := make([][]value.V, len(rows))
+		for i, r := range rows {
+			payloads[i] = r[nKeys:]
+		}
+		outVals := d.Reduce(keys, payloads, params)
+		if outVals == nil {
+			return
+		}
+		out := make(data.Row, 0, nKeys+len(outVals))
+		out = append(out, keys...)
+		out = append(out, outVals...)
+		emit(out)
+	}
+	job.MapCost = append(job.MapCost, cost.LocalFn{Ops: d.MapOps, Scalar: d.TrueScalar})
+	job.ReduceCost = []cost.LocalFn{{Ops: d.ReduceOps, Scalar: d.TrueScalar}}
+	return job, nil
+}
+
+// sortJob compiles ORDER BY [LIMIT] as a single-reducer total sort (the
+// naive Hive strategy): every row shuffles under one key; the reducer sorts
+// and truncates.
+func (o *Optimizer) sortJob(jn *JobNode, job *mr.Job, pipes []pipeline) (*mr.Job, error) {
+	boundary := jn.Logical
+	inCols := jn.streams[0].outNode.OutCols
+	sortIdx := make([]int, len(boundary.SortCols))
+	for i, c := range boundary.SortCols {
+		ix, ok := indexOf(inCols, c)
+		if !ok {
+			return nil, fmt.Errorf("optimizer: sort column %q missing from stream", c)
+		}
+		sortIdx[i] = ix
+	}
+	desc := boundary.SortDesc
+	limit := boundary.Limit
+	job.MapOutSchema = data.NewSchema(inCols...)
+	job.Map = func(_ int, r data.Row, emit mr.Emit) {
+		pipes[0](r, func(row data.Row) { emit("", row) })
+	}
+	job.Reduce = func(_ string, rows []data.Row, emit func(data.Row)) {
+		sorted := append([]data.Row(nil), rows...)
+		sort.SliceStable(sorted, func(a, b int) bool {
+			for i, ix := range sortIdx {
+				c := value.Compare(sorted[a][ix], sorted[b][ix])
+				if len(desc) > i && desc[i] {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		for i, r := range sorted {
+			if limit >= 0 && int64(i) >= limit {
+				return
+			}
+			emit(r)
+		}
+	}
+	job.ReduceCost = []cost.LocalFn{{Ops: []cost.OpType{cost.OpGroup}, Scalar: 1}}
+	return job, nil
+}
+
+func indexOf(cols []string, c string) (int, bool) {
+	for i, x := range cols {
+		if x == c {
+			return i, true
+		}
+	}
+	return -1, false
+}

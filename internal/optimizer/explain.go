@@ -1,0 +1,47 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the compiled job DAG with both per-node annotations of
+// §2.1 — the logical (A,F,K) expression and the estimated cost — plus the
+// materialization name each job's output is retained under. This is the
+// system's EXPLAIN output.
+func (w *Work) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan W: %d MR job(s), estimated total %.4fs\n", len(w.Nodes), w.TotalCost())
+	for _, jn := range w.Nodes {
+		fmt.Fprintf(&sb, "\nNODE%d (%s", jn.Index+1, jn.Logical.Kind)
+		if len(jn.Deps) > 0 {
+			deps := make([]string, len(jn.Deps))
+			for i, d := range jn.Deps {
+				deps[i] = fmt.Sprintf("NODE%d", d.Index+1)
+			}
+			fmt.Fprintf(&sb, " <- %s", strings.Join(deps, ", "))
+		}
+		sb.WriteString(")\n")
+		fmt.Fprintf(&sb, "  materializes: %s  (est. %d rows, %d bytes)\n", jn.ViewName, jn.Est.Rows, jn.Est.Bytes)
+		fmt.Fprintf(&sb, "  cost: %s\n", jn.EstCost)
+		fmt.Fprintf(&sb, "  A: %s\n", strings.Join(jn.Ann.Names(), ", "))
+		fmt.Fprintf(&sb, "  F: %s\n", jn.Ann.F)
+		keys := make([]string, 0, len(jn.Ann.K))
+		for _, s := range jn.Ann.K.Sigs() {
+			keys = append(keys, s.String())
+		}
+		fmt.Fprintf(&sb, "  K: {%s}\n", strings.Join(keys, ", "))
+		for i, st := range jn.streams {
+			ops := make([]string, len(st.ops))
+			for j, op := range st.ops {
+				ops[j] = op.Kind.String()
+			}
+			pipeline := "(direct)"
+			if len(ops) > 0 {
+				pipeline = strings.Join(ops, " -> ")
+			}
+			fmt.Fprintf(&sb, "  map-in %d: %s %s\n", i+1, st.inputName(), pipeline)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,335 @@
+// Package persist saves and restores a system's state — base logs,
+// opportunistic views, and the catalog metadata that makes them reusable
+// (annotations, statistics, plan fingerprints, functional dependencies, UDF
+// calibration scalars) — so the physical design survives process restarts.
+//
+// Layout under the target directory:
+//
+//	catalog.json       — tables, annotations, stats, FDs, UDF scalars
+//	tables/<name>.tbl  — binary relation data (see data.Relation.Write)
+//
+// UDF code cannot be persisted; callers re-register the same UDF library
+// after Open, and the saved calibration scalars are re-applied to matching
+// names (skipping the sample runs).
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"opportune/internal/afk"
+	"opportune/internal/cost"
+	"opportune/internal/data"
+	"opportune/internal/expr"
+	"opportune/internal/session"
+	"opportune/internal/storage"
+	"opportune/internal/value"
+)
+
+// --- JSON DTOs ---
+
+type sigDTO struct {
+	Dataset string   `json:"dataset,omitempty"`
+	Column  string   `json:"column,omitempty"`
+	UDF     string   `json:"udf,omitempty"`
+	Params  string   `json:"params,omitempty"`
+	Inputs  []sigDTO `json:"inputs,omitempty"`
+	Agg     bool     `json:"agg,omitempty"`
+	CtxF    string   `json:"ctxF,omitempty"`
+	GroupBy []sigDTO `json:"groupBy,omitempty"`
+}
+
+type predDTO struct {
+	Kind    int      `json:"kind"`
+	Attr    string   `json:"attr,omitempty"`
+	Op      int      `json:"op,omitempty"`
+	LitKind int      `json:"litKind,omitempty"`
+	Lit     string   `json:"lit,omitempty"`
+	Attr2   string   `json:"attr2,omitempty"`
+	Name    string   `json:"name,omitempty"`
+	Args    []string `json:"args,omitempty"`
+}
+
+type attrDTO struct {
+	Name string `json:"name"`
+	Sig  sigDTO `json:"sig"`
+}
+
+type annDTO struct {
+	Attrs   []attrDTO `json:"attrs"`
+	F       []predDTO `json:"f,omitempty"`
+	K       []sigDTO  `json:"k,omitempty"`
+	Grouped bool      `json:"grouped,omitempty"`
+	Limited bool      `json:"limited,omitempty"`
+}
+
+type tableDTO struct {
+	Name     string           `json:"name"`
+	Cols     []string         `json:"cols"`
+	KeyCol   string           `json:"keyCol,omitempty"`
+	IsView   bool             `json:"isView,omitempty"`
+	PlanFP   string           `json:"planFP,omitempty"`
+	Rows     int64            `json:"rows"`
+	Bytes    int64            `json:"bytes"`
+	Distinct map[string]int64 `json:"distinct,omitempty"`
+	Ann      annDTO           `json:"ann"`
+}
+
+type fdDTO struct {
+	From []string `json:"from"`
+	To   string   `json:"to"`
+}
+
+type catalogDTO struct {
+	Version    int                `json:"version"`
+	Tables     []tableDTO         `json:"tables"`
+	FDs        []fdDTO            `json:"fds"`
+	UDFScalars map[string]float64 `json:"udfScalars,omitempty"`
+}
+
+// --- encoding ---
+
+func sigToDTO(s *afk.Sig) sigDTO {
+	d := sigDTO{Dataset: s.Dataset, Column: s.Column, UDF: s.UDF, Params: s.Params, Agg: s.Agg, CtxF: s.CtxF}
+	for _, in := range s.Inputs {
+		d.Inputs = append(d.Inputs, sigToDTO(in))
+	}
+	for _, k := range s.GroupBy {
+		d.GroupBy = append(d.GroupBy, sigToDTO(k))
+	}
+	return d
+}
+
+func sigFromDTO(d sigDTO) *afk.Sig {
+	if d.UDF == "" {
+		return afk.BaseSig(d.Dataset, d.Column)
+	}
+	inputs := make([]*afk.Sig, len(d.Inputs))
+	for i, in := range d.Inputs {
+		inputs[i] = sigFromDTO(in)
+	}
+	if !d.Agg {
+		return afk.DerivedSig(d.UDF, d.Params, inputs)
+	}
+	groupBy := make([]*afk.Sig, len(d.GroupBy))
+	for i, k := range d.GroupBy {
+		groupBy[i] = sigFromDTO(k)
+	}
+	return afk.AggSig(d.UDF, d.Params, inputs, d.CtxF, groupBy)
+}
+
+func litToDTO(v value.V) (int, string) { return int(v.Kind()), v.String() }
+
+func litFromDTO(kind int, s string) (value.V, error) {
+	switch value.Kind(kind) {
+	case value.Null:
+		return value.NullV, nil
+	case value.Str:
+		return value.NewStr(s), nil
+	default:
+		v := value.Parse(s)
+		if int(v.Kind()) != kind {
+			// e.g. "1" persisted from a Float literal parses as Int.
+			switch value.Kind(kind) {
+			case value.Float:
+				if v.IsNumeric() {
+					return value.NewFloat(v.Float()), nil
+				}
+			case value.Int:
+				if v.IsNumeric() {
+					return value.NewInt(int64(v.Float())), nil
+				}
+			}
+			return value.NullV, fmt.Errorf("persist: literal %q does not parse as kind %d", s, kind)
+		}
+		return v, nil
+	}
+}
+
+func predToDTO(p expr.Pred) predDTO {
+	d := predDTO{Kind: int(p.Kind), Attr: p.Attr, Op: int(p.Op), Attr2: p.Attr2, Name: p.Name, Args: p.Args}
+	if p.Kind == expr.KindCmp {
+		d.LitKind, d.Lit = litToDTO(p.Lit)
+	}
+	return d
+}
+
+func predFromDTO(d predDTO) (expr.Pred, error) {
+	switch expr.Kind(d.Kind) {
+	case expr.KindCmp:
+		lit, err := litFromDTO(d.LitKind, d.Lit)
+		if err != nil {
+			return expr.Pred{}, err
+		}
+		return expr.NewCmp(d.Attr, expr.CmpOp(d.Op), lit), nil
+	case expr.KindAttrEq:
+		return expr.NewAttrEq(d.Attr, d.Attr2), nil
+	case expr.KindOpaque:
+		return expr.NewOpaque(d.Name, d.Args...), nil
+	default:
+		return expr.Pred{}, fmt.Errorf("persist: bad predicate kind %d", d.Kind)
+	}
+}
+
+func annToDTO(a afk.Annotation) annDTO {
+	d := annDTO{Grouped: a.Grouped, Limited: a.Limited}
+	for _, at := range a.Attrs() {
+		d.Attrs = append(d.Attrs, attrDTO{Name: at.Name, Sig: sigToDTO(at.Sig)})
+	}
+	for _, p := range a.F.Preds() {
+		d.F = append(d.F, predToDTO(p))
+	}
+	for _, s := range a.K.Sigs() {
+		d.K = append(d.K, sigToDTO(s))
+	}
+	return d
+}
+
+func annFromDTO(d annDTO) (afk.Annotation, error) {
+	attrs := make([]afk.Attr, len(d.Attrs))
+	for i, at := range d.Attrs {
+		attrs[i] = afk.Attr{Name: at.Name, Sig: sigFromDTO(at.Sig)}
+	}
+	f := expr.NewSet()
+	for _, pd := range d.F {
+		p, err := predFromDTO(pd)
+		if err != nil {
+			return afk.Annotation{}, err
+		}
+		f.Add(p)
+	}
+	k := afk.NewSigSet()
+	for _, sd := range d.K {
+		k.Add(sigFromDTO(sd))
+	}
+	ann := afk.New(attrs, f, k)
+	ann.Grouped = d.Grouped
+	if d.Limited {
+		ann = ann.WithLimited()
+	}
+	return ann, nil
+}
+
+// Save writes the session's datasets and catalog under dir (created if
+// needed). UDF calibration scalars are saved by name.
+func Save(s *session.Session, dir string) error {
+	if err := os.MkdirAll(filepath.Join(dir, "tables"), 0o755); err != nil {
+		return err
+	}
+	cat := catalogDTO{Version: 1, UDFScalars: map[string]float64{}}
+	for _, name := range s.Cat.UDFs.Names() {
+		if d, ok := s.Cat.UDFs.Get(name); ok && d.Scalar > 0 {
+			cat.UDFScalars[name] = d.Scalar
+		}
+	}
+	s.Cat.FDs.Each(func(from []string, to string) {
+		cat.FDs = append(cat.FDs, fdDTO{From: from, To: to})
+	})
+	for _, kind := range []storage.Kind{storage.Base, storage.View} {
+		for _, name := range s.Store.List(kind) {
+			info, ok := s.Cat.Table(name)
+			if !ok {
+				continue // stored but never cataloged (scratch data)
+			}
+			ds, _ := s.Store.Meta(name)
+			cat.Tables = append(cat.Tables, tableDTO{
+				Name: name, Cols: info.Cols, KeyCol: info.KeyCol,
+				IsView: info.IsView, PlanFP: info.PlanFP,
+				Rows: info.Stats.Rows, Bytes: info.Stats.Bytes,
+				Distinct: info.Distinct, Ann: annToDTO(info.Ann),
+			})
+			f, err := os.Create(filepath.Join(dir, "tables", name+".tbl"))
+			if err != nil {
+				return err
+			}
+			err = ds.Relation().Write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("persist: writing %s: %w", name, err)
+			}
+		}
+	}
+	b, err := json.MarshalIndent(cat, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "catalog.json"), b, 0o644)
+}
+
+// Open restores a session from dir. UDFs must be re-registered by the
+// caller afterwards; ApplyScalars re-applies saved calibrations.
+func Open(dir string, params cost.Params) (*session.Session, *Saved, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	var cat catalogDTO
+	if err := json.Unmarshal(b, &cat); err != nil {
+		return nil, nil, fmt.Errorf("persist: catalog: %w", err)
+	}
+	if cat.Version != 1 {
+		return nil, nil, fmt.Errorf("persist: unsupported catalog version %d", cat.Version)
+	}
+	s := session.New(params)
+	for _, t := range cat.Tables {
+		f, err := os.Open(filepath.Join(dir, "tables", t.Name+".tbl"))
+		if err != nil {
+			return nil, nil, err
+		}
+		rel, err := data.ReadRelation(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("persist: reading %s: %w", t.Name, err)
+		}
+		kind := storage.Base
+		if t.IsView {
+			kind = storage.View
+		}
+		s.Store.Put(t.Name, kind, rel)
+		ann, err := annFromDTO(t.Ann)
+		if err != nil {
+			return nil, nil, fmt.Errorf("persist: %s: %w", t.Name, err)
+		}
+		stats := cost.Stats{Rows: t.Rows, Bytes: t.Bytes}
+		if t.IsView {
+			info := s.Cat.RegisterView(t.Name, t.Cols, ann, stats, t.PlanFP)
+			info.Distinct = t.Distinct
+		} else {
+			// RegisterBase would rebuild a fresh base annotation (identical
+			// by construction) and reinstall key FDs; FDs are restored
+			// explicitly below, so duplicates are deduplicated there.
+			s.Cat.RegisterBase(t.Name, t.Cols, t.KeyCol, stats, t.Distinct)
+		}
+	}
+	for _, fd := range cat.FDs {
+		s.Cat.FDs.Add(fd.From, fd.To)
+	}
+	s.Store.ResetCounters() // loading is not query I/O
+	return s, &Saved{UDFScalars: cat.UDFScalars}, nil
+}
+
+// Saved carries restored metadata the caller applies after re-registering
+// UDFs.
+type Saved struct {
+	UDFScalars map[string]float64
+}
+
+// ApplyScalars installs saved calibration scalars onto registered UDFs,
+// returning the names that were applied. UDFs without a saved scalar still
+// need a Calibrate run.
+func (sv *Saved) ApplyScalars(s *session.Session) []string {
+	var applied []string
+	for name, scalar := range sv.UDFScalars {
+		if d, ok := s.Cat.UDFs.Get(name); ok {
+			d.Scalar = scalar
+			applied = append(applied, name)
+		}
+	}
+	return applied
+}

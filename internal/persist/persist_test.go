@@ -1,0 +1,147 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"opportune/internal/session"
+	"opportune/internal/workload"
+)
+
+// TestSaveOpenRoundTrip saves a system mid-exploration and restores it: the
+// physical design (views, annotations, stats, FDs, calibrations) must
+// survive so the next query version is still rewritten for free.
+func TestSaveOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := workload.NewSession(workload.SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := workload.QueryFor(1, 1)
+	if _, err := workload.Exec(s, q1, session.ModeOriginal); err != nil {
+		t.Fatal(err)
+	}
+	viewsBefore := len(s.Cat.Views())
+	if err := Save(s, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh process-equivalent: new session, re-registered
+	// UDFs, saved calibrations re-applied.
+	s2, saved, err := Open(dir, workload.CostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range workload.UDFLibrary() {
+		if err := s2.Cat.UDFs.Register(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	applied := saved.ApplyScalars(s2)
+	if len(applied) != 11 {
+		t.Fatalf("scalars applied to %d UDFs, want 11", len(applied))
+	}
+	for _, name := range s2.Cat.UDFs.Names() {
+		d, _ := s2.Cat.UDFs.Get(name)
+		orig, _ := s.Cat.UDFs.Get(name)
+		if d.Scalar != orig.Scalar {
+			t.Errorf("%s scalar %g != saved %g", name, d.Scalar, orig.Scalar)
+		}
+	}
+	if got := len(s2.Cat.Views()); got != viewsBefore {
+		t.Fatalf("restored views = %d, want %d", got, viewsBefore)
+	}
+	// datasets byte-identical
+	for _, name := range []string{"twtr", "fsq", "land"} {
+		a, err := s.Store.Read(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s2.Store.Read(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("%s differs after restore", name)
+		}
+	}
+	// annotations survive: view canon fingerprints identical
+	for _, v := range s.Cat.Views() {
+		v2, ok := s2.Cat.Table(v.Name)
+		if !ok {
+			t.Errorf("view %s missing after restore", v.Name)
+			continue
+		}
+		if v.Ann.Canon() != v2.Ann.Canon() {
+			t.Errorf("view %s annotation changed:\n  %s\n  %s", v.Name, v.Ann.Canon(), v2.Ann.Canon())
+		}
+		if v.Stats != v2.Stats {
+			t.Errorf("view %s stats changed", v.Name)
+		}
+	}
+
+	// The acid test: v2 on the RESTORED system is rewritten from the
+	// restored views and matches a fresh original run.
+	q2 := workload.QueryFor(1, 2)
+	m, err := workload.Exec(s2, q2, session.ModeBFR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rewrite == nil || !m.Rewrite.Improved {
+		t.Fatal("restored views not reused")
+	}
+	ref, err := workload.NewSession(workload.SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.Exec(ref, q2, session.ModeOriginal); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Store.Read(q2.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Store.Read(q2.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Error("rewrite over restored views produced wrong data")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, _, err := Open(t.TempDir(), workload.CostParams()); err == nil {
+		t.Error("empty dir opened")
+	}
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "catalog.json"), []byte("{not json"), 0o644)
+	if _, _, err := Open(dir, workload.CostParams()); err == nil {
+		t.Error("corrupt catalog opened")
+	}
+	os.WriteFile(filepath.Join(dir, "catalog.json"), []byte(`{"version":99}`), 0o644)
+	if _, _, err := Open(dir, workload.CostParams()); err == nil {
+		t.Error("future version opened")
+	}
+	// catalog referencing a missing table file
+	os.WriteFile(filepath.Join(dir, "catalog.json"),
+		[]byte(`{"version":1,"tables":[{"name":"ghost","cols":["a"],"rows":1,"bytes":1,"ann":{"attrs":[{"name":"a","sig":{"dataset":"g","column":"a"}}]}}]}`), 0o644)
+	if _, _, err := Open(dir, workload.CostParams()); err == nil {
+		t.Error("missing table file opened")
+	}
+}
+
+func TestSavedScalarsPartialApply(t *testing.T) {
+	sv := &Saved{UDFScalars: map[string]float64{"UDF_CLASSIFY_WINE": 20, "GONE": 3}}
+	s := session.New(workload.CostParams())
+	for _, d := range workload.UDFLibrary() {
+		if err := s.Cat.UDFs.Register(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	applied := sv.ApplyScalars(s)
+	if len(applied) != 1 || applied[0] != "UDF_CLASSIFY_WINE" {
+		t.Errorf("applied = %v", applied)
+	}
+}

@@ -1,0 +1,372 @@
+// Package rewrite implements the paper's query-rewriting machinery: the
+// OPTCOST lower bound (§4.3), the VIEWFINDER incremental candidate search
+// (§7), the BFREWRITE best-first algorithm (§6), and the two baselines of
+// §8 — exhaustive DP and syntactic-only matching (BFR-SYNTACTIC).
+package rewrite
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"opportune/internal/afk"
+	"opportune/internal/cost"
+	"opportune/internal/meta"
+	"opportune/internal/optimizer"
+	"opportune/internal/plan"
+)
+
+// Candidate is a candidate view for rewriting a target: a single
+// materialized view, or several merged (joined) views. Its Plan is the
+// pre-compensation scan/join tree over the constituent views.
+type Candidate struct {
+	Views []*meta.TableInfo
+	Plan  *plan.Node
+	Ann   afk.Annotation
+	Stats cost.Stats // combined read volume of the constituents
+
+	OptCost float64
+	key     string // dedup key
+}
+
+// Key is the candidate's canonical identity: constituent views plus merge
+// structure.
+func (c *Candidate) Key() string { return c.key }
+
+// Names returns the constituent view names, sorted.
+func (c *Candidate) Names() []string {
+	out := make([]string, len(c.Views))
+	for i, v := range c.Views {
+		out[i] = v.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rewriter holds the shared machinery: the catalog, the optimizer (for
+// costing rewrites), and the algorithm parameters J and k (§5).
+type Rewriter struct {
+	Cat *meta.Catalog
+	Opt *optimizer.Optimizer
+	// MaxViews is J: the maximum number of views merged into one rewrite.
+	MaxViews int
+	// MaxOpRepeat is k: how often one operator may repeat in a compensation.
+	MaxOpRepeat int
+
+	// Ablation switches (normally false), quantifying each pruning source:
+	// DisableOptCost makes every relevant candidate's lower bound zero, so
+	// BFREWRITE loses both its candidate ordering and its early
+	// termination; DisableGuessComplete attempts REWRITEENUM on every
+	// candidate examined.
+	DisableOptCost       bool
+	DisableGuessComplete bool
+}
+
+// NewRewriter creates a rewriter with the paper's experimental parameters
+// J=4, k=2.
+func NewRewriter(cat *meta.Catalog, opt *optimizer.Optimizer) *Rewriter {
+	return &Rewriter{Cat: cat, Opt: opt, MaxViews: 4, MaxOpRepeat: 2}
+}
+
+// single builds the candidate for one view.
+func (r *Rewriter) single(v *meta.TableInfo) (*Candidate, error) {
+	p := plan.Scan(v.Name)
+	if err := plan.Annotate(p, r.Cat); err != nil {
+		return nil, err
+	}
+	return &Candidate{
+		Views: []*meta.TableInfo{v},
+		Plan:  p,
+		Ann:   p.Ann,
+		Stats: v.Stats,
+		key:   v.Name,
+	}, nil
+}
+
+// Merge attempts to merge two candidates (the MERGE function of
+// Algorithm 4, a standard view-merging step). A merged candidate's identity
+// is its *set* of constituent views, and its join tree is built
+// canonically (see buildMerged), so its cost is well-defined regardless of
+// the order the search discovered the set in — which the optimality of the
+// best-first search relies on. skip, when non-nil, suppresses already-seen
+// sets before the (costly) plan construction.
+func (r *Rewriter) Merge(a, b *Candidate, skip func(key string) bool) []*Candidate {
+	if len(a.Views)+len(b.Views) > r.MaxViews {
+		return nil
+	}
+	// Reject merges of overlapping view sets.
+	names := make(map[string]bool, len(a.Views))
+	for _, v := range a.Views {
+		names[v.Name] = true
+	}
+	for _, v := range b.Views {
+		if names[v.Name] {
+			return nil
+		}
+	}
+	// The sides must share at least one joinable signature (an attribute
+	// of both with key status on one side) for the set to be connected.
+	joinable := false
+	for id := range a.Ann.A {
+		if _, ok := b.Ann.A[id]; ok && (a.Ann.K.HasID(id) || b.Ann.K.HasID(id)) {
+			joinable = true
+			break
+		}
+	}
+	if !joinable {
+		return nil
+	}
+	views := append(append([]*meta.TableInfo(nil), a.Views...), b.Views...)
+	key := setKey(views)
+	if skip != nil && skip(key) {
+		return nil
+	}
+	m, err := r.buildMerged(views, key)
+	if err != nil {
+		return nil
+	}
+	return []*Candidate{m}
+}
+
+// setKey is the canonical identity of a view set.
+func setKey(views []*meta.TableInfo) string {
+	names := make([]string, len(views))
+	for i, v := range views {
+		names[i] = v.Name
+	}
+	sort.Strings(names)
+	return strings.Join(names, "+")
+}
+
+// buildMerged constructs the canonical join tree of a view set: views
+// ordered by (size, name) ascending, accumulated left-deep, each step
+// joining in the first remaining view that shares a joinable signature
+// with the accumulated side (on the smallest such signature ID).
+func (r *Rewriter) buildMerged(views []*meta.TableInfo, key string) (*Candidate, error) {
+	ordered := append([]*meta.TableInfo(nil), views...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Stats.Bytes != ordered[j].Stats.Bytes {
+			return ordered[i].Stats.Bytes < ordered[j].Stats.Bytes
+		}
+		return ordered[i].Name < ordered[j].Name
+	})
+	cur, err := r.single(ordered[0])
+	if err != nil {
+		return nil, err
+	}
+	remaining := ordered[1:]
+	for len(remaining) > 0 {
+		progressed := false
+		for i, v := range remaining {
+			side, err := r.single(v)
+			if err != nil {
+				return nil, err
+			}
+			sigID := joinSig(cur, side)
+			if sigID == "" {
+				continue
+			}
+			cur, err = r.mergeOn(cur, side, sigID)
+			if err != nil {
+				return nil, err
+			}
+			remaining = append(remaining[:i], remaining[i+1:]...)
+			progressed = true
+			break
+		}
+		if !progressed {
+			return nil, fmt.Errorf("rewrite: view set not connected")
+		}
+	}
+	cur.key = key
+	return cur, nil
+}
+
+// joinSig picks the canonical join signature between two candidates: the
+// smallest shared signature ID that is a grouping key of either side.
+func joinSig(a, b *Candidate) string {
+	best := ""
+	for id := range a.Ann.A {
+		if _, ok := b.Ann.A[id]; !ok {
+			continue
+		}
+		if !a.Ann.K.HasID(id) && !b.Ann.K.HasID(id) {
+			continue
+		}
+		if best == "" || id < best {
+			best = id
+		}
+	}
+	return best
+}
+
+// mergeOn joins two candidates on the given common signature ID.
+func (r *Rewriter) mergeOn(a, b *Candidate, sigID string) (*Candidate, error) {
+	lCol := a.Ann.NameOfSig(sigID)
+	rCol := b.Ann.NameOfSig(sigID)
+	if lCol == "" || rCol == "" {
+		return nil, fmt.Errorf("rewrite: join signature unnamed")
+	}
+	right := b.Plan
+	// Resolve column-name collisions (other than the shared join column,
+	// which annotation-level dedup handles) by renaming the right side.
+	lNames := make(map[string]bool, len(a.Plan.OutCols))
+	for _, c := range a.Plan.OutCols {
+		lNames[c] = true
+	}
+	taken := make(map[string]bool, len(a.Plan.OutCols)+len(b.Plan.OutCols))
+	for _, c := range a.Plan.OutCols {
+		taken[c] = true
+	}
+	for _, c := range b.Plan.OutCols {
+		taken[c] = true
+	}
+	var cols, as []string
+	renamed := false
+	for _, c := range b.Plan.OutCols {
+		cols = append(cols, c)
+		if lNames[c] && !(c == rCol && c == lCol) {
+			fresh := "m_" + c
+			for taken[fresh] {
+				fresh = "m_" + fresh
+			}
+			taken[fresh] = true
+			as = append(as, fresh)
+			renamed = true
+		} else {
+			as = append(as, c)
+		}
+	}
+	if renamed {
+		right = plan.ProjectAs(right, cols, as)
+		if rNew := indexRename(cols, as, rCol); rNew != "" {
+			rCol = rNew
+		}
+	}
+	p := plan.JoinNodes(a.Plan, right, lCol, rCol)
+	if err := plan.Annotate(p, r.Cat); err != nil {
+		return nil, err
+	}
+	views := append(append([]*meta.TableInfo(nil), a.Views...), b.Views...)
+	c := &Candidate{
+		Views: views,
+		Plan:  p,
+		Ann:   p.Ann,
+		Stats: cost.Stats{Rows: a.Stats.Rows + b.Stats.Rows, Bytes: a.Stats.Bytes + b.Stats.Bytes},
+		key:   setKey(views),
+	}
+	return c, nil
+}
+
+func indexRename(cols, as []string, col string) string {
+	for i, c := range cols {
+		if c == col {
+			return as[i]
+		}
+	}
+	return ""
+}
+
+// Relevant reports whether a candidate can possibly participate in a
+// complete rewrite of q: it must carry at least one signature useful to q
+// (an attribute of q or an ingredient of one), and its filters must be
+// implied by q's (a view that excluded tuples q needs can never join back
+// to completeness, since merges only conjoin filters).
+func (r *Rewriter) Relevant(q afk.Annotation, c *Candidate) bool {
+	if c.Ann.Limited || q.Limited {
+		return false // see GuessComplete: LIMIT is outside the model
+	}
+	if !q.F.ImpliesAll(c.Ann.F) {
+		return false
+	}
+	useful := usefulSigs(q)
+	for id := range c.Ann.A {
+		if useful[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// usefulSigs collects the signature IDs of q's attributes, keys, filter
+// columns, and (recursively) every ingredient needed to derive them.
+func usefulSigs(q afk.Annotation) map[string]bool {
+	useful := make(map[string]bool)
+	var add func(s *afk.Sig)
+	add = func(s *afk.Sig) {
+		if useful[s.ID()] {
+			return
+		}
+		useful[s.ID()] = true
+		for _, in := range s.Inputs {
+			add(in)
+		}
+		for _, k := range s.GroupBy {
+			add(k)
+		}
+	}
+	for _, s := range q.A {
+		add(s)
+	}
+	for _, s := range q.K {
+		add(s)
+	}
+	for _, p := range q.F.Preds() {
+		for _, id := range p.Attrs() {
+			if s, ok := afk.Lookup(id); ok {
+				add(s)
+			}
+		}
+	}
+	return useful
+}
+
+// OptCost is the lower bound of §4.3 on the cost of any rewrite of target q
+// that uses this candidate's views: the cost of a synthesized single-local-
+// function UDF that applies the fix to the candidate — reading the
+// candidate's data plus, by the non-subsumable cost property, the cheapest
+// operation of the fix per row. Irrelevant candidates get +Inf.
+//
+// The bound is sound for the optimizer's COST: any rewrite using these
+// views reads at least their bytes and runs at least one local function
+// over their rows.
+func (r *Rewriter) OptCost(q *optimizer.JobNode, c *Candidate) float64 {
+	if !r.Relevant(q.Ann, c) {
+		return inf
+	}
+	if r.DisableOptCost {
+		return 0
+	}
+	fix := afk.ComputeFix(q.Ann, c.Ann)
+	if fix.Empty() && len(c.Views) == 1 {
+		// No compensation needed: the view may answer the target as-is,
+		// straight off disk, at zero execution cost.
+		return 0
+	}
+	read := float64(c.Stats.Bytes) / r.Opt.Params.ReadRate
+	var cpu float64
+	if ops := fix.OpTypes(); len(ops) > 0 {
+		cpu = float64(c.Stats.Rows) * r.Opt.Params.CPUSecondsPerTuple(cost.LocalFn{Ops: ops, Scalar: 1})
+	}
+	return read + cpu
+}
+
+var inf = math.Inf(1)
+
+// ProbeCandidate evaluates one view as a candidate for one target:
+// it returns the candidate's OPTCOST and, when the view is guessed complete
+// and REWRITEENUM succeeds, the rewrite plan with its cost. Exposed for
+// property tests and ablation experiments.
+func ProbeCandidate(r *Rewriter, q *optimizer.JobNode, v *meta.TableInfo) (float64, *plan.Node, float64) {
+	c, err := r.single(v)
+	if err != nil {
+		return inf, nil, inf
+	}
+	oc := r.OptCost(q, c)
+	if !afk.GuessComplete(q.Ann, c.Ann, r.Cat.FDs) {
+		return oc, nil, inf
+	}
+	p, cost := r.RewriteEnum(q, c)
+	return oc, p, cost
+}

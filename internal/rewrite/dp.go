@@ -1,0 +1,137 @@
+package rewrite
+
+import (
+	"time"
+
+	"opportune/internal/afk"
+	"opportune/internal/meta"
+	"opportune/internal/optimizer"
+	"opportune/internal/plan"
+)
+
+// DPCandidateCap bounds the exhaustively exploded candidate space per
+// target so the baseline terminates on large view sets; the paper's DP
+// becomes "prohibitively expensive even when 250 views are present"
+// (§8.3.3) for exactly this reason.
+const DPCandidateCap = 100000
+
+// DPRewrite is the competing baseline of §8: it does not use OPTCOST, and
+// for every target it exhaustively pre-explodes the candidate space (all
+// views, then all merges up to J views) and attempts a rewrite on each
+// guessed-complete candidate. A dynamic-programming pass then composes the
+// per-target best rewrites bottom-up. It finds the same optimal rewrite as
+// BFREWRITE, exponentially more slowly.
+func (r *Rewriter) DPRewrite(w *optimizer.Work, views []*meta.TableInfo) *Result {
+	start := time.Now()
+	res := &Result{OriginalCost: w.TotalCost()}
+
+	n := len(w.Nodes)
+	type best struct {
+		plan *plan.Node
+		cost float64
+	}
+	rewrites := make([]best, n)
+	for i := range rewrites {
+		rewrites[i] = best{nil, inf}
+	}
+
+	for i, jn := range w.Nodes {
+		cands := r.explode(jn, views, &res.Counters)
+		for _, c := range cands {
+			if !afk.GuessComplete(jn.Ann, c.Ann, r.Cat.FDs) {
+				continue
+			}
+			res.Counters.RewriteAttempts++
+			p, cost := r.RewriteEnum(jn, c)
+			if p == nil {
+				continue
+			}
+			res.Counters.RewritesFound++
+			if cost < rewrites[i].cost {
+				rewrites[i] = best{p, cost}
+			}
+		}
+	}
+
+	// Dynamic-programming composition over the job DAG (topological order).
+	bestPlan := make([]*plan.Node, n)
+	bestCost := make([]float64, n)
+	improved := make([]bool, n)
+	for i, jn := range w.Nodes {
+		subs := make(map[*plan.Node]*plan.Node)
+		composed := jn.EstCost.Total()
+		for _, dep := range jn.Deps {
+			subs[dep.Logical] = bestPlan[dep.Index]
+			composed += bestCost[dep.Index]
+			improved[i] = improved[i] || improved[dep.Index]
+		}
+		if improved[i] {
+			bestPlan[i] = plan.Substitute(jn.Logical, subs)
+		} else {
+			bestPlan[i] = jn.Logical
+		}
+		bestCost[i] = composed
+		if c, err := r.planCost(bestPlan[i]); err == nil {
+			bestCost[i] = c
+		}
+		if rewrites[i].plan != nil && rewrites[i].cost < bestCost[i] {
+			bestPlan[i] = rewrites[i].plan
+			bestCost[i] = rewrites[i].cost
+			improved[i] = true
+		}
+	}
+
+	sink := w.Sink().Index
+	res.Plan = bestPlan[sink]
+	res.Cost = bestCost[sink]
+	res.Improved = improved[sink]
+	res.Runtime = time.Since(start)
+	return res
+}
+
+// explode generates the full candidate space for one target: every view,
+// then level-wise merges up to MaxViews constituents, capped at
+// DPCandidateCap.
+func (r *Rewriter) explode(jn *optimizer.JobNode, views []*meta.TableInfo, counters *Counters) []*Candidate {
+	seen := make(map[string]bool)
+	var all []*Candidate
+	add := func(c *Candidate) bool {
+		if seen[c.Key()] {
+			return false
+		}
+		seen[c.Key()] = true
+		counters.CandidatesConsidered++
+		c.OptCost = 0 // DP does not use OPTCOST
+		all = append(all, c)
+		return true
+	}
+	var singles []*Candidate
+	for _, v := range views {
+		c, err := r.single(v)
+		if err != nil {
+			continue
+		}
+		if add(c) {
+			singles = append(singles, c)
+		}
+	}
+	level := singles
+	for depth := 2; depth <= r.MaxViews && len(all) < DPCandidateCap; depth++ {
+		var next []*Candidate
+		for _, a := range level {
+			for _, b := range singles {
+				for _, m := range r.Merge(a, b, func(key string) bool { return seen[key] }) {
+					if len(all) >= DPCandidateCap {
+						return all
+					}
+					if add(m) {
+						next = append(next, m)
+					}
+				}
+			}
+		}
+		level = next
+	}
+	_ = jn
+	return all
+}

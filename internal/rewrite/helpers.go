@@ -1,0 +1,96 @@
+package rewrite
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"opportune/internal/afk"
+	"opportune/internal/plan"
+	"opportune/internal/value"
+)
+
+// relAggFunc maps a signature's UDF field back to a built-in aggregate.
+func relAggFunc(name string) (plan.AggFunc, bool) {
+	if !strings.HasPrefix(name, "agg_") {
+		return "", false
+	}
+	fn := plan.AggFunc(strings.TrimPrefix(name, "agg_"))
+	switch fn {
+	case plan.AggCount, plan.AggSum, plan.AggAvg, plan.AggMin, plan.AggMax:
+		return fn, true
+	}
+	return "", false
+}
+
+// parseParams decodes a signature's parameter fingerprint back into values.
+func parseParams(fp string) []value.V {
+	if fp == "" {
+		return nil
+	}
+	parts := strings.Split(fp, ",")
+	out := make([]value.V, len(parts))
+	for i, p := range parts {
+		out[i] = value.Parse(p)
+	}
+	return out
+}
+
+// sigIDs renders a list of signatures for application identities.
+func sigIDs(sigs []*afk.Sig) string {
+	ids := make([]string, len(sigs))
+	for i, s := range sigs {
+		ids[i] = s.ID()
+	}
+	return "(" + strings.Join(ids, ",") + ")"
+}
+
+// shortID compresses a signature ID into a stable short token usable as a
+// generated column name.
+func shortID(id string) string {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return fmt.Sprintf("%012x", h.Sum64()&0xffffffffffff)
+}
+
+// exceedsRepeatLimit enforces the paper's k parameter: no operator may
+// appear more than k times in one compensation.
+func exceedsRepeatLimit(units []unit, k int) bool {
+	counts := make(map[string]int, len(units))
+	for _, u := range units {
+		counts[u.op]++
+		if counts[u.op] > k {
+			return true
+		}
+	}
+	return false
+}
+
+// permute enumerates every permutation of units (Heap's algorithm),
+// invoking try on each. The caller bounds len(units).
+func permute(units []unit, try func([]unit)) {
+	n := len(units)
+	if n == 0 {
+		try(nil)
+		return
+	}
+	work := append([]unit(nil), units...)
+	c := make([]int, n)
+	try(work)
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				work[0], work[i] = work[i], work[0]
+			} else {
+				work[c[i]], work[i] = work[i], work[c[i]]
+			}
+			try(work)
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package rewrite
+
+import (
+	"time"
+
+	"opportune/internal/meta"
+	"opportune/internal/optimizer"
+	"opportune/internal/plan"
+)
+
+// SyntacticRewrite is BFR-SYNTACTIC (§8.3.4): the conservative variant that
+// stands in for caching-based systems like ReStore. A target is rewritten
+// only when some view was produced by a *syntactically identical* plan
+// (same operators, same order, same parameters — matched by plan
+// fingerprint); no semantic compensation is ever applied. Per-target hits
+// compose through the same dynamic-programming pass as DP.
+func (r *Rewriter) SyntacticRewrite(w *optimizer.Work, views []*meta.TableInfo) *Result {
+	start := time.Now()
+	res := &Result{OriginalCost: w.TotalCost()}
+
+	byFP := make(map[string]*meta.TableInfo, len(views))
+	for _, v := range views {
+		if v.PlanFP != "" {
+			byFP[v.PlanFP] = v
+		}
+	}
+
+	n := len(w.Nodes)
+	bestPlan := make([]*plan.Node, n)
+	bestCost := make([]float64, n)
+	improved := make([]bool, n)
+	for i, jn := range w.Nodes {
+		subs := make(map[*plan.Node]*plan.Node)
+		composed := jn.EstCost.Total()
+		for _, dep := range jn.Deps {
+			subs[dep.Logical] = bestPlan[dep.Index]
+			composed += bestCost[dep.Index]
+			improved[i] = improved[i] || improved[dep.Index]
+		}
+		if improved[i] {
+			bestPlan[i] = plan.Substitute(jn.Logical, subs)
+		} else {
+			bestPlan[i] = jn.Logical
+		}
+		bestCost[i] = composed
+		if c, err := r.planCost(bestPlan[i]); err == nil {
+			bestCost[i] = c
+		}
+
+		v, ok := byFP[jn.PlanFP]
+		if !ok {
+			continue
+		}
+		res.Counters.CandidatesConsidered++
+		res.Counters.RewriteAttempts++
+		scan := plan.Scan(v.Name)
+		if err := plan.Annotate(scan, r.Cat); err != nil {
+			continue
+		}
+		if !sameStrings(scan.OutCols, jn.OutCols) {
+			continue
+		}
+		res.Counters.RewritesFound++
+		bestPlan[i] = scan
+		bestCost[i] = 0 // already materialized
+		improved[i] = true
+	}
+
+	sink := w.Sink().Index
+	res.Plan = bestPlan[sink]
+	res.Cost = bestCost[sink]
+	res.Improved = improved[sink]
+	res.Runtime = time.Since(start)
+	return res
+}

@@ -1,0 +1,62 @@
+package rewrite_test
+
+import (
+	"testing"
+
+	"opportune/internal/session"
+	"opportune/internal/workload"
+)
+
+// TestTheorem1WorkEfficiency checks the paper's Theorem 1 empirically
+// across the whole workload: BFREWRITE never examines (pops) a candidate
+// whose OPTCOST lower bound exceeds the cost of the best plan it finally
+// settles on at that target, and candidates are examined in non-decreasing
+// bound order (the best-first property).
+func TestTheorem1WorkEfficiency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole workload")
+	}
+	s, err := workload.NewSession(workload.SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tolerance: the theorem's proof assumes composed plans cost exactly
+	// the sum of their parts (the paper reuses NODE_i's cost verbatim when
+	// composing). Our optimizer re-compiles compositions, which can
+	// re-pipeline former job boundaries and come out slightly cheaper than
+	// the potential function assumed — so a candidate examined just before
+	// such a composition can overshoot the final cost by a small margin.
+	// We assert the bound within 10% and require strict compliance on the
+	// overwhelming majority of searches.
+	const slack = 1.10
+	checked, strict := 0, 0
+	for _, q := range workload.AllQueries() {
+		m, err := workload.Exec(s, q, session.ModeBFR)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if m.Rewrite == nil {
+			continue
+		}
+		for _, tw := range m.Rewrite.TargetWork {
+			if tw.Examined == 0 {
+				continue
+			}
+			checked++
+			if tw.MaxExaminedBound <= tw.FinalBestCost*(1+1e-9)+1e-12 {
+				strict++
+			}
+			if tw.MaxExaminedBound > tw.FinalBestCost*slack {
+				t.Errorf("%s target %d: examined bound %g > %g×%v (work-efficiency violated beyond composition slack)",
+					q.Name, tw.Target, tw.MaxExaminedBound, tw.FinalBestCost, slack)
+			}
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d targets examined candidates; workload did not exercise the search", checked)
+	}
+	if float64(strict) < 0.95*float64(checked) {
+		t.Errorf("only %d/%d target searches strictly work-efficient", strict, checked)
+	}
+	t.Logf("work-efficiency: %d/%d strict, all within %.0f%% slack", strict, checked, (slack-1)*100)
+}

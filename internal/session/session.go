@@ -1,0 +1,284 @@
+// Package session coordinates the full system of Fig 1: queries are
+// compiled by the optimizer, optionally rewritten against the opportunistic
+// views, executed on the MR engine, and every job's output is retained as a
+// new opportunistic view with statistics collected by a sampling job.
+package session
+
+import (
+	"fmt"
+
+	"opportune/internal/afk"
+	"opportune/internal/cost"
+	"opportune/internal/data"
+	"opportune/internal/expr"
+	"opportune/internal/meta"
+	"opportune/internal/mr"
+	"opportune/internal/optimizer"
+	"opportune/internal/plan"
+	"opportune/internal/rewrite"
+	"opportune/internal/storage"
+)
+
+// Mode selects how a query is optimized.
+type Mode uint8
+
+const (
+	// ModeOriginal executes the query as written (ORIG).
+	ModeOriginal Mode = iota
+	// ModeBFR rewrites with BFREWRITE (REWR).
+	ModeBFR
+	// ModeDP rewrites with the exhaustive DP baseline.
+	ModeDP
+	// ModeSyntactic rewrites with BFR-SYNTACTIC (caching-style reuse).
+	ModeSyntactic
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeOriginal:
+		return "orig"
+	case ModeBFR:
+		return "bfr"
+	case ModeDP:
+		return "dp"
+	case ModeSyntactic:
+		return "syntactic"
+	default:
+		return "unknown"
+	}
+}
+
+// Session is one system instance.
+type Session struct {
+	Store *storage.Store
+	Cat   *meta.Catalog
+	Eng   *mr.Engine
+	Opt   *optimizer.Optimizer
+	Rew   *rewrite.Rewriter
+	Eval  *expr.Evaluator
+
+	statsSeed int64
+}
+
+// New builds a system instance with the given cost parameters.
+func New(params cost.Params) *Session {
+	st := storage.NewStore()
+	cat := meta.NewCatalog()
+	eval := expr.NewEvaluator()
+	opt := optimizer.New(cat, params, eval)
+	return &Session{
+		Store: st,
+		Cat:   cat,
+		Eng:   mr.New(st, params),
+		Opt:   opt,
+		Rew:   rewrite.NewRewriter(cat, opt),
+		Eval:  eval,
+	}
+}
+
+// Metrics reports one query execution. Seconds are the deterministic
+// simulated execution seconds; RewriteSeconds is the (real) runtime of the
+// rewrite algorithm, which the paper's REWR timings include (§8.2).
+type Metrics struct {
+	Mode           Mode
+	ExecSeconds    float64
+	StatsSeconds   float64 // sampling jobs for new views (charged to REWR and ORIG alike)
+	RewriteSeconds float64
+	Jobs           int
+	DataMovedBytes int64
+	ResultName     string
+
+	Rewrite *rewrite.Result // nil for ModeOriginal
+}
+
+// TotalSeconds is the headline number: execution plus statistics collection
+// plus rewrite-search time.
+func (m Metrics) TotalSeconds() float64 {
+	return m.ExecSeconds + m.StatsSeconds + m.RewriteSeconds
+}
+
+// Run compiles, (optionally) rewrites, and executes a query plan,
+// materializing the result under resultName and retaining all job outputs
+// as opportunistic views.
+func (s *Session) Run(q *plan.Node, resultName string, mode Mode) (*Metrics, error) {
+	// Estimates are cached per query so every plan for the same logical
+	// output costs identically; statistics change between queries.
+	s.Opt.ClearEstimates()
+	w, err := s.Opt.Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	m := &Metrics{Mode: mode, ResultName: resultName}
+
+	chosen := q
+	switch mode {
+	case ModeOriginal:
+	case ModeBFR, ModeDP, ModeSyntactic:
+		views := s.Cat.Views()
+		var res *rewrite.Result
+		switch mode {
+		case ModeBFR:
+			res = s.Rew.BFRewrite(w, views)
+		case ModeDP:
+			res = s.Rew.DPRewrite(w, views)
+		default:
+			res = s.Rew.SyntacticRewrite(w, views)
+		}
+		m.Rewrite = res
+		m.RewriteSeconds = res.Runtime.Seconds()
+		if res.Improved {
+			chosen = res.Plan
+		}
+	}
+
+	// A bare scan means the result is already materialized.
+	if chosen.Kind == plan.KindScan {
+		m.ResultName = chosen.Dataset
+		return m, nil
+	}
+	if chosen != q {
+		if w, err = s.Opt.Compile(chosen); err != nil {
+			return nil, fmt.Errorf("session: rewritten plan failed to compile: %w", err)
+		}
+	}
+	jobs, err := s.Opt.Executable(w, resultName)
+	if err != nil {
+		return nil, err
+	}
+	// Pin the plan's input datasets and its own intermediate outputs
+	// against capacity eviction for the run: a job's materialization must
+	// not evict a view a later job of the same plan reads.
+	var inputs []string
+	plan.Walk(chosen, func(n *plan.Node) {
+		if n.Kind == plan.KindScan {
+			inputs = append(inputs, n.Dataset)
+		}
+	})
+	for _, jn := range w.Nodes {
+		inputs = append(inputs, jn.ViewName)
+	}
+	s.Store.Pin(inputs)
+	_, agg, err := s.Eng.RunSequence(jobs)
+	s.Store.Unpin(inputs)
+	s.Store.EnforceBudget()
+	if err != nil {
+		return nil, err
+	}
+	// Credit the views a successful rewrite read with the cost it saved —
+	// the signal the cost-benefit reclamation policy ranks on (§10).
+	if m.Rewrite != nil && m.Rewrite.Improved {
+		saved := m.Rewrite.OriginalCost - m.Rewrite.Cost
+		if saved > 0 {
+			plan.Walk(chosen, func(n *plan.Node) {
+				if n.Kind == plan.KindScan {
+					if t, ok := s.Cat.Table(n.Dataset); ok && t.IsView {
+						s.Store.AddBenefit(n.Dataset, saved)
+					}
+				}
+			})
+		}
+	}
+	m.ExecSeconds = agg.SimSeconds
+	m.Jobs = agg.Jobs
+	m.DataMovedBytes = agg.DataMovedBytes()
+
+	// Retain job outputs as opportunistic views: register metadata and
+	// collect statistics with the lightweight sampling job (§2.1).
+	for i, jn := range w.Nodes {
+		name := jn.ViewName
+		if jn == w.Sink() {
+			// The sink was materialized under the caller's result name;
+			// that is the dataset future queries can reuse.
+			name = resultName
+		}
+		if _, known := s.Cat.Table(name); known {
+			continue // stats already collected for this materialization
+		}
+		if !s.Store.Has(name) {
+			continue // evicted by the reclamation policy
+		}
+		s.Cat.RegisterView(name, jn.OutCols, jn.Ann, cost.Stats{}, jn.PlanFP)
+		s.statsSeed++
+		sec, err := s.Cat.CollectStats(s.Eng, name, s.statsSeed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		m.StatsSeconds += sec
+	}
+	s.Cat.SyncWithStore(s.Store)
+	return m, nil
+}
+
+// DropViews clears all opportunistic views from store and catalog
+// (experiments do this between phases).
+func (s *Session) DropViews() {
+	s.Store.DropViews()
+	s.Cat.DropViews()
+}
+
+// AppendRows adds new records to a base log and invalidates every view
+// derived from it — the attribute signatures in each view's annotation
+// record provenance, so staleness is decided exactly, not by guesswork.
+// Returns the names of the views dropped.
+func (s *Session) AppendRows(table string, rows []data.Row) ([]string, error) {
+	info, ok := s.Cat.Table(table)
+	if !ok || info.IsView {
+		return nil, fmt.Errorf("session: %q is not a base table", table)
+	}
+	ds, ok := s.Store.Meta(table)
+	if !ok {
+		return nil, fmt.Errorf("session: %q not in store", table)
+	}
+	rel := ds.Relation()
+	for _, r := range rows {
+		rel.Append(r)
+	}
+	// Re-put so size accounting and eviction bookkeeping update.
+	s.Store.Put(table, storage.Base, rel)
+	s.Cat.RegisterBase(table, info.Cols, info.KeyCol,
+		cost.Stats{Rows: int64(rel.Len()), Bytes: rel.EncodedSize()}, info.Distinct)
+
+	var dropped []string
+	for _, v := range s.Cat.Views() {
+		if annDependsOn(v.Ann, table) {
+			s.Store.Delete(v.Name)
+			s.Cat.DropView(v.Name)
+			dropped = append(dropped, v.Name)
+		}
+	}
+	return dropped, nil
+}
+
+// annDependsOn reports whether any signature in the annotation derives
+// (transitively) from the named dataset.
+func annDependsOn(ann afk.Annotation, dataset string) bool {
+	var depends func(s *afk.Sig) bool
+	depends = func(s *afk.Sig) bool {
+		if s.IsBase() {
+			return s.Dataset == dataset
+		}
+		for _, in := range s.Inputs {
+			if depends(in) {
+				return true
+			}
+		}
+		for _, k := range s.GroupBy {
+			if depends(k) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, at := range ann.Attrs() {
+		if depends(at.Sig) {
+			return true
+		}
+	}
+	for _, k := range ann.K.Sigs() {
+		if depends(k) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,241 @@
+package session
+
+import (
+	"strings"
+	"testing"
+
+	"opportune/internal/cost"
+	"opportune/internal/data"
+	"opportune/internal/expr"
+	"opportune/internal/plan"
+	"opportune/internal/storage"
+	"opportune/internal/udf"
+	"opportune/internal/value"
+)
+
+func demo(t *testing.T, rows int) *Session {
+	t.Helper()
+	s := New(cost.DefaultParams())
+	rel := data.NewRelation(data.NewSchema("id", "user", "text"))
+	texts := []string{"wine time", "coffee", "wine wine"}
+	for i := 0; i < rows; i++ {
+		rel.Append(data.Row{value.NewInt(int64(i)), value.NewInt(int64(i % 5)), value.NewStr(texts[i%3])})
+	}
+	s.Store.Put("logs", storage.Base, rel)
+	s.Cat.RegisterBase("logs", []string{"id", "user", "text"}, "id",
+		cost.Stats{Rows: int64(rows), Bytes: rel.EncodedSize()}, map[string]int64{"user": 5})
+	if err := s.Cat.UDFs.Register(&udf.Descriptor{
+		Name: "W", NArgs: 1, Kind: udf.KindMap, OutNames: []string{"w"},
+		Map: func(args, _ []value.V) [][]value.V {
+			return [][]value.V{{value.NewInt(int64(strings.Count(args[0].Str(), "wine")))}}
+		},
+		TrueScalar: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func q() *plan.Node {
+	agg := plan.GroupAgg(
+		plan.Apply(plan.Scan("logs"), "W", []string{"text"}),
+		[]string{"user"}, plan.AggSpec{Func: plan.AggSum, Col: "w", As: "s"})
+	return plan.Filter(agg, expr.NewCmp("s", expr.Gt, value.NewFloat(1)))
+}
+
+func TestModeNames(t *testing.T) {
+	names := map[Mode]string{
+		ModeOriginal: "orig", ModeBFR: "bfr", ModeDP: "dp", ModeSyntactic: "syntactic",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%v name", m)
+		}
+	}
+	if Mode(99).String() != "unknown" {
+		t.Error("unknown mode name")
+	}
+}
+
+func TestRunRegistersViewsAndStats(t *testing.T) {
+	s := demo(t, 300)
+	m, err := s.Run(q(), "res", ModeOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExecSeconds <= 0 || m.Jobs != 2 || m.ResultName != "res" {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.StatsSeconds <= 0 {
+		t.Error("no stats-collection overhead charged")
+	}
+	views := s.Cat.Views()
+	if len(views) != 2 { // agg view + result
+		t.Fatalf("views = %d", len(views))
+	}
+	for _, v := range views {
+		if v.Stats.Rows <= 0 || v.Stats.Bytes <= 0 {
+			t.Errorf("view %s lacks stats: %+v", v.Name, v.Stats)
+		}
+		if v.PlanFP == "" {
+			t.Errorf("view %s lacks a plan fingerprint", v.Name)
+		}
+	}
+	// Second run of the same plan under ORIG re-registers nothing new and
+	// collects no new stats.
+	m2, err := s.Run(q(), "res2", ModeOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cat.Views()) != 3 { // only the new result name
+		t.Errorf("views after rerun = %d", len(s.Cat.Views()))
+	}
+	if m2.StatsSeconds >= m.StatsSeconds {
+		t.Error("stats for known views re-collected")
+	}
+}
+
+func TestRunAllModesAgree(t *testing.T) {
+	want := uint64(0)
+	for _, mode := range []Mode{ModeOriginal, ModeBFR, ModeDP, ModeSyntactic} {
+		s := demo(t, 300)
+		if _, err := s.Run(q(), "warm", ModeOriginal); err != nil {
+			t.Fatal(err)
+		}
+		m, err := s.Run(q(), "res_"+mode.String(), mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		rel, err := s.Store.Read(m.ResultName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := rel.Fingerprint()
+		if want == 0 {
+			want = fp
+		} else if fp != want {
+			t.Errorf("mode %v produced different data", mode)
+		}
+		if mode != ModeOriginal && (m.Rewrite == nil || !m.Rewrite.Improved) {
+			t.Errorf("mode %v found no rewrite for an identical rerun", mode)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	s := demo(t, 10)
+	if _, err := s.Run(plan.Scan("missing"), "x", ModeOriginal); err == nil {
+		t.Error("bad plan accepted")
+	}
+	if _, err := s.Run(plan.Scan("logs"), "x", ModeOriginal); err == nil {
+		t.Error("trivial plan accepted")
+	}
+}
+
+func TestDropViews(t *testing.T) {
+	s := demo(t, 100)
+	if _, err := s.Run(q(), "res", ModeOriginal); err != nil {
+		t.Fatal(err)
+	}
+	s.DropViews()
+	if len(s.Cat.Views()) != 0 || len(s.Store.List(storage.View)) != 0 {
+		t.Error("views remain after DropViews")
+	}
+	if !s.Store.Has("logs") {
+		t.Error("base data dropped")
+	}
+}
+
+func TestEvictionKeepsCatalogConsistent(t *testing.T) {
+	s := demo(t, 400)
+	s.Store.ViewCapacityBytes = 600 // tiny: most views evicted
+	if _, err := s.Run(q(), "res", ModeOriginal); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s.Cat.Views() {
+		if !s.Store.Has(v.Name) {
+			t.Errorf("catalog lists evicted view %s", v.Name)
+		}
+	}
+	// queries still run and rewrite correctly afterwards
+	if _, err := s.Run(q(), "res2", ModeBFR); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendRowsInvalidatesDerivedViews(t *testing.T) {
+	s := demo(t, 100)
+	if _, err := s.Run(q(), "res", ModeOriginal); err != nil {
+		t.Fatal(err)
+	}
+	// an unrelated base table and a view over it
+	other := data.NewRelation(data.NewSchema("x"))
+	other.Append(data.Row{value.NewInt(1)})
+	other.Append(data.Row{value.NewInt(2)})
+	s.Store.Put("other", storage.Base, other)
+	s.Cat.RegisterBase("other", []string{"x"}, "", cost.Stats{Rows: 2, Bytes: other.EncodedSize()}, nil)
+	p2 := plan.GroupAgg(plan.Scan("other"), []string{"x"}, plan.AggSpec{Func: plan.AggCount, As: "n"})
+	if _, err := s.Run(p2, "other_agg", ModeOriginal); err != nil {
+		t.Fatal(err)
+	}
+	logViews := 0
+	for _, v := range s.Cat.Views() {
+		_ = v
+		logViews++
+	}
+	if logViews < 3 {
+		t.Fatalf("setup: %d views", logViews)
+	}
+
+	dropped, err := s.AppendRows("logs", []data.Row{
+		{value.NewInt(1000), value.NewInt(1), value.NewStr("wine wine wine")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) == 0 {
+		t.Fatal("no views invalidated")
+	}
+	// the view over "other" must survive; every logs-derived view must go
+	for _, v := range s.Cat.Views() {
+		if annDependsOn(v.Ann, "logs") {
+			t.Errorf("stale view %s survived", v.Name)
+		}
+	}
+	if _, ok := s.Cat.Table("other_agg"); !ok {
+		t.Error("unrelated view invalidated")
+	}
+	// base stats refreshed
+	info, _ := s.Cat.Table("logs")
+	if info.Stats.Rows != 101 {
+		t.Errorf("rows = %d, want 101", info.Stats.Rows)
+	}
+	// fresh query over the appended data sees the new record and matches a
+	// clean system's result
+	m, err := s.Run(q(), "res2", ModeBFR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := demo(t, 100)
+	if _, err := ref.AppendRows("logs", []data.Row{
+		{value.NewInt(1000), value.NewInt(1), value.NewStr("wine wine wine")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mr2, err := ref.Run(q(), "ref", ModeOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Store.Read(m.ResultName)
+	b, _ := ref.Store.Read(mr2.ResultName)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("post-append result diverged from clean recompute")
+	}
+	// errors
+	if _, err := s.AppendRows("res2", nil); err == nil {
+		t.Error("append to a view accepted")
+	}
+	if _, err := s.AppendRows("missing", nil); err == nil {
+		t.Error("append to missing table accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package session
+
+import (
+	"testing"
+
+	"opportune/internal/hiveql"
+)
+
+// TestOrderByLimitEndToEnd exercises the full path: parse, compile (single-
+// reducer sort job), execute, and the LIMIT reuse semantics.
+func TestOrderByLimitEndToEnd(t *testing.T) {
+	s := demo(t, 200)
+	st, err := hiveql.ParseOne(`
+		SELECT user, SUM(w) AS total FROM logs APPLY W(text)
+		GROUP BY user ORDER BY total DESC, user LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run(st.Plan, "top3", ModeOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := s.Store.Read(m.ResultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("rows = %d, want 3", rel.Len())
+	}
+	// descending totals, user ascending as tie-break
+	for i := 1; i < rel.Len(); i++ {
+		prev, cur := rel.Get(i-1, "total").Float(), rel.Get(i, "total").Float()
+		if cur > prev {
+			t.Errorf("not sorted desc: %v then %v", prev, cur)
+		}
+		if cur == prev && rel.Get(i, "user").Int() < rel.Get(i-1, "user").Int() {
+			t.Errorf("tie-break not ascending")
+		}
+	}
+
+	// The limited result view must NOT be reused semantically: an unlimited
+	// query over the same aggregation must recompute (or use the unlimited
+	// agg view), never read the top-3 view.
+	st2, err := hiveql.ParseOne(`
+		SELECT user, SUM(w) AS total FROM logs APPLY W(text) GROUP BY user`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s.Run(st2.Plan, "full", ModeBFR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := s.Store.Read(m2.ResultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.Len() != 5 {
+		t.Fatalf("unlimited result rows = %d, want 5 users", rel2.Len())
+	}
+	// It should still have been rewritten — from the UNLIMITED agg view the
+	// first query materialized upstream of its sort.
+	if m2.Rewrite == nil || !m2.Rewrite.Improved {
+		t.Error("unlimited query should reuse the pre-sort aggregation view")
+	}
+
+	// An identical limited query is syntactically identical: the syntactic
+	// path may reuse it; the semantic path must also deliver a correct
+	// (recomputed or composed) result.
+	st3, err := hiveql.ParseOne(`
+		SELECT user, SUM(w) AS total FROM logs APPLY W(text)
+		GROUP BY user ORDER BY total DESC, user LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := s.Run(st3.Plan, "top3again", ModeSyntactic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel3, err := s.Store.Read(m3.ResultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel3.Fingerprint() != rel.Fingerprint() {
+		t.Error("syntactic reuse of the limited plan changed the result")
+	}
+	if m3.Rewrite == nil || !m3.Rewrite.Improved {
+		t.Error("syntactic matching should reuse the identical limited plan")
+	}
+
+	// Under BFR the same limited query must still produce the right rows
+	// (upstream reuse is fine; the limited sink must be recomputed or be
+	// plan-identical).
+	st4, err := hiveql.ParseOne(`
+		SELECT user, SUM(w) AS total FROM logs APPLY W(text)
+		GROUP BY user ORDER BY total DESC, user LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := s.Run(st4.Plan, "top3bfr", ModeBFR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel4, err := s.Store.Read(m4.ResultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel4.Fingerprint() != rel.Fingerprint() {
+		t.Error("BFR run of the limited query changed the result")
+	}
+}
+
+// TestOrderWithoutLimitIsReusable: pure ORDER BY does not taint — the
+// sorted view answers the unsorted aggregation for free.
+func TestOrderWithoutLimitIsReusable(t *testing.T) {
+	s := demo(t, 200)
+	st, err := hiveql.ParseOne(`
+		SELECT user, SUM(w) AS total FROM logs APPLY W(text)
+		GROUP BY user ORDER BY total DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(st.Plan, "sorted", ModeOriginal); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := hiveql.ParseOne(`
+		SELECT user, SUM(w) AS total FROM logs APPLY W(text) GROUP BY user`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run(st2.Plan, "plain", ModeBFR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rewrite == nil || !m.Rewrite.Improved {
+		t.Fatal("sorted view not reused for the unsorted query")
+	}
+	if m.ExecSeconds != 0 {
+		t.Errorf("expected free reuse (set-identical view), got %gs", m.ExecSeconds)
+	}
+}

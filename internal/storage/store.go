@@ -1,0 +1,361 @@
+// Package storage simulates the HDFS layer: named datasets (base logs and
+// opportunistic materialized views) with exact byte accounting for reads,
+// writes, and samples.
+//
+// The paper's system retains every MR job output "space permitting"
+// (§2.1); Store supports an optional capacity budget for view storage with
+// pluggable reclamation policies (LRU, LFU, cost-benefit — §10).
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"opportune/internal/data"
+)
+
+// Kind distinguishes base datasets (raw logs, never evicted) from
+// opportunistic views.
+type Kind uint8
+
+const (
+	// Base is a raw input log.
+	Base Kind = iota
+	// View is an opportunistic materialized view (a retained job output).
+	View
+)
+
+// Dataset is one stored table plus retention metadata.
+type Dataset struct {
+	Name      string
+	Kind      Kind
+	SizeBytes int64
+
+	// Retention metadata for reclamation policies.
+	CreatedSeq  int64   // creation order
+	LastUsedSeq int64   // last read order
+	UseCount    int64   // number of reads
+	Benefit     float64 // accumulated cost-benefit score (set by the rewriter)
+
+	rel *data.Relation
+}
+
+// Rows returns the dataset's row count.
+func (d *Dataset) Rows() int64 { return int64(d.rel.Len()) }
+
+// Relation exposes the backing relation without I/O accounting; reserved
+// for offline operations (persistence), not query execution.
+func (d *Dataset) Relation() *data.Relation { return d.rel }
+
+// Counters tallies simulated I/O volume.
+type Counters struct {
+	BytesRead    int64
+	BytesWritten int64
+	ReadOps      int64
+	WriteOps     int64
+}
+
+// Store is the simulated HDFS namespace.
+type Store struct {
+	mu       sync.Mutex
+	datasets map[string]*Dataset
+	seq      int64
+	pinned   map[string]int // eviction-exempt datasets (inputs of running plans)
+
+	counters Counters
+
+	// ViewCapacityBytes bounds total view bytes; 0 means unlimited.
+	ViewCapacityBytes int64
+	// Policy selects eviction victims when capacity is exceeded.
+	Policy ReclamationPolicy
+}
+
+// NewStore creates an empty store with unlimited view capacity.
+func NewStore() *Store {
+	return &Store{
+		datasets: make(map[string]*Dataset),
+		pinned:   make(map[string]int),
+		Policy:   PolicyLRU,
+	}
+}
+
+// Pin protects datasets from capacity eviction while a plan that reads them
+// executes (real systems hold leases on job inputs). Pins nest; call Unpin
+// with the same names when done.
+func (s *Store) Pin(names []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range names {
+		s.pinned[n]++
+	}
+}
+
+// Unpin releases a prior Pin.
+func (s *Store) Unpin(names []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range names {
+		if s.pinned[n] <= 1 {
+			delete(s.pinned, n)
+		} else {
+			s.pinned[n]--
+		}
+	}
+}
+
+// EnforceBudget evicts views down to the capacity budget (eviction
+// otherwise only triggers on writes; callers invoke this after releasing
+// pins so a finished plan's inputs become reclaimable).
+func (s *Store) EnforceBudget() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ViewCapacityBytes > 0 {
+		s.evictLocked("")
+	}
+}
+
+// Put stores (or replaces) a dataset. When a view write exceeds the
+// capacity budget, other views are evicted per the policy; the incoming
+// view is always admitted (if it alone exceeds capacity, every other view
+// is evicted and it is still stored — simplest admission rule).
+// Write bytes are counted.
+func (s *Store) Put(name string, kind Kind, rel *data.Relation) *Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	d := &Dataset{
+		Name:        name,
+		Kind:        kind,
+		SizeBytes:   rel.EncodedSize(),
+		CreatedSeq:  s.seq,
+		LastUsedSeq: s.seq,
+		rel:         rel,
+	}
+	s.datasets[name] = d
+	s.counters.BytesWritten += d.SizeBytes
+	s.counters.WriteOps++
+	if kind == View && s.ViewCapacityBytes > 0 {
+		s.evictLocked(name)
+	}
+	return d
+}
+
+// evictLocked removes views (never the just-written `keep` view, never base
+// data) until view bytes fit the budget.
+func (s *Store) evictLocked(keep string) {
+	for {
+		var total int64
+		var views []*Dataset
+		for _, d := range s.datasets {
+			if d.Kind == View {
+				total += d.SizeBytes
+				if d.Name != keep && s.pinned[d.Name] == 0 {
+					views = append(views, d)
+				}
+			}
+		}
+		if total <= s.ViewCapacityBytes || len(views) == 0 {
+			return
+		}
+		victim := s.Policy.pick(views)
+		delete(s.datasets, victim.Name)
+	}
+}
+
+// Has reports whether a dataset exists.
+func (s *Store) Has(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.datasets[name]
+	return ok
+}
+
+// Meta returns dataset metadata without counting a read.
+func (s *Store) Meta(name string) (*Dataset, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[name]
+	return d, ok
+}
+
+// Read returns the relation, counting a full read of its bytes.
+func (s *Store) Read(name string) (*data.Relation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: dataset %q not found", name)
+	}
+	s.seq++
+	d.LastUsedSeq = s.seq
+	d.UseCount++
+	s.counters.BytesRead += d.SizeBytes
+	s.counters.ReadOps++
+	return d.rel, nil
+}
+
+// Sample returns a uniform random sample of approximately frac of the rows
+// (at least one row for nonempty data), counting only the proportional
+// bytes read. This is the store-level primitive behind the lightweight
+// statistics job (§2.1) and UDF calibration (§4.2).
+func (s *Store) Sample(name string, frac float64, seed int64) (*data.Relation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: dataset %q not found", name)
+	}
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("storage: sample fraction %v out of (0,1]", frac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := data.NewRelation(d.rel.Schema())
+	for _, r := range d.rel.Rows() {
+		if rng.Float64() < frac {
+			out.Append(r)
+		}
+	}
+	if out.Len() == 0 && d.rel.Len() > 0 {
+		out.Append(d.rel.Row(rng.Intn(d.rel.Len())))
+	}
+	s.counters.BytesRead += out.EncodedSize()
+	s.counters.ReadOps++
+	return out, nil
+}
+
+// Delete removes a dataset.
+func (s *Store) Delete(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.datasets, name)
+}
+
+// DropViews removes every view, keeping base data. Returns the number
+// dropped. Experiments use this between workload phases (§8.3.1).
+func (s *Store) DropViews() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for name, d := range s.datasets {
+		if d.Kind == View {
+			delete(s.datasets, name)
+			n++
+		}
+	}
+	return n
+}
+
+// List returns dataset names of the given kind, sorted.
+func (s *Store) List(kind Kind) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var names []string
+	for name, d := range s.datasets {
+		if d.Kind == kind {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ViewBytes returns total bytes held by views.
+func (s *Store) ViewBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, d := range s.datasets {
+		if d.Kind == View {
+			total += d.SizeBytes
+		}
+	}
+	return total
+}
+
+// Counters returns a snapshot of the I/O counters.
+func (s *Store) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// ResetCounters zeroes the I/O counters (between experiment phases).
+func (s *Store) ResetCounters() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters = Counters{}
+}
+
+// ReclamationPolicy selects which view to evict when over budget.
+type ReclamationPolicy uint8
+
+// Available policies (§10 discussion; evaluated in the ablation bench).
+const (
+	// PolicyLRU evicts the least recently used view.
+	PolicyLRU ReclamationPolicy = iota
+	// PolicyLFU evicts the least frequently used view.
+	PolicyLFU
+	// PolicyCostBenefit evicts the view with the lowest accumulated
+	// benefit-per-byte.
+	PolicyCostBenefit
+	// PolicyFIFO evicts the oldest view (the trivial policy of [17]).
+	PolicyFIFO
+)
+
+// String names the policy.
+func (p ReclamationPolicy) String() string {
+	switch p {
+	case PolicyLRU:
+		return "lru"
+	case PolicyLFU:
+		return "lfu"
+	case PolicyCostBenefit:
+		return "cost-benefit"
+	case PolicyFIFO:
+		return "fifo"
+	default:
+		return "unknown"
+	}
+}
+
+func (p ReclamationPolicy) pick(views []*Dataset) *Dataset {
+	best := views[0]
+	for _, d := range views[1:] {
+		if p.worse(d, best) {
+			best = d
+		}
+	}
+	return best
+}
+
+// worse reports whether a is a better eviction victim than b.
+func (p ReclamationPolicy) worse(a, b *Dataset) bool {
+	switch p {
+	case PolicyLFU:
+		if a.UseCount != b.UseCount {
+			return a.UseCount < b.UseCount
+		}
+	case PolicyCostBenefit:
+		ba := a.Benefit / float64(a.SizeBytes+1)
+		bb := b.Benefit / float64(b.SizeBytes+1)
+		if ba != bb {
+			return ba < bb
+		}
+	case PolicyFIFO:
+		return a.CreatedSeq < b.CreatedSeq
+	}
+	// LRU and all tie-breaks: least recently used first.
+	return a.LastUsedSeq < b.LastUsedSeq
+}
+
+// AddBenefit credits a view with benefit (cost saved by a rewrite that used
+// it); used by the cost-benefit policy.
+func (s *Store) AddBenefit(name string, benefit float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.datasets[name]; ok {
+		d.Benefit += benefit
+	}
+}

@@ -1,0 +1,224 @@
+package storage
+
+import (
+	"testing"
+
+	"opportune/internal/data"
+	"opportune/internal/value"
+)
+
+func rel(n int) *data.Relation {
+	r := data.NewRelation(data.NewSchema("id", "text"))
+	for i := 0; i < n; i++ {
+		r.Append(data.Row{value.NewInt(int64(i)), value.NewStr("row")})
+	}
+	return r
+}
+
+func TestPutReadCounters(t *testing.T) {
+	s := NewStore()
+	r := rel(10)
+	d := s.Put("t", Base, r)
+	if d.SizeBytes != r.EncodedSize() {
+		t.Errorf("SizeBytes = %d, want %d", d.SizeBytes, r.EncodedSize())
+	}
+	c := s.Counters()
+	if c.BytesWritten != d.SizeBytes || c.WriteOps != 1 {
+		t.Errorf("write counters = %+v", c)
+	}
+	got, err := s.Read("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 10 {
+		t.Errorf("read rows = %d", got.Len())
+	}
+	c = s.Counters()
+	if c.BytesRead != d.SizeBytes || c.ReadOps != 1 {
+		t.Errorf("read counters = %+v", c)
+	}
+	if _, err := s.Read("missing"); err == nil {
+		t.Error("Read(missing) succeeded")
+	}
+	s.ResetCounters()
+	if s.Counters() != (Counters{}) {
+		t.Error("ResetCounters did not zero")
+	}
+}
+
+func TestMetaAndHas(t *testing.T) {
+	s := NewStore()
+	s.Put("t", Base, rel(3))
+	if !s.Has("t") || s.Has("x") {
+		t.Error("Has wrong")
+	}
+	d, ok := s.Meta("t")
+	if !ok || d.Rows() != 3 {
+		t.Errorf("Meta = %+v, %v", d, ok)
+	}
+	before := s.Counters().BytesRead
+	s.Meta("t")
+	if s.Counters().BytesRead != before {
+		t.Error("Meta counted a read")
+	}
+}
+
+func TestSample(t *testing.T) {
+	s := NewStore()
+	s.Put("t", Base, rel(1000))
+	samp, err := s.Sample("t", 0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samp.Len() == 0 || samp.Len() > 100 {
+		t.Errorf("sample size = %d, want ~10", samp.Len())
+	}
+	full, _ := s.Meta("t")
+	if s.Counters().BytesRead >= full.SizeBytes {
+		t.Error("sample read counted as full read")
+	}
+	// deterministic for same seed
+	s2, _ := s.Sample("t", 0.01, 42)
+	if s2.Len() != samp.Len() {
+		t.Error("sample not deterministic")
+	}
+	// nonempty source always yields at least one row
+	s.Put("tiny", Base, rel(1))
+	tiny, _ := s.Sample("tiny", 0.0001, 1)
+	if tiny.Len() != 1 {
+		t.Errorf("tiny sample = %d rows", tiny.Len())
+	}
+	if _, err := s.Sample("t", 0, 1); err == nil {
+		t.Error("frac=0 accepted")
+	}
+	if _, err := s.Sample("t", 1.5, 1); err == nil {
+		t.Error("frac>1 accepted")
+	}
+	if _, err := s.Sample("missing", 0.5, 1); err == nil {
+		t.Error("missing dataset accepted")
+	}
+}
+
+func TestListDeleteDropViews(t *testing.T) {
+	s := NewStore()
+	s.Put("base1", Base, rel(1))
+	s.Put("v1", View, rel(1))
+	s.Put("v2", View, rel(1))
+	if got := s.List(View); len(got) != 2 || got[0] != "v1" {
+		t.Errorf("List(View) = %v", got)
+	}
+	if got := s.List(Base); len(got) != 1 {
+		t.Errorf("List(Base) = %v", got)
+	}
+	s.Delete("v1")
+	if s.Has("v1") {
+		t.Error("Delete failed")
+	}
+	if n := s.DropViews(); n != 1 {
+		t.Errorf("DropViews = %d", n)
+	}
+	if !s.Has("base1") {
+		t.Error("DropViews removed base data")
+	}
+	if s.ViewBytes() != 0 {
+		t.Error("ViewBytes after drop != 0")
+	}
+}
+
+func TestCapacityEvictionLRU(t *testing.T) {
+	s := NewStore()
+	one := rel(10)
+	sz := one.EncodedSize()
+	s.ViewCapacityBytes = 2 * sz
+	s.Policy = PolicyLRU
+	s.Put("v1", View, rel(10))
+	s.Put("v2", View, rel(10))
+	// touch v1 so v2 is LRU
+	if _, err := s.Read("v1"); err != nil {
+		t.Fatal(err)
+	}
+	s.Put("v3", View, rel(10)) // must evict v2
+	if s.Has("v2") {
+		t.Error("LRU kept v2")
+	}
+	if !s.Has("v1") || !s.Has("v3") {
+		t.Error("LRU evicted wrong view")
+	}
+}
+
+func TestCapacityEvictionLFU(t *testing.T) {
+	s := NewStore()
+	sz := rel(10).EncodedSize()
+	s.ViewCapacityBytes = 2 * sz
+	s.Policy = PolicyLFU
+	s.Put("v1", View, rel(10))
+	s.Put("v2", View, rel(10))
+	s.Read("v2")
+	s.Read("v2")
+	s.Read("v1") // v1 used once, v2 twice
+	s.Put("v3", View, rel(10))
+	if s.Has("v1") {
+		t.Error("LFU kept less-frequently-used v1")
+	}
+	if !s.Has("v2") {
+		t.Error("LFU evicted v2")
+	}
+}
+
+func TestCapacityEvictionCostBenefit(t *testing.T) {
+	s := NewStore()
+	sz := rel(10).EncodedSize()
+	s.ViewCapacityBytes = 2 * sz
+	s.Policy = PolicyCostBenefit
+	s.Put("v1", View, rel(10))
+	s.Put("v2", View, rel(10))
+	s.AddBenefit("v1", 100)
+	s.Put("v3", View, rel(10)) // v2 has zero benefit -> victim
+	if s.Has("v2") {
+		t.Error("cost-benefit kept zero-benefit v2")
+	}
+	if !s.Has("v1") {
+		t.Error("cost-benefit evicted high-benefit v1")
+	}
+}
+
+func TestCapacityEvictionFIFO(t *testing.T) {
+	s := NewStore()
+	sz := rel(10).EncodedSize()
+	s.ViewCapacityBytes = 2 * sz
+	s.Policy = PolicyFIFO
+	s.Put("v1", View, rel(10))
+	s.Put("v2", View, rel(10))
+	s.Read("v1") // recency must not matter for FIFO
+	s.Put("v3", View, rel(10))
+	if s.Has("v1") {
+		t.Error("FIFO kept oldest view")
+	}
+}
+
+func TestEvictionNeverRemovesBaseOrIncoming(t *testing.T) {
+	s := NewStore()
+	s.Put("base", Base, rel(100))
+	s.ViewCapacityBytes = 1 // absurdly small
+	s.Put("v1", View, rel(10))
+	if !s.Has("base") {
+		t.Error("base data evicted")
+	}
+	if !s.Has("v1") {
+		t.Error("incoming view not admitted")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[ReclamationPolicy]string{
+		PolicyLRU: "lru", PolicyLFU: "lfu", PolicyCostBenefit: "cost-benefit", PolicyFIFO: "fifo",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%v name", p)
+		}
+	}
+	if ReclamationPolicy(99).String() != "unknown" {
+		t.Error("unknown policy name")
+	}
+}

@@ -1,0 +1,104 @@
+package udf
+
+import (
+	"fmt"
+
+	"opportune/internal/cost"
+	"opportune/internal/data"
+	"opportune/internal/mr"
+	"opportune/internal/storage"
+	"opportune/internal/value"
+)
+
+// CalibrationResult reports what a calibration run measured and charged.
+type CalibrationResult struct {
+	UDF         string
+	SampleRows  int64
+	Scalar      float64
+	OverheadSec float64 // simulated seconds spent running the sample job
+}
+
+// Calibrate estimates the UDF's cost scalar empirically (§4.2): the first
+// time a UDF is added, it executes on a 1% uniform random sample of the
+// given dataset and the measured per-tuple CPU cost is divided by the
+// baseline of its cheapest operation type. The descriptor's Scalar is set
+// and the (small) simulated overhead is reported so callers can charge it.
+func Calibrate(engine *mr.Engine, dataset string, d *Descriptor, argCols []string, params []value.V, seed int64) (*CalibrationResult, error) {
+	const frac = 0.01
+	sample, err := engine.Store.Sample(dataset, frac, seed)
+	if err != nil {
+		return nil, fmt.Errorf("udf: calibrate %s: %w", d.Name, err)
+	}
+	sampleName := fmt.Sprintf("_calib_%s_in", d.Name)
+	engine.Store.Put(sampleName, storage.View, sample)
+
+	idxs := make([]int, len(argCols))
+	for i, c := range argCols {
+		ix, ok := sample.Schema().Index(c)
+		if !ok {
+			return nil, fmt.Errorf("udf: calibrate %s: column %q not in %s", d.Name, c, sample.Schema())
+		}
+		idxs[i] = ix
+	}
+
+	outSchema := data.NewSchema("_probe")
+	job := &mr.Job{
+		Name:   "calibrate-" + d.Name,
+		Inputs: []string{sampleName},
+		Map: func(_ int, r data.Row, emit mr.Emit) {
+			args := make([]value.V, len(idxs))
+			for i, ix := range idxs {
+				args[i] = r[ix]
+			}
+			d.probe(args, params)
+			emit("", data.Row{value.NewInt(1)})
+		},
+		MapOutSchema: outSchema,
+		OutputSchema: outSchema,
+		Output:       fmt.Sprintf("_calib_%s_out", d.Name),
+		OutputKind:   storage.View,
+		MapCost:      []cost.LocalFn{{Ops: d.MapOps, Scalar: d.TrueScalar}},
+	}
+	_, res, err := engine.Run(job)
+	if err != nil {
+		return nil, fmt.Errorf("udf: calibrate %s: %w", d.Name, err)
+	}
+	// Remove calibration scratch datasets; they are not physical design.
+	engine.Store.Delete(sampleName)
+	engine.Store.Delete(job.Output)
+
+	// Measured CPU seconds = Cm minus the data-read portion.
+	readSec := float64(res.InputBytes) / engine.Params.ReadRate
+	cpuSec := res.Breakdown.Cm - readSec
+	baseline := engine.Params.CPUSecondsPerTuple(cost.LocalFn{Ops: d.MapOps, Scalar: 1})
+	scalar := 1.0
+	if res.InputRows > 0 && baseline > 0 {
+		scalar = cpuSec / (float64(res.InputRows) * baseline)
+	}
+	if scalar < 1 {
+		scalar = 1
+	}
+	d.Scalar = scalar
+	return &CalibrationResult{
+		UDF:         d.Name,
+		SampleRows:  res.InputRows,
+		Scalar:      scalar,
+		OverheadSec: res.SimSeconds,
+	}, nil
+}
+
+// probe exercises the UDF's executable map-side path on one tuple (the
+// engine charges simulated CPU per tuple regardless; probe keeps the real
+// code on the calibration path so panics surface here, not mid-query).
+func (d *Descriptor) probe(args, params []value.V) {
+	switch d.Kind {
+	case KindMap:
+		if d.Map != nil {
+			d.Map(args, params)
+		}
+	case KindAgg:
+		if d.PreMap != nil {
+			d.PreMap(args, params)
+		}
+	}
+}

@@ -1,0 +1,367 @@
+package udf
+
+import (
+	"strings"
+	"testing"
+
+	"opportune/internal/afk"
+	"opportune/internal/cost"
+	"opportune/internal/expr"
+	"opportune/internal/value"
+)
+
+// sentimentUDF: per-tuple classifier adding a score column.
+func sentimentUDF() *Descriptor {
+	return &Descriptor{
+		Name: "UDF_SENT", NArgs: 1, NParams: 0,
+		Kind:     KindMap,
+		OutNames: []string{"score"},
+		Map: func(args, _ []value.V) [][]value.V {
+			n := float64(strings.Count(args[0].Str(), "good"))
+			return [][]value.V{{value.NewFloat(n)}}
+		},
+		TrueScalar: 20,
+	}
+}
+
+// pairsUDF: aggregate with derived keys (user communication pairs).
+func pairsUDF() *Descriptor {
+	return &Descriptor{
+		Name: "UDF_PAIRS", NArgs: 2, NParams: 0,
+		Kind:        KindAgg,
+		KeyNames:    []string{"u1", "u2"},
+		DerivedKeys: true,
+		PreMap: func(args, _ []value.V) ([]value.V, []value.V, bool) {
+			if args[1].IsNull() {
+				return nil, nil, false
+			}
+			return []value.V{args[0], args[1]}, []value.V{value.NewInt(1)}, true
+		},
+		PayloadCols: 1,
+		OutNames:    []string{"strength"},
+		Reduce: func(_ []value.V, payloads [][]value.V, _ []value.V) []value.V {
+			return []value.V{value.NewInt(int64(len(payloads)))}
+		},
+		TrueScalar: 5,
+	}
+}
+
+// sumUDF: aggregate keyed by a passthrough argument.
+func sumUDF() *Descriptor {
+	return &Descriptor{
+		Name: "UDF_SUM", NArgs: 2, NParams: 0,
+		Kind:     KindAgg,
+		KeyNames: []string{"user_id"},
+		KeyArgs:  []int{0},
+		OutNames: []string{"total"},
+		Reduce: func(_ []value.V, payloads [][]value.V, _ []value.V) []value.V {
+			var s float64
+			for _, p := range payloads {
+				s += p[0].Float()
+			}
+			return []value.V{value.NewFloat(s)}
+		},
+		TrueScalar: 1,
+	}
+}
+
+func twtr() afk.Annotation {
+	return afk.NewBase("twtr", []string{"tweet_id", "user_id", "text", "reply_to"}, "tweet_id")
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Descriptor{
+		{Name: "", Kind: KindMap, Map: func(_, _ []value.V) [][]value.V { return nil }, TrueScalar: 1},
+		{Name: "X", Kind: KindMap, TrueScalar: 1},                                                                                 // no Map
+		{Name: "X", Kind: KindMap, Map: func(_, _ []value.V) [][]value.V { return nil }, TrueScalar: 1},                           // no outs, no filter
+		{Name: "X", Kind: KindAgg, TrueScalar: 1},                                                                                 // no Reduce
+		{Name: "X", Kind: KindAgg, Reduce: func(_ []value.V, _ [][]value.V, _ []value.V) []value.V { return nil }, TrueScalar: 1}, // no keys
+		{Name: "X", Kind: KindAgg, KeyNames: []string{"k"}, KeyArgs: []int{5}, NArgs: 1,
+			Reduce: func(_ []value.V, _ [][]value.V, _ []value.V) []value.V { return nil }, TrueScalar: 1}, // bad key index
+		{Name: "X", Kind: Kind(9), TrueScalar: 1},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad descriptor %d validated", i)
+		}
+	}
+	s := sentimentUDF()
+	s.TrueScalar = 0.5
+	if err := s.Validate(); err == nil {
+		t.Error("TrueScalar < 1 validated")
+	}
+	if err := sentimentUDF().Validate(); err != nil {
+		t.Errorf("good map UDF rejected: %v", err)
+	}
+	if err := pairsUDF().Validate(); err != nil {
+		t.Errorf("good agg UDF rejected: %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(sentimentUDF()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(pairsUDF()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get("UDF_SENT"); !ok {
+		t.Error("Get failed")
+	}
+	if _, ok := r.Get("NOPE"); ok {
+		t.Error("Get found missing")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "UDF_PAIRS" {
+		t.Errorf("Names = %v", names)
+	}
+	if err := r.Register(&Descriptor{Name: "bad", Kind: KindMap, TrueScalar: 1}); err == nil {
+		t.Error("invalid descriptor registered")
+	}
+	// defaults filled in
+	d, _ := r.Get("UDF_SENT")
+	if len(d.MapOps) == 0 {
+		t.Error("MapOps not defaulted")
+	}
+	d2, _ := r.Get("UDF_PAIRS")
+	if len(d2.ReduceOps) == 0 {
+		t.Error("ReduceOps not defaulted")
+	}
+}
+
+func TestForOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Register(sentimentUDF())
+	d, out, ok := r.ForOutput("UDF_SENT#score")
+	if !ok || d.Name != "UDF_SENT" || out != "score" {
+		t.Errorf("ForOutput = %v %q %v", d, out, ok)
+	}
+	if _, _, ok := r.ForOutput("UDF_SENT"); ok {
+		t.Error("unqualified name resolved")
+	}
+	if _, _, ok := r.ForOutput("MISSING#x"); ok {
+		t.Error("missing UDF resolved")
+	}
+}
+
+func TestAnnotateMapUDF(t *testing.T) {
+	fds := afk.NewFDSet()
+	in := twtr()
+	out, err := sentimentUDF().Annotate(in, []string{"text"}, nil, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// all input columns kept + score
+	if len(out.Names()) != 5 {
+		t.Errorf("out names = %v", out.Names())
+	}
+	s := out.SigOf("score")
+	if s == nil || s.IsBase() || s.UDF != "UDF_SENT#score" {
+		t.Errorf("score sig = %v", s)
+	}
+	// FD registered: text -> score
+	if !fds.Determines([]string{in.MustSig("text").ID()}, s.ID()) {
+		t.Error("FD not registered")
+	}
+	// K unchanged
+	if !out.K.Equal(in.K) {
+		t.Error("map UDF changed keys")
+	}
+	// same application → same signature
+	out2, _ := sentimentUDF().Annotate(in, []string{"text"}, nil, afk.NewFDSet())
+	if out2.SigOf("score").ID() != s.ID() {
+		t.Error("signatures not stable")
+	}
+}
+
+func TestAnnotateMapUDFErrors(t *testing.T) {
+	d := sentimentUDF()
+	in := twtr()
+	if _, err := d.Annotate(in, []string{"text", "extra"}, nil, afk.NewFDSet()); err == nil {
+		t.Error("wrong arg count accepted")
+	}
+	if _, err := d.Annotate(in, []string{"missing"}, nil, afk.NewFDSet()); err == nil {
+		t.Error("missing column accepted")
+	}
+	if _, err := d.Annotate(in, []string{"text"}, []value.V{value.NewInt(1)}, afk.NewFDSet()); err == nil {
+		t.Error("wrong param count accepted")
+	}
+}
+
+func TestAnnotateFilteringMapUDF(t *testing.T) {
+	d := &Descriptor{
+		Name: "UDF_NEAR", NArgs: 2, NParams: 1,
+		Kind:    KindMap,
+		Filters: true,
+		Map: func(args, params []value.V) [][]value.V {
+			if args[0].Float() < params[0].Float() {
+				return [][]value.V{{}}
+			}
+			return nil
+		},
+		TrueScalar: 2,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in := afk.NewBase("land", []string{"lat", "lon"}, "")
+	out, err := d.Annotate(in, []string{"lat", "lon"}, []value.V{value.NewFloat(1)}, afk.NewFDSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.F) != 1 {
+		t.Fatalf("F = %v", out.F)
+	}
+	for _, p := range out.F {
+		if p.Kind != expr.KindOpaque {
+			t.Errorf("filter pred kind = %v", p.Kind)
+		}
+		if !strings.Contains(p.Name, "UDF_NEAR") {
+			t.Errorf("filter name = %q", p.Name)
+		}
+	}
+	// different params → different opaque predicate
+	out2, _ := d.Annotate(in, []string{"lat", "lon"}, []value.V{value.NewFloat(2)}, afk.NewFDSet())
+	if out.F.Equal(out2.F) {
+		t.Error("different params, same opaque filter")
+	}
+}
+
+func TestAnnotateExplodingUDF(t *testing.T) {
+	d := &Descriptor{
+		Name: "UDF_TOKENIZE", NArgs: 1, NParams: 0,
+		Kind:     KindMap,
+		OutNames: []string{"sentence"},
+		Explode:  true,
+		Map: func(args, _ []value.V) [][]value.V {
+			var out [][]value.V
+			for _, s := range strings.Split(args[0].Str(), ".") {
+				out = append(out, []value.V{value.NewStr(s)})
+			}
+			return out
+		},
+		TrueScalar: 3,
+	}
+	in := twtr()
+	fds := afk.NewFDSet()
+	out, err := d.Annotate(in, []string{"text"}, nil, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// re-keyed on a derived row signature, still record-level
+	if out.Grouped {
+		t.Error("exploded output marked grouped")
+	}
+	if out.K.Equal(in.K) {
+		t.Error("exploded output kept input keys")
+	}
+	if len(out.K) != 1 {
+		t.Errorf("K = %s", out.K.Canon())
+	}
+	// the row key determines the payload columns
+	var rowKeyID string
+	for id := range out.K {
+		rowKeyID = id
+	}
+	if !fds.Determines([]string{rowKeyID}, out.MustSig("sentence").ID()) {
+		t.Error("row key FD missing")
+	}
+}
+
+func TestAnnotateAggUDFPassthroughKeys(t *testing.T) {
+	fds := afk.NewFDSet()
+	in := twtr()
+	out, err := sumUDF().Annotate(in, []string{"user_id", "text"}, nil, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// exactly key + aggregate
+	if got := out.Names(); len(got) != 2 {
+		t.Errorf("out = %v", got)
+	}
+	if !out.Grouped {
+		t.Error("agg output not grouped")
+	}
+	if !out.K.Equal(afk.NewSigSet(in.MustSig("user_id"))) {
+		t.Errorf("K = %s", out.K.Canon())
+	}
+	tot := out.MustSig("total")
+	if !tot.Agg {
+		t.Error("aggregate sig not marked Agg")
+	}
+	// filter context captured: same UDF over filtered input differs
+	filtered := in.WithFilter(expr.NewCmp("user_id", expr.Gt, value.NewInt(10)))
+	out2, _ := sumUDF().Annotate(filtered, []string{"user_id", "text"}, nil, fds)
+	if out2.MustSig("total").ID() == tot.ID() {
+		t.Error("aggregate identity ignores filter context")
+	}
+	// key FD: user_id -> total
+	if !fds.Determines([]string{in.MustSig("user_id").ID()}, tot.ID()) {
+		t.Error("key FD missing")
+	}
+}
+
+func TestAnnotateAggUDFDerivedKeys(t *testing.T) {
+	fds := afk.NewFDSet()
+	in := twtr()
+	out, err := pairsUDF().Annotate(in, []string{"user_id", "reply_to"}, nil, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Names(); len(got) != 3 { // u1, u2, strength
+		t.Errorf("out = %v", got)
+	}
+	u1 := out.MustSig("u1")
+	if u1.IsBase() || u1.UDF != "UDF_PAIRS#u1" {
+		t.Errorf("derived key sig = %v", u1)
+	}
+	if !out.K.HasID(u1.ID()) || len(out.K) != 2 {
+		t.Errorf("K = %s", out.K.Canon())
+	}
+}
+
+func TestAnnotateAggKeyNameCollision(t *testing.T) {
+	// Derived key whose output name collides with an existing input column.
+	d := pairsUDF()
+	d.KeyNames = []string{"user_id", "u2"} // "user_id" collides with input col
+	fds := afk.NewFDSet()
+	out, err := d.Annotate(twtr(), []string{"user_id", "reply_to"}, nil, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the output key named user_id must be the derived sig, not the base col
+	s := out.MustSig("user_id")
+	if s.IsBase() {
+		t.Error("collided key name bound to base column")
+	}
+}
+
+func TestEffectiveScalar(t *testing.T) {
+	d := sentimentUDF()
+	if d.EffectiveScalar() != 1 {
+		t.Error("uncalibrated scalar != 1")
+	}
+	d.Scalar = 7
+	if d.EffectiveScalar() != 7 {
+		t.Error("calibrated scalar ignored")
+	}
+}
+
+func TestOutSigKeyArgExclusion(t *testing.T) {
+	in := twtr()
+	d := sumUDF()
+	args := []*afk.Sig{in.MustSig("user_id"), in.MustSig("text")}
+	s := d.OutSig("total", args, nil, "{}")
+	// inputs should exclude the key arg (user_id)
+	if len(s.Inputs) != 1 || s.Inputs[0].ID() != in.MustSig("text").ID() {
+		t.Errorf("agg inputs = %v", s.Inputs)
+	}
+	if len(s.GroupBy) != 1 || s.GroupBy[0].ID() != in.MustSig("user_id").ID() {
+		t.Errorf("agg groupby = %v", s.GroupBy)
+	}
+	// cheap op defaulting
+	if ops := defaultMapOps(d); len(ops) != 1 || ops[0] != cost.OpAttr {
+		t.Errorf("default ops = %v", ops)
+	}
+}

@@ -1,0 +1,271 @@
+// Package value defines the scalar value model used throughout the system.
+//
+// Rows flowing through the MapReduce engine are vectors of Values. Values
+// are small immutable structs (no interface boxing) with deterministic
+// ordering, hashing, and a wire encoding whose length feeds the byte
+// accounting that the cost model and the storage layer rely on.
+package value
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the scalar types supported by the engine.
+type Kind uint8
+
+const (
+	// Null is the zero Kind: an absent value (logs are dirty; many
+	// attributes, e.g. tweet geo coordinates, can be missing).
+	Null Kind = iota
+	// Int is a 64-bit signed integer.
+	Int
+	// Float is a 64-bit IEEE float.
+	Float
+	// Str is a UTF-8 string.
+	Str
+	// Bool is a boolean.
+	Bool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Null:
+		return "null"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Str:
+		return "string"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// V is a single scalar value. The zero V is Null.
+type V struct {
+	kind Kind
+	i    int64 // Int payload; Bool uses 0/1
+	f    float64
+	s    string
+}
+
+// NullV is the null value.
+var NullV = V{}
+
+// NewInt returns an Int value.
+func NewInt(i int64) V { return V{kind: Int, i: i} }
+
+// NewFloat returns a Float value.
+func NewFloat(f float64) V { return V{kind: Float, f: f} }
+
+// NewStr returns a Str value.
+func NewStr(s string) V { return V{kind: Str, s: s} }
+
+// NewBool returns a Bool value.
+func NewBool(b bool) V {
+	var i int64
+	if b {
+		i = 1
+	}
+	return V{kind: Bool, i: i}
+}
+
+// Kind reports the value's kind.
+func (v V) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v V) IsNull() bool { return v.kind == Null }
+
+// Int returns the integer payload. It panics on kind mismatch; use it only
+// after checking Kind.
+func (v V) Int() int64 {
+	if v.kind != Int && v.kind != Bool {
+		panic("value: Int() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Float returns the numeric payload widened to float64. Valid for Int and
+// Float values.
+func (v V) Float() float64 {
+	switch v.kind {
+	case Float:
+		return v.f
+	case Int, Bool:
+		return float64(v.i)
+	default:
+		panic("value: Float() on " + v.kind.String())
+	}
+}
+
+// Str returns the string payload. It panics on kind mismatch.
+func (v V) Str() string {
+	if v.kind != Str {
+		panic("value: Str() on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload. It panics on kind mismatch.
+func (v V) Bool() bool {
+	if v.kind != Bool {
+		panic("value: Bool() on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// IsNumeric reports whether the value is Int or Float.
+func (v V) IsNumeric() bool { return v.kind == Int || v.kind == Float }
+
+// Compare orders two values. Nulls sort first; numeric kinds compare by
+// numeric value across Int/Float; otherwise values of different kinds order
+// by kind. Returns -1, 0, or +1.
+func Compare(a, b V) int {
+	if a.kind == Null || b.kind == Null {
+		switch {
+		case a.kind == Null && b.kind == Null:
+			return 0
+		case a.kind == Null:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case Str:
+		return strings.Compare(a.s, b.s)
+	case Bool:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values compare equal under Compare.
+func Equal(a, b V) bool { return Compare(a, b) == 0 }
+
+// Hash returns a deterministic 64-bit hash of the value, consistent with
+// Equal for same-kind values.
+func (v V) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	buf[0] = byte(v.kind)
+	switch v.kind {
+	case Int, Bool:
+		putUint64(buf[1:], uint64(v.i))
+		h.Write(buf[:])
+	case Float:
+		putUint64(buf[1:], math.Float64bits(v.f))
+		h.Write(buf[:])
+	case Str:
+		h.Write(buf[:1])
+		h.Write([]byte(v.s))
+	default:
+		h.Write(buf[:1])
+	}
+	return h.Sum64()
+}
+
+func putUint64(b []byte, u uint64) {
+	_ = b[7]
+	b[0] = byte(u)
+	b[1] = byte(u >> 8)
+	b[2] = byte(u >> 16)
+	b[3] = byte(u >> 24)
+	b[4] = byte(u >> 32)
+	b[5] = byte(u >> 40)
+	b[6] = byte(u >> 48)
+	b[7] = byte(u >> 56)
+}
+
+// EncodedSize returns the number of bytes the value occupies in the
+// simulated on-disk representation: a 1-byte kind tag plus the payload.
+// This is the unit the storage layer and cost model account in.
+func (v V) EncodedSize() int {
+	switch v.kind {
+	case Null:
+		return 1
+	case Int, Float:
+		return 9
+	case Bool:
+		return 2
+	case Str:
+		return 1 + 4 + len(v.s)
+	default:
+		return 1
+	}
+}
+
+// String renders the value for display and for canonical forms (predicates,
+// signatures). Floats use the shortest round-trip representation.
+func (v V) String() string {
+	switch v.kind {
+	case Null:
+		return "NULL"
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case Float:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case Str:
+		return v.s
+	case Bool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Parse converts a literal string to a value: integers, floats, true/false,
+// NULL, otherwise a string.
+func Parse(s string) V {
+	switch s {
+	case "NULL", "null":
+		return NullV
+	case "true":
+		return NewBool(true)
+	case "false":
+		return NewBool(false)
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return NewInt(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return NewFloat(f)
+	}
+	return NewStr(s)
+}

@@ -1,0 +1,229 @@
+// Package workload reproduces the experimental workload of §8 / [16]:
+// three synthetic real-world-shaped logs (Twitter, Foursquare, Landmarks),
+// ten MR UDFs modeled per §3, and the 32 exploratory queries of analysts
+// A1–A8, each in four successively revised versions, written in the
+// system's HiveQL dialect.
+//
+// The generators substitute for the paper's 1TB+ production logs (see
+// DESIGN.md): same schemas, same join keys (user_id across TWTR/4SQ,
+// location_id across 4SQ/LAND), topical text with per-user affinities so
+// classifier UDFs produce skewed scores, and missing values (most tweets
+// carry no geo coordinates — §10 notes queries discard such rows).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"opportune/internal/cost"
+	"opportune/internal/data"
+	"opportune/internal/session"
+	"opportune/internal/storage"
+	"opportune/internal/value"
+)
+
+// Scale sizes the synthetic logs. The paper's ratio is 800GB TWTR : 250GB
+// 4SQ : 7GB LAND; defaults keep the same ordering at laptop scale.
+type Scale struct {
+	Tweets    int
+	Checkins  int
+	Landmarks int
+	Users     int
+	Seed      int64
+}
+
+// SmallScale is used by unit tests.
+func SmallScale() Scale {
+	return Scale{Tweets: 2000, Checkins: 700, Landmarks: 120, Users: 80, Seed: 42}
+}
+
+// DefaultScale is used by the experiment harness.
+func DefaultScale() Scale {
+	return Scale{Tweets: 20000, Checkins: 7000, Landmarks: 600, Users: 400, Seed: 42}
+}
+
+// Topic vocabularies. Sentiment words modulate classifier scores.
+var (
+	wineWords   = []string{"wine", "merlot", "vineyard", "cabernet", "tannins", "pinot", "sommelier"}
+	foodWords   = []string{"food", "dinner", "pasta", "sushi", "ramen", "brunch", "dessert", "taco"}
+	coffeeWords = []string{"coffee", "espresso", "latte", "roast", "barista"}
+	travelWords = []string{"travel", "flight", "resort", "yacht", "firstclass", "suite"}
+	sportWords  = []string{"game", "match", "score", "team", "season"}
+	posWords    = []string{"love", "great", "amazing", "excellent", "enjoy", "perfect"}
+	negWords    = []string{"bad", "awful", "terrible", "hate", "boring"}
+	fillWords   = []string{"the", "today", "about", "going", "just", "with", "really", "some", "now", "then"}
+
+	topics = [][]string{wineWords, foodWords, coffeeWords, travelWords, sportWords}
+
+	// landCategories includes the categories the queries filter on.
+	landCategories = []string{"wine_bar", "restaurant", "cafe", "museum", "park"}
+	menuDishes     = []string{"pasta", "pizza", "sushi", "ramen", "steak", "taco", "salad", "soup", "burger", "curry", "dumpling", "paella"}
+)
+
+// Datasets holds the generated relations.
+type Datasets struct {
+	TWTR *data.Relation
+	FSQ  *data.Relation
+	LAND *data.Relation
+}
+
+// Generate builds the three logs deterministically from the scale's seed.
+func Generate(sc Scale) *Datasets {
+	rng := rand.New(rand.NewSource(sc.Seed))
+	if sc.Users <= 0 {
+		sc.Users = sc.Tweets/20 + 1
+	}
+
+	// Per-user topical affinity and positivity.
+	type userProfile struct {
+		topic    int
+		positive float64 // probability a sentiment word is positive
+		social   float64 // probability of replying
+	}
+	users := make([]userProfile, sc.Users)
+	for u := range users {
+		users[u] = userProfile{
+			topic:    rng.Intn(len(topics)),
+			positive: 0.2 + 0.8*rng.Float64(),
+			social:   rng.Float64() * 0.6,
+		}
+	}
+
+	land := data.NewRelation(data.NewSchema("location_id", "name", "category", "lat", "lon", "menu"))
+	for i := 0; i < sc.Landmarks; i++ {
+		cat := landCategories[rng.Intn(len(landCategories))]
+		menu := ""
+		if cat == "restaurant" || cat == "cafe" || cat == "wine_bar" {
+			n := 3 + rng.Intn(5)
+			dishes := make([]string, n)
+			for j := range dishes {
+				dishes[j] = menuDishes[rng.Intn(len(menuDishes))]
+			}
+			menu = strings.Join(dishes, " ")
+		}
+		land.Append(data.Row{
+			value.NewInt(int64(i)),
+			value.NewStr(fmt.Sprintf("%s_%d", cat, i)),
+			value.NewStr(cat),
+			value.NewFloat(37 + rng.Float64()*2),
+			value.NewFloat(-122 + rng.Float64()*2),
+			value.NewStr(menu),
+		})
+	}
+
+	twtr := data.NewRelation(data.NewSchema("tweet_id", "user_id", "ts", "text", "lat", "lon", "reply_to"))
+	for i := 0; i < sc.Tweets; i++ {
+		u := rng.Intn(sc.Users)
+		p := users[u]
+		text := genText(rng, p.topic, p.positive)
+		lat, lon := value.NullV, value.NullV
+		if rng.Float64() < 0.35 { // most tweets have no geo (dirty logs, §10)
+			lat = value.NewFloat(37 + rng.Float64()*2)
+			lon = value.NewFloat(-122 + rng.Float64()*2)
+		}
+		reply := value.NullV
+		if rng.Float64() < p.social {
+			// replies skew toward low user ids ("popular" users)
+			target := rng.Intn(rng.Intn(sc.Users/4+1) + 1)
+			if target != u {
+				reply = value.NewInt(int64(target))
+			}
+		}
+		twtr.Append(data.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(u)),
+			value.NewInt(int64(1600000000 + i*13)),
+			value.NewStr(text),
+			lat, lon, reply,
+		})
+	}
+
+	fsq := data.NewRelation(data.NewSchema("checkin_id", "user_id", "location_id", "ts"))
+	for i := 0; i < sc.Checkins; i++ {
+		u := rng.Intn(sc.Users)
+		// users check in near their topical interests: wine lovers go to
+		// wine bars more often etc. (keeps query results non-trivial)
+		loc := rng.Intn(max(sc.Landmarks, 1))
+		fsq.Append(data.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(u)),
+			value.NewInt(int64(loc)),
+			value.NewInt(int64(1600000000 + i*29)),
+		})
+	}
+	return &Datasets{TWTR: twtr, FSQ: fsq, LAND: land}
+}
+
+// genText produces a 1-3 sentence tweet biased to the user's topic and
+// positivity.
+func genText(rng *rand.Rand, topic int, positive float64) string {
+	nSent := 1 + rng.Intn(3)
+	var sents []string
+	for s := 0; s < nSent; s++ {
+		n := 4 + rng.Intn(8)
+		words := make([]string, 0, n)
+		for w := 0; w < n; w++ {
+			switch r := rng.Float64(); {
+			case r < 0.30:
+				words = append(words, topics[topic][rng.Intn(len(topics[topic]))])
+			case r < 0.38:
+				other := topics[rng.Intn(len(topics))]
+				words = append(words, other[rng.Intn(len(other))])
+			case r < 0.55:
+				if rng.Float64() < positive {
+					words = append(words, posWords[rng.Intn(len(posWords))])
+				} else {
+					words = append(words, negWords[rng.Intn(len(negWords))])
+				}
+			default:
+				words = append(words, fillWords[rng.Intn(len(fillWords))])
+			}
+		}
+		sents = append(sents, strings.Join(words, " "))
+	}
+	return strings.Join(sents, ". ")
+}
+
+// Install loads the datasets into a session: base data in the store,
+// schemas/stats/FDs in the catalog, and the full UDF library registered and
+// calibrated.
+func Install(s *session.Session, sc Scale) (*Datasets, error) {
+	ds := Generate(sc)
+	s.Store.Put("twtr", storage.Base, ds.TWTR)
+	s.Store.Put("fsq", storage.Base, ds.FSQ)
+	s.Store.Put("land", storage.Base, ds.LAND)
+
+	s.Cat.RegisterBase("twtr", ds.TWTR.Schema().Cols(), "tweet_id",
+		cost.Stats{Rows: int64(ds.TWTR.Len()), Bytes: ds.TWTR.EncodedSize()},
+		map[string]int64{
+			"tweet_id": int64(ds.TWTR.Len()),
+			"user_id":  int64(sc.Users),
+			"reply_to": int64(sc.Users / 4),
+		})
+	s.Cat.RegisterBase("fsq", ds.FSQ.Schema().Cols(), "checkin_id",
+		cost.Stats{Rows: int64(ds.FSQ.Len()), Bytes: ds.FSQ.EncodedSize()},
+		map[string]int64{
+			"checkin_id":  int64(ds.FSQ.Len()),
+			"user_id":     int64(sc.Users),
+			"location_id": int64(sc.Landmarks),
+		})
+	s.Cat.RegisterBase("land", ds.LAND.Schema().Cols(), "location_id",
+		cost.Stats{Rows: int64(ds.LAND.Len()), Bytes: ds.LAND.EncodedSize()},
+		map[string]int64{
+			"location_id": int64(sc.Landmarks),
+			"category":    int64(len(landCategories)),
+		})
+
+	if err := RegisterUDFs(s); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,307 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query identifies one workload query: analyst 1–8, version 1–4 (A_i v_j in
+// the paper's notation).
+type Query struct {
+	Analyst int
+	Version int
+	Name    string // result table name, e.g. "a5v3"
+	SQL     string
+}
+
+// QueryFor returns analyst a's version v query. Versions revise thresholds
+// and add data sources, mirroring the evolution of [16]: v1 opens with one
+// or two logs, later versions bring in all three and tighten or relax
+// predicates, so consecutive versions overlap heavily and v1 queries of
+// different analysts share common sub-computations (affluence scores, food
+// sentiment sums, friendship strength, geo tiles).
+func QueryFor(a, v int) Query {
+	if a < 1 || a > 8 || v < 1 || v > 4 {
+		panic(fmt.Sprintf("workload: no query A%dv%d", a, v))
+	}
+	name := fmt.Sprintf("a%dv%d", a, v)
+	sql := builders[a-1](v)
+	return Query{Analyst: a, Version: v, Name: name,
+		SQL: fmt.Sprintf("CREATE TABLE %s AS %s", name, strings.TrimSpace(sql))}
+}
+
+// AllQueries returns all 32 queries in analyst-major order.
+func AllQueries() []Query {
+	var out []Query
+	for a := 1; a <= 8; a++ {
+		for v := 1; v <= 4; v++ {
+			out = append(out, QueryFor(a, v))
+		}
+	}
+	return out
+}
+
+var builders = [8]func(v int) string{a1, a2, a3, a4, a5, a6, a7, a8}
+
+// Shared sub-queries (the cross-analyst overlap surface).
+
+// wineSums: per-user wine sentiment sums, thresholded (A1's step a).
+func wineSums(threshold float64) string {
+	return fmt.Sprintf(`(SELECT user_id, SUM(wine_score) AS wine_sum
+     FROM twtr APPLY UDF_CLASSIFY_WINE(text)
+     GROUP BY user_id HAVING wine_sum > %g)`, threshold)
+}
+
+// foodSums: per-user food sentiment sums with a rename for joining.
+func foodSums(alias string, threshold float64) string {
+	return fmt.Sprintf(`(SELECT user_id AS %s, SUM(food_score) AS food_sum
+     FROM twtr APPLY UDF_CLASSIFY_FOOD(text)
+     GROUP BY user_id HAVING food_sum > %g)`, alias, threshold)
+}
+
+// friendPairs: communicating user pairs with strength (A1's step b).
+func friendPairs(threshold int) string {
+	return fmt.Sprintf(`(SELECT u1, u2, strength
+     FROM twtr APPLY UDF_FRIEND_STRENGTH(user_id, reply_to)
+     WHERE strength > %d)`, threshold)
+}
+
+// affluent: per-user affluence scores (A1's step c / UDAF-CLASSIFY-AFFLUENT).
+func affluent(alias string, threshold float64) string {
+	return fmt.Sprintf(`(SELECT user_id AS %s, afflu
+     FROM twtr APPLY UDF_AFFLUENCE(user_id, text)
+     WHERE afflu > %g)`, alias, threshold)
+}
+
+// categoryVisits: per-user check-in counts at landmarks of one category.
+func categoryVisits(userAlias, cntAlias, category string, threshold int) string {
+	return fmt.Sprintf(`(SELECT %[1]s, COUNT(*) AS %[2]s FROM
+       (SELECT user_id AS %[1]s, location_id FROM fsq)
+       JOIN (SELECT location_id AS lid, category FROM land WHERE category = '%[3]s')
+       ON location_id = lid
+     GROUP BY %[1]s HAVING %[2]s > %[4]d)`, userAlias, cntAlias, category, threshold)
+}
+
+// twtrTiles: tweet density per geo tile.
+func twtrTiles(alias string, size float64, threshold int) string {
+	return fmt.Sprintf(`(SELECT tile AS %s, COUNT(*) AS n_tweets
+     FROM twtr APPLY UDF_EXTRACT_GEO(lat, lon) APPLY UDF_GEO_TILE(glat, glon, %g)
+     GROUP BY tile HAVING n_tweets > %d)`, alias, size, threshold)
+}
+
+// A1: wine-lover targeting (the paper's running example).
+func a1(v int) string {
+	wineT := []float64{8, 4, 4, 5}[v-1]
+	strengthT := []int{1, 1, 2, 2}[v-1]
+	affluT := []float64{0.2, 0.2, 0.25, 0.25}[v-1]
+	q := fmt.Sprintf(`SELECT user_id, u2, wine_sum, strength, afflu FROM
+ %s
+ JOIN %s ON user_id = u1
+ JOIN %s ON user_id = auser`,
+		wineSums(wineT), friendPairs(strengthT), affluent("auser", affluT))
+	if v >= 2 {
+		visitsT := []int{0, 0, 1, 1}[v-1]
+		q = strings.Replace(q, "SELECT user_id, u2, wine_sum, strength, afflu FROM",
+			"SELECT user_id, u2, wine_sum, strength, afflu, wb_visits FROM", 1)
+		q += "\n JOIN " + categoryVisits("cuser", "wb_visits", "wine_bar", visitsT) + " ON user_id = cuser"
+	}
+	if v >= 4 {
+		// v4 requires the user's friends to frequent wine bars too.
+		q = strings.Replace(q, ", wb_visits FROM", ", wb_visits, wb_friend FROM", 1)
+		q += "\n JOIN " + categoryVisits("fcuser", "wb_friend", "wine_bar", 1) + " ON u2 = fcuser"
+	}
+	return q
+}
+
+// A2: prolific foodies (Fig 4).
+func a2(v int) string {
+	foodT := []float64{5, 3, 3, 6}[v-1]
+	cntT := []int{20, 10, 10, 15}[v-1]
+	q := fmt.Sprintf(`SELECT user_id, cnt, food_sum FROM
+ %s
+ JOIN (SELECT fuser, COUNT(*) AS cnt FROM
+        (SELECT user_id AS fuser, tweet_id FROM twtr)
+       GROUP BY fuser HAVING cnt > %d) ON user_id = fuser`,
+		strings.Replace(foodSums("user_id", foodT), "user_id AS user_id", "user_id", 1), cntT)
+	if v >= 2 {
+		rstT := []int{0, 0, 0, 1}[v-1]
+		rest := categoryVisits("cuser", "rst_visits", "restaurant", rstT)
+		if v >= 3 {
+			simT := []float64{0, 0, 0.1, 0.15}[v-1]
+			rest = fmt.Sprintf(`(SELECT cuser, COUNT(*) AS rst_visits FROM
+       (SELECT user_id AS cuser, location_id FROM fsq)
+       JOIN (SELECT location_id AS lid FROM
+              (SELECT location_id, menu, category FROM land WHERE category = 'restaurant')
+              APPLY UDF_MENU_SIM(menu, 'sushi ramen')
+             WHERE menu_sim > %g)
+       ON location_id = lid
+     GROUP BY cuser HAVING rst_visits > %d)`, simT, rstT)
+		}
+		q = strings.Replace(q, "SELECT user_id, cnt, food_sum FROM",
+			"SELECT user_id, cnt, food_sum, rst_visits FROM", 1)
+		q += "\n JOIN " + rest + " ON user_id = cuser"
+	}
+	return q
+}
+
+// A3: geographic tweet hot spots.
+func a3(v int) string {
+	size := []float64{0.5, 0.5, 0.5, 0.25}[v-1]
+	tweetT := []int{3, 2, 4, 2}[v-1]
+	if v == 1 {
+		// v1 keeps the tile centroid too: a richer aggregate than other
+		// analysts' plain tile counts, so its view reuses *non-identically*
+		// (projection compensation) — the related-but-different overlap
+		// Table 2 measures.
+		return fmt.Sprintf(`SELECT tile, COUNT(*) AS n_tweets, AVG(glat) AS avg_lat
+ FROM twtr APPLY UDF_EXTRACT_GEO(lat, lon) APPLY UDF_GEO_TILE(glat, glon, %g)
+ GROUP BY tile HAVING n_tweets > %d`, size, tweetT)
+	}
+	cafeT := []int{0, 0, 1, 0}[v-1]
+	return fmt.Sprintf(`SELECT tile, n_tweets, n_cafes FROM
+ %s
+ JOIN (SELECT tile AS ltile, COUNT(*) AS n_cafes FROM
+        (SELECT lat, lon, category FROM land WHERE category = 'cafe')
+        APPLY UDF_GEO_TILE(lat, lon, %g)
+       GROUP BY tile HAVING n_cafes > %d)
+ ON tile = ltile`,
+		strings.Replace(twtrTiles("tile", size, tweetT), "tile AS tile", "tile", 1), size, cafeT)
+}
+
+// A4: affluent influencers.
+func a4(v int) string {
+	inflT := []int{3, 2, 2, 4}[v-1]
+	affluT := []float64{0.2, 0.2, 0.2, 0.3}[v-1]
+	q := fmt.Sprintf(`SELECT influencer, influence, afflu FROM
+ (SELECT influencer, influence FROM twtr APPLY UDF_INFLUENCE(reply_to)
+  WHERE influence > %d)
+ JOIN %s ON influencer = auser`, inflT, affluent("auser", affluT))
+	if v >= 3 {
+		wordsT := []float64{0, 0, 6, 7}[v-1]
+		q = strings.Replace(q, "SELECT influencer, influence, afflu FROM",
+			"SELECT influencer, influence, afflu, avg_words FROM", 1)
+		q += fmt.Sprintf(`
+ JOIN (SELECT wuser, AVG(n_words) AS avg_words FROM
+        (SELECT user_id AS wuser, n_words FROM twtr APPLY UDF_WORD_COUNT(text))
+       GROUP BY wuser HAVING avg_words > %g) ON influencer = wuser`, wordsT)
+	}
+	return q
+}
+
+// A5: restaurant campaign targeting (v3 uses all three logs).
+func a5(v int) string {
+	simT := []float64{0.05, 0.05, 0.05, 0.1}[v-1]
+	q := fmt.Sprintf(`SELECT location_id, name, menu_sim FROM
+ (SELECT location_id, name, menu_sim FROM
+   (SELECT location_id, name, menu, category FROM land WHERE category = 'restaurant')
+   APPLY UDF_MENU_SIM(menu, 'pasta pizza')
+  WHERE menu_sim > %g)`, simT)
+	if v >= 2 {
+		visitsT := []int{0, 2, 2, 3}[v-1]
+		q = strings.Replace(q, "SELECT location_id, name, menu_sim FROM",
+			"SELECT location_id, name, menu_sim, visits FROM", 1)
+		q += fmt.Sprintf(`
+ JOIN (SELECT location_id AS vloc, COUNT(*) AS visits FROM fsq
+       GROUP BY location_id HAVING visits > %d) ON location_id = vloc`, visitsT)
+	}
+	if v >= 3 {
+		foodT := []float64{0, 0, 1, 2}[v-1]
+		q = strings.Replace(q, ", visits FROM", ", visits, vis_food FROM", 1)
+		q += fmt.Sprintf(`
+ JOIN (SELECT floc, AVG(food_sum) AS vis_food FROM
+        (SELECT location_id AS floc, user_id FROM fsq)
+        JOIN %s ON user_id = fuser
+       GROUP BY floc HAVING vis_food > %g) ON location_id = floc`,
+			foodSums("fuser", 0), foodT)
+	}
+	return q
+}
+
+// A6: verbose English-language users.
+func a6(v int) string {
+	wordsT := []int{8, 6, 6, 6}[v-1]
+	longT := []int{3, 3, 3, 5}[v-1]
+	q := fmt.Sprintf(`SELECT user_id, COUNT(*) AS n_long
+ FROM twtr APPLY UDF_PARSE_LOG(text) APPLY UDF_WORD_COUNT(clean_text)
+ WHERE lang = 'en' AND n_words > %d
+ GROUP BY user_id HAVING n_long > %d`, wordsT, longT)
+	if v == 1 {
+		// v1 already joins affluence: the overlap surface with A1/A4.
+		return fmt.Sprintf(`SELECT user_id, n_long, afflu FROM
+ (%s)
+ JOIN %s ON user_id = auser`, q, affluent("auser", 0.2))
+	}
+	affluT := []float64{0, 0.2, 0.2, 0.3}[v-1]
+	out := fmt.Sprintf(`SELECT user_id, n_long, afflu FROM
+ (%s)
+ JOIN %s ON user_id = auser`, q, affluent("auser", affluT))
+	if v >= 3 {
+		checkT := []int{0, 0, 1, 2}[v-1]
+		out = strings.Replace(out, "SELECT user_id, n_long, afflu FROM",
+			"SELECT user_id, n_long, afflu, n_checkins FROM", 1)
+		out += fmt.Sprintf(`
+ JOIN (SELECT user_id AS kuser, COUNT(*) AS n_checkins FROM fsq
+       GROUP BY user_id HAVING n_checkins > %d) ON user_id = kuser`, checkT)
+	}
+	return out
+}
+
+// A7: food enthusiasts, refined to sentence-level sentiment in later
+// versions.
+func a7(v int) string {
+	if v == 1 {
+		// Tweet-level combined sentiment profile: food + wine sums and a
+		// tweet count in ONE aggregation, joined with friendship pairs.
+		// Overlaps A1 (wine sums), A2 (food sums, tweet counts) with a
+		// richer — hence non-identical — view, and is itself answerable by
+		// merging A1's and A2's narrower views (a 3-way MERGE case).
+		return fmt.Sprintf(`SELECT user_id, food_sum, wine_sum, n_tw, strength FROM
+ (SELECT user_id, SUM(food_score) AS food_sum, SUM(wine_score) AS wine_sum, COUNT(*) AS n_tw
+  FROM twtr APPLY UDF_CLASSIFY_FOOD(text) APPLY UDF_CLASSIFY_WINE(text)
+  GROUP BY user_id HAVING food_sum > 4)
+ JOIN %s ON user_id = u1`, friendPairs(1))
+	}
+	wineT := []float64{0, 1, 1, 1}[v-1]
+	sentT := []int{0, 1, 2, 2}[v-1]
+	q := fmt.Sprintf(`SELECT user_id, COUNT(*) AS pos_sents
+ FROM twtr APPLY UDF_TOKENIZE(text) APPLY UDF_CLASSIFY_WINE(sentence)
+ WHERE wine_score > %g
+ GROUP BY user_id HAVING pos_sents > %d`, wineT, sentT)
+	if v == 2 {
+		return q
+	}
+	out := fmt.Sprintf(`SELECT user_id, pos_sents, strength FROM
+ (%s)
+ JOIN %s ON user_id = u1`, q, friendPairs(1))
+	if v == 4 {
+		out = strings.Replace(out, "SELECT user_id, pos_sents, strength FROM",
+			"SELECT user_id, pos_sents, strength, food_sum FROM", 1)
+		out += "\n JOIN " + foodSums("fduser", 4) + " ON user_id = fduser"
+	}
+	return out
+}
+
+// A8: landmark density vs tweet activity.
+func a8(v int) string {
+	landT := []int{2, 2, 1, 3}[v-1]
+	if v == 3 {
+		// museums only: a pre-aggregation filter, limiting reuse on purpose.
+		return fmt.Sprintf(`SELECT tile, COUNT(*) AS n_land
+ FROM (SELECT location_id, category, lat, lon FROM land WHERE category = 'museum')
+ APPLY UDF_GEO_TILE(lat, lon, 0.5)
+ GROUP BY tile HAVING n_land > 0`)
+	}
+	q := fmt.Sprintf(`(SELECT tile, COUNT(*) AS n_land
+ FROM land APPLY UDF_GEO_TILE(lat, lon, 0.5)
+ GROUP BY tile HAVING n_land > %d)`, landT)
+	if v == 1 {
+		// v1 already joins tweet tiles: shared with A3 (same 0.5 grid).
+		return fmt.Sprintf(`SELECT tile, n_land, n_tweets FROM
+ %s
+ JOIN %s ON tile = ttile`, q, twtrTiles("ttile", 0.5, 1))
+	}
+	tweetT := []int{0, 1, 0, 2}[v-1]
+	return fmt.Sprintf(`SELECT tile, n_land, n_tweets FROM
+ %s
+ JOIN %s ON tile = ttile`, q, twtrTiles("ttile", 0.5, tweetT))
+}

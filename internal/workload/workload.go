@@ -1,0 +1,31 @@
+package workload
+
+import (
+	"fmt"
+
+	"opportune/internal/hiveql"
+	"opportune/internal/session"
+)
+
+// NewSession builds a ready system: datasets installed, stats registered,
+// UDF library registered and calibrated.
+func NewSession(sc Scale) (*session.Session, error) {
+	s := session.New(CostParams())
+	if _, err := Install(s, sc); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Exec parses and runs one workload query under the given mode.
+func Exec(s *session.Session, q Query, mode session.Mode) (*session.Metrics, error) {
+	st, err := hiveql.ParseOne(q.SQL)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", q.Name, err)
+	}
+	m, err := s.Run(st.Plan, st.Table, mode)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s (%s): %w", q.Name, mode, err)
+	}
+	return m, nil
+}

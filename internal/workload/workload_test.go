@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"testing"
+
+	"opportune/internal/hiveql"
+	"opportune/internal/session"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	sc := SmallScale()
+	ds := Generate(sc)
+	if ds.TWTR.Len() != sc.Tweets || ds.FSQ.Len() != sc.Checkins || ds.LAND.Len() != sc.Landmarks {
+		t.Fatalf("sizes: %d %d %d", ds.TWTR.Len(), ds.FSQ.Len(), ds.LAND.Len())
+	}
+	// deterministic
+	ds2 := Generate(sc)
+	if ds.TWTR.Fingerprint() != ds2.TWTR.Fingerprint() {
+		t.Error("TWTR not deterministic")
+	}
+	// geo mostly missing
+	withGeo := 0
+	for i := 0; i < ds.TWTR.Len(); i++ {
+		if !ds.TWTR.Get(i, "lat").IsNull() {
+			withGeo++
+		}
+	}
+	frac := float64(withGeo) / float64(ds.TWTR.Len())
+	if frac < 0.2 || frac > 0.5 {
+		t.Errorf("geo fraction = %g", frac)
+	}
+	// replies exist and are not self-replies
+	replies := 0
+	for i := 0; i < ds.TWTR.Len(); i++ {
+		r := ds.TWTR.Get(i, "reply_to")
+		if !r.IsNull() {
+			replies++
+			if r.Int() == ds.TWTR.Get(i, "user_id").Int() {
+				t.Fatal("self reply generated")
+			}
+		}
+	}
+	if replies == 0 {
+		t.Error("no replies generated")
+	}
+	// user_id domain shared between TWTR and FSQ
+	if ds.FSQ.DistinctCount("user_id") > sc.Users {
+		t.Error("FSQ user domain too large")
+	}
+	// every query-relevant category appears
+	cats := map[string]bool{}
+	for i := 0; i < ds.LAND.Len(); i++ {
+		cats[ds.LAND.Get(i, "category").Str()] = true
+	}
+	for _, want := range []string{"wine_bar", "restaurant", "cafe", "museum"} {
+		if !cats[want] {
+			t.Errorf("category %s missing", want)
+		}
+	}
+}
+
+func TestInstallAndCalibration(t *testing.T) {
+	s, err := NewSession(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"twtr", "fsq", "land"} {
+		if _, ok := s.Cat.Table(name); !ok {
+			t.Errorf("table %s missing", name)
+		}
+	}
+	if got := len(s.Cat.UDFs.Names()); got != 11 {
+		t.Errorf("UDFs registered = %d, want 11", got)
+	}
+	// calibration recovered scalars close to intrinsic weights
+	for _, name := range s.Cat.UDFs.Names() {
+		d, _ := s.Cat.UDFs.Get(name)
+		if d.Scalar < 1 {
+			t.Errorf("%s scalar = %g", name, d.Scalar)
+		}
+		if d.Scalar > d.TrueScalar*1.5+1 {
+			t.Errorf("%s scalar = %g vs true %g", name, d.Scalar, d.TrueScalar)
+		}
+	}
+}
+
+func TestAllQueriesParse(t *testing.T) {
+	qs := AllQueries()
+	if len(qs) != 32 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if seen[q.Name] {
+			t.Errorf("duplicate query name %s", q.Name)
+		}
+		seen[q.Name] = true
+		st, err := hiveql.ParseOne(q.SQL)
+		if err != nil {
+			t.Errorf("A%dv%d does not parse: %v\n%s", q.Analyst, q.Version, err, q.SQL)
+			continue
+		}
+		if st.Table != q.Name {
+			t.Errorf("A%dv%d table = %q", q.Analyst, q.Version, st.Table)
+		}
+	}
+}
+
+func TestAllQueriesExecuteOriginal(t *testing.T) {
+	s, err := NewSession(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range AllQueries() {
+		m, err := Exec(s, q, session.ModeOriginal)
+		if err != nil {
+			t.Fatalf("A%dv%d failed: %v\n%s", q.Analyst, q.Version, err, q.SQL)
+		}
+		if m.ExecSeconds <= 0 || m.Jobs == 0 {
+			t.Errorf("A%dv%d did not execute: %+v", q.Analyst, q.Version, m)
+		}
+		rel, err := s.Store.Read(q.Name)
+		if err != nil {
+			t.Fatalf("A%dv%d result missing: %v", q.Analyst, q.Version, err)
+		}
+		t.Logf("A%dv%d: %d rows, %d jobs, %.2fs sim", q.Analyst, q.Version, rel.Len(), m.Jobs, m.ExecSeconds)
+	}
+	// a sanity floor: most queries should produce rows on this data
+	nonEmpty := 0
+	for _, q := range AllQueries() {
+		rel, _ := s.Store.Read(q.Name)
+		if rel.Len() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 24 {
+		t.Errorf("only %d/32 queries returned rows; workload data too sparse", nonEmpty)
+	}
+}
+
+func TestPanicsOnBadQueryID(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("QueryFor(0,1) did not panic")
+		}
+	}()
+	QueryFor(0, 1)
+}

@@ -1,0 +1,433 @@
+// Package opportune is a from-scratch reproduction of "Opportunistic
+// Physical Design for Big Data Analytics" (LeFevre et al., SIGMOD 2014).
+//
+// It bundles a simulated MapReduce analytics stack — HDFS-like storage, an
+// MR execution engine, a HiveQL-flavoured query language, an optimizer, a
+// UDF framework with the paper's gray-box (A,F,K) semantic model — and the
+// paper's contribution on top: every job output is retained as an
+// opportunistic materialized view, and new queries are rewritten against
+// those views by the BFREWRITE best-first algorithm.
+//
+// Quick start:
+//
+//	sys := opportune.New()
+//	sys.CreateTable("logs", "id", []string{"id", "user", "text"}, rows)
+//	sys.RegisterMapUDF(opportune.MapUDF{
+//	    Name: "SCORE", Args: 1, Outputs: []string{"score"}, Weight: 10,
+//	    Fn: func(args, params []any) [][]any { ... },
+//	})
+//	res, _ := sys.Exec(`SELECT user, SUM(score) AS s FROM logs
+//	                    APPLY SCORE(text) GROUP BY user HAVING s > 1`)
+//	// run a revised query: it is rewritten against the first run's views
+//	res2, _ := sys.Exec(`... HAVING s > 5`)
+package opportune
+
+import (
+	"fmt"
+
+	"opportune/internal/cost"
+	"opportune/internal/data"
+	"opportune/internal/hiveql"
+	"opportune/internal/persist"
+	"opportune/internal/session"
+	"opportune/internal/storage"
+	"opportune/internal/udf"
+	"opportune/internal/value"
+)
+
+// RewriteMode selects how queries are optimized against existing views.
+type RewriteMode uint8
+
+const (
+	// RewriteBFR uses the paper's BFREWRITE best-first algorithm (default).
+	RewriteBFR RewriteMode = iota
+	// RewriteOff executes queries as written.
+	RewriteOff
+	// RewriteDP uses the exhaustive dynamic-programming baseline.
+	RewriteDP
+	// RewriteSyntactic reuses only syntactically identical sub-plans
+	// (caching-style systems such as ReStore).
+	RewriteSyntactic
+)
+
+func (m RewriteMode) mode() session.Mode {
+	switch m {
+	case RewriteOff:
+		return session.ModeOriginal
+	case RewriteDP:
+		return session.ModeDP
+	case RewriteSyntactic:
+		return session.ModeSyntactic
+	default:
+		return session.ModeBFR
+	}
+}
+
+// System is one analytics system instance. A System is not safe for
+// concurrent use: queries must run one at a time (the paper's system, like
+// Hive's CLI, is likewise session-oriented); create one System per
+// concurrent session if needed — they share nothing.
+type System struct {
+	s      *session.Session
+	mode   RewriteMode
+	nQuery int
+	nCalib int64
+	saved  *persist.Saved
+}
+
+// New creates a system with default cost-model parameters and BFREWRITE
+// enabled.
+func New() *System {
+	return &System{s: session.New(cost.DefaultParams())}
+}
+
+// SetRewriteMode switches the rewriting strategy for subsequent Exec calls.
+func (sys *System) SetRewriteMode(m RewriteMode) { sys.mode = m }
+
+// Session exposes the underlying session for advanced (module-internal)
+// use: experiments, benchmarks, and tests.
+func (sys *System) Session() *session.Session { return sys.s }
+
+// toValue converts a public scalar to the engine's value type.
+func toValue(v any) (value.V, error) {
+	switch x := v.(type) {
+	case nil:
+		return value.NullV, nil
+	case int:
+		return value.NewInt(int64(x)), nil
+	case int64:
+		return value.NewInt(x), nil
+	case float64:
+		return value.NewFloat(x), nil
+	case string:
+		return value.NewStr(x), nil
+	case bool:
+		return value.NewBool(x), nil
+	case value.V:
+		return x, nil
+	default:
+		return value.NullV, fmt.Errorf("opportune: unsupported value type %T", v)
+	}
+}
+
+// fromValue converts an engine value to a public scalar.
+func fromValue(v value.V) any {
+	switch v.Kind() {
+	case value.Null:
+		return nil
+	case value.Int:
+		return v.Int()
+	case value.Float:
+		return v.Float()
+	case value.Str:
+		return v.Str()
+	case value.Bool:
+		return v.Bool()
+	default:
+		return nil
+	}
+}
+
+func toValues(in []any) ([]value.V, error) {
+	out := make([]value.V, len(in))
+	for i, v := range in {
+		x, err := toValue(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+func fromValues(in []value.V) []any {
+	out := make([]any, len(in))
+	for i, v := range in {
+		out[i] = fromValue(v)
+	}
+	return out
+}
+
+// CreateTable loads a base log into the system. keyColumn names the
+// record-key column ("" if none); its functional dependencies are
+// registered so the rewriter can reason about grouping refinement.
+func (sys *System) CreateTable(name, keyColumn string, columns []string, rows [][]any) error {
+	rel := data.NewRelation(data.NewSchema(columns...))
+	for _, r := range rows {
+		vr, err := toValues(r)
+		if err != nil {
+			return err
+		}
+		rel.Append(data.Row(vr))
+	}
+	sys.s.Store.Put(name, storage.Base, rel)
+	distinct := make(map[string]int64, len(columns))
+	for _, c := range columns {
+		distinct[c] = int64(rel.DistinctCount(c))
+	}
+	sys.s.Cat.RegisterBase(name, columns, keyColumn,
+		cost.Stats{Rows: int64(rel.Len()), Bytes: rel.EncodedSize()}, distinct)
+	return nil
+}
+
+// MapUDF declares a per-tuple UDF (model operation types 1 and 2): it adds
+// Outputs columns computed from Args argument columns, may drop tuples
+// (Filters), and may emit several rows per input (Explode).
+type MapUDF struct {
+	Name    string
+	Args    int
+	Params  int
+	Outputs []string
+	Filters bool
+	Explode bool
+	// Weight is the UDF's intrinsic computational cost relative to a basic
+	// relational operation (>= 1); calibration recovers it from a sample
+	// run (§4.2 of the paper).
+	Weight float64
+	Fn     func(args, params []any) [][]any
+}
+
+// RegisterMapUDF installs a per-tuple UDF.
+func (sys *System) RegisterMapUDF(m MapUDF) error {
+	if m.Weight < 1 {
+		m.Weight = 1
+	}
+	fn := m.Fn
+	d := &udf.Descriptor{
+		Name: m.Name, NArgs: m.Args, NParams: m.Params,
+		Kind: udf.KindMap, OutNames: m.Outputs,
+		Filters: m.Filters, Explode: m.Explode,
+		TrueScalar: m.Weight,
+		Map: func(args, params []value.V) [][]value.V {
+			rows := fn(fromValues(args), fromValues(params))
+			out := make([][]value.V, 0, len(rows))
+			for _, r := range rows {
+				vr, err := toValues(r)
+				if err != nil {
+					panic(fmt.Sprintf("opportune: UDF %s emitted %v", m.Name, err))
+				}
+				out = append(out, vr)
+			}
+			return out
+		},
+	}
+	return sys.s.Cat.UDFs.Register(d)
+}
+
+// AggUDF declares a grouping UDF (operation type 3): tuples are grouped by
+// the KeyArgs argument columns (or by keys a custom PreMap derives) and
+// Reduce computes the Outputs per group.
+type AggUDF struct {
+	Name    string
+	Args    int
+	Params  int
+	Keys    []string
+	KeyArgs []int
+	Outputs []string
+	Weight  float64
+	Reduce  func(key []any, groupRows [][]any, params []any) []any
+}
+
+// RegisterAggUDF installs a grouping UDF.
+func (sys *System) RegisterAggUDF(a AggUDF) error {
+	if a.Weight < 1 {
+		a.Weight = 1
+	}
+	reduce := a.Reduce
+	d := &udf.Descriptor{
+		Name: a.Name, NArgs: a.Args, NParams: a.Params,
+		Kind: udf.KindAgg, KeyNames: a.Keys, KeyArgs: a.KeyArgs,
+		OutNames:   a.Outputs,
+		TrueScalar: a.Weight,
+		Reduce: func(key []value.V, payloads [][]value.V, params []value.V) []value.V {
+			rows := make([][]any, len(payloads))
+			for i, p := range payloads {
+				rows[i] = fromValues(p)
+			}
+			out := reduce(fromValues(key), rows, fromValues(params))
+			if out == nil {
+				return nil
+			}
+			vr, err := toValues(out)
+			if err != nil {
+				panic(fmt.Sprintf("opportune: UDF %s emitted %v", a.Name, err))
+			}
+			return vr
+		},
+	}
+	return sys.s.Cat.UDFs.Register(d)
+}
+
+// CalibrateUDF runs the one-time sample calibration of a UDF's cost scalar
+// (§4.2) against a stored dataset, returning the calibrated scalar.
+func (sys *System) CalibrateUDF(udfName, dataset string, argColumns []string, params ...any) (float64, error) {
+	d, ok := sys.s.Cat.UDFs.Get(udfName)
+	if !ok {
+		return 0, fmt.Errorf("opportune: unknown UDF %q", udfName)
+	}
+	vp, err := toValues(params)
+	if err != nil {
+		return 0, err
+	}
+	sys.nCalib++
+	res, err := udf.Calibrate(sys.s.Eng, dataset, d, argColumns, vp, 7000+sys.nCalib)
+	if err != nil {
+		return 0, err
+	}
+	return res.Scalar, nil
+}
+
+// Result reports one executed statement.
+type Result struct {
+	Table   string // result table name
+	Columns []string
+	Rows    [][]any
+
+	// ExecSeconds is the simulated cluster execution time (including the
+	// per-view statistics jobs); RewriteSeconds is the real runtime of the
+	// rewrite search; Rewritten reports whether a cheaper rewrite was used.
+	ExecSeconds    float64
+	RewriteSeconds float64
+	Rewritten      bool
+	Jobs           int
+	DataMovedBytes int64
+}
+
+// Exec parses and runs a script (one or more ';'-separated statements)
+// under the current rewrite mode, returning one result per statement.
+// Statements without CREATE TABLE get a generated result name.
+func (sys *System) Exec(script string) ([]*Result, error) {
+	stmts, err := hiveql.Parse(script)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, st := range stmts {
+		name := st.Table
+		if name == "" {
+			sys.nQuery++
+			name = fmt.Sprintf("_q%d", sys.nQuery)
+		}
+		m, err := sys.s.Run(st.Plan, name, sys.mode.mode())
+		if err != nil {
+			return out, err
+		}
+		rel, err := sys.s.Store.Read(m.ResultName)
+		if err != nil {
+			return out, err
+		}
+		r := &Result{
+			Table:          m.ResultName,
+			Columns:        rel.Schema().Cols(),
+			ExecSeconds:    m.ExecSeconds + m.StatsSeconds,
+			RewriteSeconds: m.RewriteSeconds,
+			Rewritten:      m.Rewrite != nil && m.Rewrite.Improved,
+			Jobs:           m.Jobs,
+			DataMovedBytes: m.DataMovedBytes,
+		}
+		for _, row := range rel.Rows() {
+			r.Rows = append(r.Rows, fromValues(row))
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ExecOne runs a script expected to hold exactly one statement.
+func (sys *System) ExecOne(script string) (*Result, error) {
+	rs, err := sys.Exec(script)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) != 1 {
+		return nil, fmt.Errorf("opportune: expected one statement, got %d", len(rs))
+	}
+	return rs[0], nil
+}
+
+// ViewInfo describes one opportunistic materialized view.
+type ViewInfo struct {
+	Name      string
+	Columns   []string
+	Rows      int64
+	SizeBytes int64
+}
+
+// Views lists the opportunistic physical design accumulated so far.
+func (sys *System) Views() []ViewInfo {
+	var out []ViewInfo
+	for _, v := range sys.s.Cat.Views() {
+		out = append(out, ViewInfo{
+			Name: v.Name, Columns: append([]string(nil), v.Cols...),
+			Rows: v.Stats.Rows, SizeBytes: v.Stats.Bytes,
+		})
+	}
+	return out
+}
+
+// DropViews discards every opportunistic view (base tables stay).
+func (sys *System) DropViews() { sys.s.DropViews() }
+
+// AppendRows adds records to a base table. Every opportunistic view derived
+// from that table (decided exactly via attribute-signature provenance) is
+// invalidated; the dropped view names are returned.
+func (sys *System) AppendRows(table string, rows [][]any) ([]string, error) {
+	drows := make([]data.Row, len(rows))
+	for i, r := range rows {
+		vr, err := toValues(r)
+		if err != nil {
+			return nil, err
+		}
+		drows[i] = data.Row(vr)
+	}
+	return sys.s.AppendRows(table, drows)
+}
+
+// Save persists the system — base logs, opportunistic views, and the
+// catalog metadata that makes them reusable — under dir. UDF code is not
+// persisted; re-register UDFs after Open.
+func (sys *System) Save(dir string) error {
+	return persist.Save(sys.s, dir)
+}
+
+// Open restores a saved system. Re-register your UDF library afterwards:
+// saved calibration scalars are applied automatically to matching names on
+// the next RegisterMapUDF/RegisterAggUDF calls via ApplySavedCalibrations.
+func Open(dir string) (*System, error) {
+	s, saved, err := persist.Open(dir, cost.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	return &System{s: s, saved: saved}, nil
+}
+
+// ApplySavedCalibrations re-applies persisted UDF calibration scalars to
+// currently registered UDFs, returning the names applied. Call it after
+// re-registering your UDF library on a restored system; UDFs without a
+// saved scalar still need CalibrateUDF.
+func (sys *System) ApplySavedCalibrations() []string {
+	if sys.saved == nil {
+		return nil
+	}
+	return sys.saved.ApplyScalars(sys.s)
+}
+
+// SetViewStorageBudget bounds the bytes opportunistic views may occupy;
+// exceeding it evicts views by the given policy ("lru", "lfu",
+// "cost-benefit", or "fifo"). A zero budget means unlimited.
+func (sys *System) SetViewStorageBudget(bytes int64, policy string) error {
+	sys.s.Store.ViewCapacityBytes = bytes
+	switch policy {
+	case "", "lru":
+		sys.s.Store.Policy = storage.PolicyLRU
+	case "lfu":
+		sys.s.Store.Policy = storage.PolicyLFU
+	case "cost-benefit":
+		sys.s.Store.Policy = storage.PolicyCostBenefit
+	case "fifo":
+		sys.s.Store.Policy = storage.PolicyFIFO
+	default:
+		return fmt.Errorf("opportune: unknown reclamation policy %q", policy)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package opportune
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoSystem(t *testing.T) *System {
+	t.Helper()
+	sys := New()
+	var rows [][]any
+	texts := []string{"wine is great", "bad day", "good wine good life", "coffee", "wine wine wine"}
+	for i := 0; i < 500; i++ {
+		rows = append(rows, []any{i, i % 10, texts[i%len(texts)]})
+	}
+	if err := sys.CreateTable("logs", "id", []string{"id", "user", "text"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterMapUDF(MapUDF{
+		Name: "WINE", Args: 1, Outputs: []string{"score"}, Weight: 15,
+		Fn: func(args, _ []any) [][]any {
+			return [][]any{{float64(strings.Count(args[0].(string), "wine"))}}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	sys := demoSystem(t)
+	if s, err := sys.CalibrateUDF("WINE", "logs", []string{"text"}); err != nil || s < 10 {
+		t.Fatalf("calibration: scalar=%v err=%v", s, err)
+	}
+	r1, err := sys.ExecOne(`SELECT user, SUM(score) AS s FROM logs APPLY WINE(text) GROUP BY user HAVING s > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Rewritten {
+		t.Error("first query rewritten with no views")
+	}
+	if len(r1.Rows) == 0 || len(r1.Columns) != 2 {
+		t.Fatalf("result shape: %v %d rows", r1.Columns, len(r1.Rows))
+	}
+	if len(sys.Views()) == 0 {
+		t.Fatal("no opportunistic views retained")
+	}
+	// Revised threshold: must be rewritten and faster.
+	r2, err := sys.ExecOne(`SELECT user, SUM(score) AS s FROM logs APPLY WINE(text) GROUP BY user HAVING s > 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Rewritten {
+		t.Error("revised query not rewritten")
+	}
+	if r2.ExecSeconds >= r1.ExecSeconds {
+		t.Errorf("rewrite not faster: %g vs %g", r2.ExecSeconds, r1.ExecSeconds)
+	}
+	// Ground-truth check against a rewrite-free run.
+	off := demoSystem(t)
+	off.SetRewriteMode(RewriteOff)
+	r3, err := off.ExecOne(`SELECT user, SUM(score) AS s FROM logs APPLY WINE(text) GROUP BY user HAVING s > 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Rows) != len(r3.Rows) {
+		t.Errorf("rewritten rows %d != original rows %d", len(r2.Rows), len(r3.Rows))
+	}
+}
+
+func TestFacadeMultiStatementAndModes(t *testing.T) {
+	sys := demoSystem(t)
+	rs, err := sys.Exec(`
+		CREATE TABLE per_user AS SELECT user, COUNT(*) AS n FROM logs GROUP BY user;
+		SELECT user, n FROM per_user WHERE n > 10;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Table != "per_user" || !strings.HasPrefix(rs[1].Table, "_q") {
+		t.Fatalf("results: %+v", rs)
+	}
+	for _, mode := range []RewriteMode{RewriteOff, RewriteDP, RewriteSyntactic, RewriteBFR} {
+		sys.SetRewriteMode(mode)
+		if _, err := sys.ExecOne(`SELECT user, n FROM per_user WHERE n > 20`); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+	}
+	if _, err := sys.Exec("SELECT FROM nope"); err == nil {
+		t.Error("bad script accepted")
+	}
+	if _, err := sys.Exec("SELECT a FROM t; SELECT b FROM u"); err == nil {
+		t.Error("unknown tables accepted")
+	}
+	if _, err := sys.ExecOne("SELECT user FROM logs; SELECT user FROM logs"); err == nil {
+		t.Error("ExecOne accepted two statements")
+	}
+}
+
+func TestFacadeAggUDFAndValues(t *testing.T) {
+	sys := New()
+	err := sys.CreateTable("t", "", []string{"k", "v", "f", "b", "n"},
+		[][]any{
+			{"a", 1, 1.5, true, nil},
+			{"a", int64(2), 2.5, false, nil},
+			{"b", 3, 3.5, true, nil},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.RegisterAggUDF(AggUDF{
+		Name: "TOTAL", Args: 2, Keys: []string{"k"}, KeyArgs: []int{0},
+		Outputs: []string{"sum"}, Weight: 2,
+		Reduce: func(_ []any, rows [][]any, _ []any) []any {
+			var s int64
+			for _, r := range rows {
+				s += r[0].(int64)
+			}
+			return []any{s}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.ExecOne(`SELECT k, sum FROM t APPLY TOTAL(k, v)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for _, row := range r.Rows {
+		got[row[0].(string)] = row[1].(int64)
+	}
+	if got["a"] != 3 || got["b"] != 3 {
+		t.Errorf("sums = %v", got)
+	}
+	// unsupported value type rejected
+	if err := sys.CreateTable("bad", "", []string{"x"}, [][]any{{struct{}{}}}); err == nil {
+		t.Error("struct value accepted")
+	}
+}
+
+func TestFacadeStorageBudget(t *testing.T) {
+	sys := demoSystem(t)
+	if err := sys.SetViewStorageBudget(1, "nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	for _, p := range []string{"lru", "lfu", "cost-benefit", "fifo", ""} {
+		if err := sys.SetViewStorageBudget(10_000, p); err != nil {
+			t.Errorf("policy %q: %v", p, err)
+		}
+	}
+	// Tiny budget: views get evicted, queries still work.
+	if err := sys.SetViewStorageBudget(500, "lru"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ExecOne(`SELECT user, COUNT(*) AS n FROM logs GROUP BY user`); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, v := range sys.Views() {
+		total += v.SizeBytes
+	}
+	// Budget only bounds what is retained; the catalog must stay in sync.
+	for _, v := range sys.Views() {
+		if !sys.s.Store.Has(v.Name) {
+			t.Errorf("catalog lists evicted view %s", v.Name)
+		}
+	}
+	sys.DropViews()
+	if len(sys.Views()) != 0 {
+		t.Error("DropViews left views")
+	}
+}
+
+func TestFacadeSaveOpen(t *testing.T) {
+	dir := t.TempDir()
+	sys := demoSystem(t)
+	if _, err := sys.CalibrateUDF("WINE", "logs", []string{"text"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ExecOne(`SELECT user, SUM(score) AS s FROM logs APPLY WINE(text) GROUP BY user HAVING s > 1`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-register the UDF library (code is not persisted) and re-apply the
+	// saved calibration.
+	if err := restored.RegisterMapUDF(MapUDF{
+		Name: "WINE", Args: 1, Outputs: []string{"score"}, Weight: 15,
+		Fn: func(args, _ []any) [][]any {
+			return [][]any{{float64(strings.Count(args[0].(string), "wine"))}}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if applied := restored.ApplySavedCalibrations(); len(applied) != 1 || applied[0] != "WINE" {
+		t.Fatalf("applied = %v", applied)
+	}
+	if len(restored.Views()) != len(sys.Views()) {
+		t.Fatalf("views: %d vs %d", len(restored.Views()), len(sys.Views()))
+	}
+	// A revised query on the restored system reuses the restored views.
+	r, err := restored.ExecOne(`SELECT user, SUM(score) AS s FROM logs APPLY WINE(text) GROUP BY user HAVING s > 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Rewritten {
+		t.Error("restored system did not reuse its views")
+	}
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Error("Open of empty dir succeeded")
+	}
+}
