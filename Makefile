@@ -1,0 +1,15 @@
+.PHONY: build test verify bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Tier-1 gate: compile everything, vet, and run the full suite with the
+# race detector (the parallel MR engine and concurrent sessions depend on it).
+verify:
+	./scripts/verify.sh
+
+bench:
+	go test -bench=. -benchmem

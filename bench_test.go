@@ -210,6 +210,23 @@ func BenchmarkSimilarity(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSerial and BenchmarkEngineParallel run the same Fig 7
+// workload with the MR worker pool at 1 vs GOMAXPROCS, exposing the
+// wall-clock effect of the parallel engine. Simulated seconds and result
+// bytes are identical in both — only real time differs.
+func BenchmarkEngineSerial(b *testing.B)   { benchEngineWorkers(b, 1) }
+func BenchmarkEngineParallel(b *testing.B) { benchEngineWorkers(b, 0) }
+
+func benchEngineWorkers(b *testing.B, workers int) {
+	cfg := benchConfig()
+	cfg.Workers = workers
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFootprint measures the §10 storage cost of retaining every view
 // of the whole workload.
 func BenchmarkFootprint(b *testing.B) {

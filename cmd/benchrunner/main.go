@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|fig7|fig8|table1|fig9|fig10|fig11|fig12|table2|ablation|reclamation|jsens|similarity|footprint] [-quick] [-tweets N]
+//	benchrunner [-exp all|fig7|fig8|table1|fig9|fig10|fig11|fig12|table2|ablation|reclamation|jsens|similarity|footprint] [-quick] [-tweets N] [-workers N]
 package main
 
 import (
@@ -21,6 +21,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, fig7, fig8, table1, fig9, fig10, fig11, fig12, table2, ablation, reclamation, jsens, similarity, footprint")
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	tweets := flag.Int("tweets", 0, "override tweet-log size (0 = scale default)")
+	workers := flag.Int("workers", 0, "MR engine worker-pool size (0 = GOMAXPROCS); affects wall-clock only, never results or simulated seconds")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -36,6 +37,7 @@ func main() {
 		sc.Users = int(float64(sc.Users) * ratio)
 		cfg.Scale = sc
 	}
+	cfg.Workers = *workers
 	fmt.Printf("# opportune benchrunner — scale: %d tweets, %d check-ins, %d landmarks, %d users\n\n",
 		cfg.Scale.Tweets, cfg.Scale.Checkins, cfg.Scale.Landmarks, cfg.Scale.Users)
 

@@ -61,6 +61,13 @@ type Params struct {
 	// SplitRows is the number of input rows per map task (split); map-side
 	// combiners aggregate within a split before the shuffle.
 	SplitRows int64
+
+	// ReduceTasks is R, the number of reduce partitions the engine hash-
+	// partitions each shuffle into and reduces concurrently; 0 lets the
+	// engine pick its worker-pool size. R never changes job outputs or the
+	// modeled seconds — JobCost models the cluster's aggregate work — only
+	// local wall-clock parallelism.
+	ReduceTasks int
 }
 
 // DefaultParams returns constants modeled after a small Hadoop-era cluster

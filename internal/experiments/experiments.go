@@ -28,6 +28,10 @@ type Config struct {
 	Scale workload.Scale
 	// Quick shrinks the workload for smoke tests and testing.B runs.
 	Quick bool
+	// Workers sets the MR engine's worker-pool size (0 = GOMAXPROCS).
+	// Parallelism changes wall-clock only: simulated seconds, data volumes,
+	// and result bytes are identical at every worker count.
+	Workers int
 }
 
 // DefaultConfig is the full-size harness configuration.
@@ -62,7 +66,12 @@ func pctImprove(orig, rewr float64) float64 {
 
 // newSession builds a fresh installed system.
 func newSession(c Config) (*session.Session, error) {
-	return workload.NewSession(c.scale())
+	s, err := workload.NewSession(c.scale())
+	if err != nil {
+		return nil, err
+	}
+	s.Eng.Workers = c.Workers
+	return s, nil
 }
 
 // run executes one workload query, failing loudly on error.

@@ -197,8 +197,7 @@ func (c *Catalog) SyncWithStore(st *storage.Store) {
 // to the query that created the view. The simulated overhead seconds are
 // returned.
 func (c *Catalog) CollectStats(eng *mr.Engine, name string, seed int64) (float64, error) {
-	info, ok := c.Table(name)
-	if !ok {
+	if _, ok := c.Table(name); !ok {
 		return 0, fmt.Errorf("meta: unknown table %q", name)
 	}
 	ds, ok := eng.Store.Meta(name)
@@ -226,9 +225,20 @@ func (c *Catalog) CollectStats(eng *mr.Engine, name string, seed int64) (float64
 	for _, col := range sample.Schema().Cols() {
 		distinct[col] = chao1(sample, col, sampleRows, estRows)
 	}
+	// Install the stats copy-on-write: TableInfo pointers escape to
+	// concurrent readers (the optimizer reads Stats/Distinct without the
+	// catalog lock), so the published info is never mutated in place —
+	// readers holding the old pointer just see a pre-stats snapshot.
 	c.mu.Lock()
-	info.Stats = cost.Stats{Rows: estRows, Bytes: ds.SizeBytes}
-	info.Distinct = distinct
+	if cur, ok := c.tables[name]; ok {
+		upd := *cur
+		upd.Stats = cost.Stats{Rows: estRows, Bytes: ds.SizeBytes}
+		upd.Distinct = distinct
+		c.tables[name] = &upd
+		if canon := upd.Ann.Canon(); c.byCanon[canon] == cur {
+			c.byCanon[canon] = &upd
+		}
+	}
 	c.mu.Unlock()
 
 	// Overhead: reading the sample bytes with a map task.

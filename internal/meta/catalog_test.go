@@ -95,12 +95,21 @@ func TestCollectStats(t *testing.T) {
 	}
 	st.Put("v", storage.View, rel)
 	base := c.RegisterBase("b", []string{"user_id", "score"}, "", cost.Stats{}, nil)
-	info := c.RegisterView("v", []string{"user_id", "score"}, base.Ann, cost.Stats{}, "")
+	stale := c.RegisterView("v", []string{"user_id", "score"}, base.Ann, cost.Stats{}, "")
 	eng := mr.New(st, cost.DefaultParams())
 
 	overhead, err := c.CollectStats(eng, "v", 11)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// Stats install copy-on-write: previously handed-out pointers keep
+	// their pre-stats snapshot; the catalog serves the updated info.
+	if stale.Stats.Rows != 0 {
+		t.Errorf("stale snapshot mutated: %+v", stale.Stats)
+	}
+	info, ok := c.Table("v")
+	if !ok {
+		t.Fatal("view vanished from catalog")
 	}
 	if overhead <= 0 {
 		t.Error("no overhead charged")

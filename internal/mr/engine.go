@@ -12,6 +12,7 @@ package mr
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"opportune/internal/cost"
@@ -25,8 +26,23 @@ type Emit func(key string, r data.Row)
 
 // MapFunc processes one input row. input is the index into Job.Inputs,
 // letting joins tag which side a row came from (MR joins are a co-group of
-// multiple relations on a common key, §3.2).
+// multiple relations on a common key, §3.2). Map tasks run concurrently, so
+// a MapFunc shared across tasks (Job.Map) must be safe for concurrent
+// calls; per-task state belongs in a Job.MapFactory closure instead.
 type MapFunc func(input int, r data.Row, emit Emit)
+
+// TaskCtx identifies one map task (one input split) deterministically:
+// which input it reads, the split ordinal within that input, the ordinal of
+// the split's first row within that input, and the ordinal of that row
+// counting across all inputs in input order. Map factories seed per-task
+// state from it (e.g. unique row tags) so task-local state never depends on
+// goroutine scheduling.
+type TaskCtx struct {
+	Input     int
+	Split     int
+	StartRow  int64
+	GlobalRow int64
+}
 
 // ReduceFunc processes one shuffle group.
 type ReduceFunc func(key string, rows []data.Row, emit func(data.Row))
@@ -37,7 +53,12 @@ type Job struct {
 	Name   string
 	Inputs []string // dataset names read from the store
 
-	Map          MapFunc
+	Map MapFunc
+	// MapFactory, when set, builds a fresh MapFunc per map task and takes
+	// precedence over Map. It is the hook for map-side state that must be
+	// task-local (race-free) yet schedule-independent: the factory derives
+	// any counters or tags from the TaskCtx.
+	MapFactory   func(ctx TaskCtx) MapFunc
 	MapOutSchema *data.Schema // schema of rows emitted by Map
 
 	// Combine, when set on a reduce job, runs map-side per split: rows a
@@ -81,10 +102,18 @@ func (r Result) DataMovedBytes() int64 {
 	return r.InputBytes + r.ShuffleBytes + r.OutputBytes
 }
 
-// Engine executes jobs against a store.
+// Engine executes jobs against a store. Map and reduce tasks of one job
+// run concurrently on a worker pool; the simulated seconds still model the
+// cluster's aggregate work from the same cost.Params the optimizer uses,
+// so local parallelism changes wall-clock time, never accounting.
 type Engine struct {
 	Store  *storage.Store
 	Params cost.Params
+
+	// Workers sizes the worker pool map splits and reduce partitions run
+	// on; 0 (the default) means runtime.GOMAXPROCS(0). Output rows and
+	// Result volumes are identical for every Workers value.
+	Workers int
 
 	// MaxAttempts retries a job whose user code panicked (flaky UDFs are a
 	// fact of life in MR clusters). Every attempt restarts from the job's
@@ -93,6 +122,24 @@ type Engine struct {
 	// attempts' simulated time is charged to the final result. Values < 2
 	// mean no retry.
 	MaxAttempts int
+}
+
+// workers resolves the worker-pool size.
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// reduceTasks resolves R, the number of shuffle partitions reduced
+// concurrently. Partitioning never affects output or accounting (partition
+// outputs are re-merged in global key order), only wall-clock parallelism.
+func (e *Engine) reduceTasks() int {
+	if r := e.Params.ReduceTasks; r > 0 {
+		return r
+	}
+	return e.workers()
 }
 
 // New creates an engine over a store with the given cost parameters.
@@ -116,11 +163,20 @@ func (e *Engine) Run(job *Job) (*data.Relation, *Result, error) {
 		res := &Result{Job: job.Name}
 		rel, err := e.runAttempt(job, res)
 		if err != nil && attempt < attempts {
-			// Charge what the failed attempt read and computed before dying.
+			// Charge everything the failed attempt read, computed, and
+			// moved before dying: a panic in reduce wastes the full map
+			// and shuffle work, not just the map-side read (the partial
+			// volumes in res stop at the phase that panicked).
 			wasted += e.Params.JobCost(cost.JobSpec{
-				InputBytes: res.InputBytes,
-				InputRows:  res.InputRows,
-				MapFns:     job.MapCost,
+				InputBytes:   res.InputBytes,
+				InputRows:    res.InputRows,
+				MapFns:       job.MapCost,
+				CombineFns:   job.CombineCost,
+				CombineRows:  res.CombineRows,
+				ShuffleBytes: res.ShuffleBytes,
+				ShuffleRows:  res.ShuffleRows,
+				ReduceFns:    job.ReduceCost,
+				OutputBytes:  res.OutputBytes,
 			}).Total()
 			continue
 		}
@@ -142,60 +198,34 @@ func (e *Engine) runAttempt(job *Job, res *Result) (rel *data.Relation, err erro
 	return e.execute(job, res)
 }
 
-func (e *Engine) execute(job *Job, res *Result) (*data.Relation, error) {
-	if job.Map == nil {
-		return nil, fmt.Errorf("mr: job %q has no map function", job.Name)
-	}
-	if job.Output == "" {
-		return nil, fmt.Errorf("mr: job %q has no output name", job.Name)
-	}
+// keyed is one shuffle record: a partition key and its row.
+type keyed struct {
+	key string
+	row data.Row
+}
 
-	// Map phase over each input, split into map tasks of Params.SplitRows
-	// input rows. When a combiner is set, each split's emissions are merged
-	// per key before entering the shuffle, so shuffle volume reflects the
-	// combined output (the point of combiners).
-	type keyed struct {
-		key string
-		row data.Row
-	}
-	var mapOut []keyed
-	var splitBuf []keyed
-	emit := func(key string, r data.Row) {
-		if len(r) != job.MapOutSchema.Len() {
-			panic(fmt.Sprintf("mr: job %q map emitted width %d, schema %s", job.Name, len(r), job.MapOutSchema))
-		}
-		splitBuf = append(splitBuf, keyed{key, r})
-	}
-	flushSplit := func() {
-		if len(splitBuf) == 0 {
-			return
-		}
-		if job.Combine == nil || job.Reduce == nil {
-			mapOut = append(mapOut, splitBuf...)
-			splitBuf = splitBuf[:0]
-			return
-		}
-		groups := make(map[string][]data.Row)
-		var order []string
-		for _, kr := range splitBuf {
-			if _, seen := groups[kr.key]; !seen {
-				order = append(order, kr.key)
-			}
-			groups[kr.key] = append(groups[kr.key], kr.row)
-		}
-		res.CombineRows += int64(len(splitBuf))
-		splitBuf = splitBuf[:0]
-		for _, k := range order {
-			key := k
-			job.Combine(key, groups[key], func(r data.Row) {
-				mapOut = append(mapOut, keyed{key, r})
-			})
-		}
-	}
+// mapSplit is one map task's share of an input relation.
+type mapSplit struct {
+	ctx  TaskCtx
+	rows []data.Row
+}
+
+// mapTaskOut is what one map task produced: its (possibly combined)
+// emissions in emission order, and the rows its combiner consumed.
+type mapTaskOut struct {
+	out         []keyed
+	combineRows int64
+}
+
+// splitInputs reads every input (charging the read volume to res) and cuts
+// the rows into map tasks of Params.SplitRows rows each.
+func (e *Engine) splitInputs(job *Job, res *Result) ([]mapSplit, error) {
 	splitRows := e.Params.SplitRows
 	if splitRows <= 0 {
 		splitRows = 1 << 62
 	}
+	var splits []mapSplit
+	var globalRow int64
 	for i, name := range job.Inputs {
 		rel, err := e.Store.Read(name)
 		if err != nil {
@@ -203,13 +233,93 @@ func (e *Engine) execute(job *Job, res *Result) (*data.Relation, error) {
 		}
 		res.InputBytes += rel.EncodedSize()
 		res.InputRows += int64(rel.Len())
-		for n, r := range rel.Rows() {
-			job.Map(i, r, emit)
-			if int64(n+1)%splitRows == 0 {
-				flushSplit()
-			}
+		rows := rel.Rows()
+		chunk := len(rows)
+		if splitRows < int64(chunk) {
+			chunk = int(splitRows)
 		}
-		flushSplit()
+		for start, sp := 0, 0; start < len(rows); start, sp = start+chunk, sp+1 {
+			end := start + chunk
+			if end > len(rows) {
+				end = len(rows)
+			}
+			splits = append(splits, mapSplit{
+				ctx:  TaskCtx{Input: i, Split: sp, StartRow: int64(start), GlobalRow: globalRow + int64(start)},
+				rows: rows[start:end],
+			})
+		}
+		globalRow += int64(len(rows))
+	}
+	return splits, nil
+}
+
+// runMapTask maps one split, then (for reduce jobs with a combiner) merges
+// the split's emissions per key before they enter the shuffle, so shuffle
+// volume reflects the combined output (the point of combiners). Key order
+// within the task is first-emission order, matching serial execution.
+func runMapTask(job *Job, sp mapSplit, t *mapTaskOut) {
+	fn := job.Map
+	if job.MapFactory != nil {
+		fn = job.MapFactory(sp.ctx)
+	}
+	emit := func(key string, r data.Row) {
+		if len(r) != job.MapOutSchema.Len() {
+			panic(fmt.Sprintf("mr: job %q map emitted width %d, schema %s", job.Name, len(r), job.MapOutSchema))
+		}
+		t.out = append(t.out, keyed{key, r})
+	}
+	for _, r := range sp.rows {
+		fn(sp.ctx.Input, r, emit)
+	}
+	if job.Combine == nil || job.Reduce == nil || len(t.out) == 0 {
+		return
+	}
+	groups := make(map[string][]data.Row)
+	var order []string
+	for _, kr := range t.out {
+		if _, seen := groups[kr.key]; !seen {
+			order = append(order, kr.key)
+		}
+		groups[kr.key] = append(groups[kr.key], kr.row)
+	}
+	t.combineRows = int64(len(t.out))
+	combined := make([]keyed, 0, len(order))
+	for _, k := range order {
+		key := k
+		job.Combine(key, groups[key], func(r data.Row) {
+			combined = append(combined, keyed{key, r})
+		})
+	}
+	t.out = combined
+}
+
+func (e *Engine) execute(job *Job, res *Result) (*data.Relation, error) {
+	if job.Map == nil && job.MapFactory == nil {
+		return nil, fmt.Errorf("mr: job %q has no map function", job.Name)
+	}
+	if job.Output == "" {
+		return nil, fmt.Errorf("mr: job %q has no output name", job.Name)
+	}
+
+	// Map phase: one task per input split, run on the worker pool. Task
+	// outputs are concatenated in split order, so the merged map output —
+	// and every volume counter — is identical for any Workers value.
+	splits, err := e.splitInputs(job, res)
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]mapTaskOut, len(splits))
+	mapErr := runTasks(e.workers(), len(splits), func(i int) error {
+		runMapTask(job, splits[i], &tasks[i])
+		return nil
+	})
+	var mapOut []keyed
+	for i := range tasks {
+		res.CombineRows += tasks[i].combineRows
+		mapOut = append(mapOut, tasks[i].out...)
+	}
+	if mapErr != nil {
+		return nil, fmt.Errorf("mr: job %q failed: %v", job.Name, mapErr)
 	}
 
 	out := data.NewRelation(job.OutputSchema)
@@ -218,28 +328,8 @@ func (e *Engine) execute(job *Job, res *Result) (*data.Relation, error) {
 		for _, kr := range mapOut {
 			out.Append(kr.row)
 		}
-	} else {
-		// Shuffle: group map output by key; account sort+transfer volume.
-		groups := make(map[string][]data.Row)
-		for _, kr := range mapOut {
-			res.ShuffleBytes += int64(kr.row.EncodedSize() + len(kr.key))
-			res.ShuffleRows++
-			groups[kr.key] = append(groups[kr.key], kr.row)
-		}
-		keys := make([]string, 0, len(groups))
-		for k := range groups {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys) // deterministic reduce order
-		emitOut := func(r data.Row) {
-			if len(r) != job.OutputSchema.Len() {
-				panic(fmt.Sprintf("mr: job %q reduce emitted width %d, schema %s", job.Name, len(r), job.OutputSchema))
-			}
-			out.Append(r)
-		}
-		for _, k := range keys {
-			job.Reduce(k, groups[k], emitOut)
-		}
+	} else if err := e.shuffleReduce(job, res, mapOut, out); err != nil {
+		return nil, err
 	}
 
 	res.OutputRows = int64(out.Len())
@@ -263,6 +353,70 @@ func (e *Engine) execute(job *Job, res *Result) (*data.Relation, error) {
 	res.Breakdown = e.Params.JobCost(spec)
 	res.SimSeconds = res.Breakdown.Total()
 	return out, nil
+}
+
+// shuffleReduce hash-partitions the map output into R reduce partitions,
+// reduces the partitions concurrently, and materializes their outputs in
+// global key order. The single partition scan (in map-emission order)
+// accounts sort+transfer volume and preserves each key's row order, so both
+// accounting and reduce inputs match serial execution exactly; the final
+// key-sorted merge makes output row order independent of R and Workers.
+func (e *Engine) shuffleReduce(job *Job, res *Result, mapOut []keyed, out *data.Relation) error {
+	r := e.reduceTasks()
+	parts := make([][]keyed, r)
+	for _, kr := range mapOut {
+		res.ShuffleBytes += int64(kr.row.EncodedSize() + len(kr.key))
+		res.ShuffleRows++
+		p := partitionOf(kr.key, r)
+		parts[p] = append(parts[p], kr)
+	}
+	// Each reduce task buffers its output per key, in partition-local
+	// sorted key order.
+	type redOut struct {
+		key  string
+		rows []data.Row
+	}
+	partOuts := make([][]redOut, r)
+	err := runTasks(e.workers(), r, func(pi int) error {
+		groups := make(map[string][]data.Row)
+		var keys []string
+		for _, kr := range parts[pi] {
+			if _, seen := groups[kr.key]; !seen {
+				keys = append(keys, kr.key)
+			}
+			groups[kr.key] = append(groups[kr.key], kr.row)
+		}
+		sort.Strings(keys) // deterministic reduce order
+		outs := make([]redOut, 0, len(keys))
+		for _, k := range keys {
+			cur := redOut{key: k}
+			job.Reduce(k, groups[k], func(row data.Row) {
+				if len(row) != job.OutputSchema.Len() {
+					panic(fmt.Sprintf("mr: job %q reduce emitted width %d, schema %s", job.Name, len(row), job.OutputSchema))
+				}
+				cur.rows = append(cur.rows, row)
+			})
+			outs = append(outs, cur)
+		}
+		partOuts[pi] = outs
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("mr: job %q failed: %v", job.Name, err)
+	}
+	// Merge: partitions hold disjoint keys, so a global sort of the
+	// per-key buffers reproduces the serial all-keys-sorted output.
+	var all []redOut
+	for _, po := range partOuts {
+		all = append(all, po...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	for _, ro := range all {
+		for _, row := range ro.rows {
+			out.Append(row)
+		}
+	}
+	return nil
 }
 
 // RunSequence executes jobs in order (callers supply a topological order of

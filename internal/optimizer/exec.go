@@ -37,29 +37,48 @@ func (o *Optimizer) Executable(w *Work, finalName string) ([]*mr.Job, error) {
 // row into zero or more rows of the boundary-input schema.
 type pipeline func(r data.Row, emit func(data.Row))
 
+// pipelineFactory instantiates a pipeline for one map task. Column
+// resolution and predicate compilation happen once at build time; only
+// per-task state (the exploding-UDF row tag) is created per instantiation,
+// seeded from the TaskCtx so tags are unique yet schedule-independent.
+type pipelineFactory func(ctx mr.TaskCtx) pipeline
+
 // buildPipeline compiles a stream's operator chain against its source
-// columns, also returning the engine-side local-function costs.
-func (o *Optimizer) buildPipeline(st stream) (pipeline, []cost.LocalFn, error) {
-	fn := pipeline(func(r data.Row, emit func(data.Row)) { emit(r) })
+// columns into a per-task factory, also returning the engine-side
+// local-function costs.
+func (o *Optimizer) buildPipeline(st stream) (pipelineFactory, []cost.LocalFn, error) {
 	cols := st.srcCols
+	var stages []pipelineFactory
 	var fns []cost.LocalFn
 	for _, op := range st.ops {
-		stage, err := o.buildStage(op, cols)
+		sf, err := o.buildStage(op, cols)
 		if err != nil {
 			return nil, nil, err
 		}
-		prev := fn
-		fn = func(r data.Row, emit func(data.Row)) {
-			prev(r, func(mid data.Row) { stage(mid, emit) })
-		}
+		stages = append(stages, sf)
 		cols = op.OutCols
 		fns = append(fns, o.localFn(op, true))
 	}
-	return fn, fns, nil
+	return func(ctx mr.TaskCtx) pipeline {
+		fn := pipeline(func(r data.Row, emit func(data.Row)) { emit(r) })
+		for _, sf := range stages {
+			stage := sf(ctx)
+			prev := fn
+			fn = func(r data.Row, emit func(data.Row)) {
+				prev(r, func(mid data.Row) { stage(mid, emit) })
+			}
+		}
+		return fn
+	}, fns, nil
+}
+
+// stateless wraps a pure stage as a factory returning the shared closure.
+func stateless(p pipeline) pipelineFactory {
+	return func(mr.TaskCtx) pipeline { return p }
 }
 
 // buildStage compiles a single pipeline operator given its input columns.
-func (o *Optimizer) buildStage(op *plan.Node, inCols []string) (pipeline, error) {
+func (o *Optimizer) buildStage(op *plan.Node, inCols []string) (pipelineFactory, error) {
 	inSchema := data.NewSchema(inCols...)
 	switch op.Kind {
 	case plan.KindProject:
@@ -71,24 +90,24 @@ func (o *Optimizer) buildStage(op *plan.Node, inCols []string) (pipeline, error)
 			}
 			idxs[i] = ix
 		}
-		return func(r data.Row, emit func(data.Row)) {
+		return stateless(func(r data.Row, emit func(data.Row)) {
 			out := make(data.Row, len(idxs))
 			for i, ix := range idxs {
 				out[i] = r[ix]
 			}
 			emit(out)
-		}, nil
+		}), nil
 
 	case plan.KindFilter:
 		pred, err := o.Eval.Compile(op.Pred, inSchema)
 		if err != nil {
 			return nil, err
 		}
-		return func(r data.Row, emit func(data.Row)) {
+		return stateless(func(r data.Row, emit func(data.Row)) {
 			if pred(r) {
 				emit(r)
 			}
-		}, nil
+		}), nil
 
 	case plan.KindUDF:
 		d, ok := o.Cat.UDFs.Get(op.UDFName)
@@ -105,21 +124,28 @@ func (o *Optimizer) buildStage(op *plan.Node, inCols []string) (pipeline, error)
 		}
 		params := op.UDFParams
 		explode := d.Explode
-		var rowCounter int64
-		return func(r data.Row, emit func(data.Row)) {
-			args := make([]value.V, len(argIdx))
-			for i, ix := range argIdx {
-				args[i] = r[ix]
-			}
-			for _, outVals := range d.Map(args, params) {
-				out := make(data.Row, 0, len(r)+len(outVals)+1)
-				out = append(out, r...)
-				out = append(out, outVals...)
-				if explode {
-					rowCounter++
-					out = append(out, value.NewInt(rowCounter))
+		return func(ctx mr.TaskCtx) pipeline {
+			// The exploded-row tag is the relation's record key: it only
+			// needs to be unique and deterministic. Each task counts up
+			// from its first input row's global ordinal shifted past any
+			// plausible per-task emission count, so tags never collide
+			// across tasks and never depend on scheduling.
+			rowTag := ctx.GlobalRow << 20
+			return func(r data.Row, emit func(data.Row)) {
+				args := make([]value.V, len(argIdx))
+				for i, ix := range argIdx {
+					args[i] = r[ix]
 				}
-				emit(out)
+				for _, outVals := range d.Map(args, params) {
+					out := make(data.Row, 0, len(r)+len(outVals)+1)
+					out = append(out, r...)
+					out = append(out, outVals...)
+					if explode {
+						rowTag++
+						out = append(out, value.NewInt(rowTag))
+					}
+					emit(out)
+				}
 			}
 		}, nil
 	}
@@ -135,43 +161,58 @@ func (o *Optimizer) executableJob(jn *JobNode, outName string) (*mr.Job, error) 
 		OutputKind:   storage.View,
 		OutputSchema: data.NewSchema(jn.OutCols...),
 	}
-	pipes := make([]pipeline, len(jn.streams))
+	factories := make([]pipelineFactory, len(jn.streams))
 	for i, st := range jn.streams {
-		p, fns, err := o.buildPipeline(st)
+		pf, fns, err := o.buildPipeline(st)
 		if err != nil {
 			return nil, err
 		}
-		pipes[i] = p
+		factories[i] = pf
 		job.Inputs = append(job.Inputs, st.inputName())
 		job.MapCost = append(job.MapCost, fns...)
+	}
+	// Every compiled job uses a per-task MapFactory: instantiation is
+	// cheap (column resolution already happened), and it is what keeps
+	// stateful stages race-free under the engine's parallel map phase.
+	mkPipes := func(ctx mr.TaskCtx) []pipeline {
+		pipes := make([]pipeline, len(factories))
+		for i, pf := range factories {
+			pipes[i] = pf(ctx)
+		}
+		return pipes
 	}
 
 	if !o.isBoundary(boundary) {
 		// Map-only job: single stream, pipeline output is the job output.
 		job.MapOutSchema = job.OutputSchema
-		p := pipes[0]
-		job.Map = func(_ int, r data.Row, emit mr.Emit) {
-			p(r, func(out data.Row) { emit("", out) })
+		job.MapFactory = func(ctx mr.TaskCtx) mr.MapFunc {
+			p := mkPipes(ctx)[0]
+			return func(_ int, r data.Row, emit mr.Emit) {
+				p(r, func(out data.Row) { emit("", out) })
+			}
 		}
 		return job, nil
 	}
 
 	switch boundary.Kind {
 	case plan.KindJoin:
-		return o.joinJob(jn, job, pipes)
+		return o.joinJob(jn, job, mkPipes)
 	case plan.KindGroupAgg:
-		return o.groupAggJob(jn, job, pipes)
+		return o.groupAggJob(jn, job, mkPipes)
 	case plan.KindUDF:
-		return o.aggUDFJob(jn, job, pipes)
+		return o.aggUDFJob(jn, job, mkPipes)
 	case plan.KindSort:
-		return o.sortJob(jn, job, pipes)
+		return o.sortJob(jn, job, mkPipes)
 	}
 	return nil, fmt.Errorf("optimizer: unexpected boundary %s", boundary.Kind)
 }
 
+// mkPipesFn instantiates every stream's pipeline for one map task.
+type mkPipesFn func(ctx mr.TaskCtx) []pipeline
+
 // joinJob compiles an equi-join: both sides shuffle on the join key; rows
 // are padded to a shared width with a side tag (a co-group, §3.2).
-func (o *Optimizer) joinJob(jn *JobNode, job *mr.Job, pipes []pipeline) (*mr.Job, error) {
+func (o *Optimizer) joinJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.Job, error) {
 	boundary := jn.Logical
 	lCols := jn.streams[0].outNode.OutCols
 	rCols := jn.streams[1].outNode.OutCols
@@ -195,23 +236,26 @@ func (o *Optimizer) joinJob(jn *JobNode, job *mr.Job, pipes []pipeline) (*mr.Job
 	job.MapOutSchema = data.NewSchema(shufCols...)
 	width := 1 + len(lCols) + len(rCols)
 
-	job.Map = func(input int, r data.Row, emit mr.Emit) {
-		pipes[input](r, func(row data.Row) {
-			out := make(data.Row, width)
-			out[0] = value.NewInt(int64(input))
-			var key value.V
-			if input == 0 {
-				copy(out[1:], row)
-				key = row[lIdx]
-			} else {
-				copy(out[1+len(lCols):], row)
-				key = row[rIdx]
-			}
-			if key.IsNull() {
-				return // null keys never join
-			}
-			emit(key.String(), out)
-		})
+	job.MapFactory = func(ctx mr.TaskCtx) mr.MapFunc {
+		pipes := mkPipes(ctx)
+		return func(input int, r data.Row, emit mr.Emit) {
+			pipes[input](r, func(row data.Row) {
+				out := make(data.Row, width)
+				out[0] = value.NewInt(int64(input))
+				var key value.V
+				if input == 0 {
+					copy(out[1:], row)
+					key = row[lIdx]
+				} else {
+					copy(out[1+len(lCols):], row)
+					key = row[rIdx]
+				}
+				if key.IsNull() {
+					return // null keys never join
+				}
+				emit(key.String(), out)
+			})
+		}
 	}
 	job.Reduce = func(_ string, rows []data.Row, emit func(data.Row)) {
 		var ls, rs []data.Row
@@ -250,7 +294,7 @@ func (o *Optimizer) joinJob(jn *JobNode, job *mr.Job, pipes []pipeline) (*mr.Job
 // partials within each map split (shrinking the shuffle), and the reducer
 // merges and finalizes. All built-ins are algebraic (AVG decomposes into
 // sum+count partials).
-func (o *Optimizer) groupAggJob(jn *JobNode, job *mr.Job, pipes []pipeline) (*mr.Job, error) {
+func (o *Optimizer) groupAggJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.Job, error) {
 	boundary := jn.Logical
 	inCols := jn.streams[0].outNode.OutCols
 	keyIdx := make([]int, len(boundary.Keys))
@@ -285,17 +329,20 @@ func (o *Optimizer) groupAggJob(jn *JobNode, job *mr.Job, pipes []pipeline) (*mr
 	job.MapOutSchema = data.NewSchema(shufCols...)
 	nKeys := len(keyIdx)
 
-	job.Map = func(_ int, r data.Row, emit mr.Emit) {
-		pipes[0](r, func(row data.Row) {
-			out := make(data.Row, 0, len(shufCols))
-			for _, ix := range keyIdx {
-				out = append(out, row[ix])
-			}
-			for _, a := range aggs {
-				out = append(out, a.initPartials(row)...)
-			}
-			emit(data.Key(out, keyRange(nKeys)), out)
-		})
+	job.MapFactory = func(ctx mr.TaskCtx) mr.MapFunc {
+		pipe := mkPipes(ctx)[0]
+		return func(_ int, r data.Row, emit mr.Emit) {
+			pipe(r, func(row data.Row) {
+				out := make(data.Row, 0, len(shufCols))
+				for _, ix := range keyIdx {
+					out = append(out, row[ix])
+				}
+				for _, a := range aggs {
+					out = append(out, a.initPartials(row)...)
+				}
+				emit(data.Key(out, keyRange(nKeys)), out)
+			})
+		}
 	}
 	mergeGroup := func(rows []data.Row) data.Row {
 		acc := rows[0].Clone()
@@ -419,7 +466,7 @@ func (a aggPhys) finalize(acc data.Row) value.V {
 }
 
 // aggUDFJob compiles an aggregate UDF: PreMap map-side, Reduce per group.
-func (o *Optimizer) aggUDFJob(jn *JobNode, job *mr.Job, pipes []pipeline) (*mr.Job, error) {
+func (o *Optimizer) aggUDFJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.Job, error) {
 	boundary := jn.Logical
 	d, ok := o.Cat.UDFs.Get(boundary.UDFName)
 	if !ok || d.Kind != udf.KindAgg {
@@ -470,24 +517,27 @@ func (o *Optimizer) aggUDFJob(jn *JobNode, job *mr.Job, pipes []pipeline) (*mr.J
 	for i := range keyIdxs {
 		keyIdxs[i] = i
 	}
-	job.Map = func(_ int, r data.Row, emit mr.Emit) {
-		pipes[0](r, func(row data.Row) {
-			args := make([]value.V, len(argIdx))
-			for i, ix := range argIdx {
-				args[i] = row[ix]
-			}
-			keys, payload, keep := preMap(args, params)
-			if !keep {
-				return
-			}
-			out := make(data.Row, 0, nKeys+payloadW)
-			out = append(out, keys...)
-			out = append(out, payload...)
-			for len(out) < nKeys+payloadW {
-				out = append(out, value.NullV)
-			}
-			emit(data.Key(out, keyIdxs), out)
-		})
+	job.MapFactory = func(ctx mr.TaskCtx) mr.MapFunc {
+		pipe := mkPipes(ctx)[0]
+		return func(_ int, r data.Row, emit mr.Emit) {
+			pipe(r, func(row data.Row) {
+				args := make([]value.V, len(argIdx))
+				for i, ix := range argIdx {
+					args[i] = row[ix]
+				}
+				keys, payload, keep := preMap(args, params)
+				if !keep {
+					return
+				}
+				out := make(data.Row, 0, nKeys+payloadW)
+				out = append(out, keys...)
+				out = append(out, payload...)
+				for len(out) < nKeys+payloadW {
+					out = append(out, value.NullV)
+				}
+				emit(data.Key(out, keyIdxs), out)
+			})
+		}
 	}
 	job.Reduce = func(_ string, rows []data.Row, emit func(data.Row)) {
 		keys := rows[0][:nKeys]
@@ -512,7 +562,7 @@ func (o *Optimizer) aggUDFJob(jn *JobNode, job *mr.Job, pipes []pipeline) (*mr.J
 // sortJob compiles ORDER BY [LIMIT] as a single-reducer total sort (the
 // naive Hive strategy): every row shuffles under one key; the reducer sorts
 // and truncates.
-func (o *Optimizer) sortJob(jn *JobNode, job *mr.Job, pipes []pipeline) (*mr.Job, error) {
+func (o *Optimizer) sortJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.Job, error) {
 	boundary := jn.Logical
 	inCols := jn.streams[0].outNode.OutCols
 	sortIdx := make([]int, len(boundary.SortCols))
@@ -526,8 +576,11 @@ func (o *Optimizer) sortJob(jn *JobNode, job *mr.Job, pipes []pipeline) (*mr.Job
 	desc := boundary.SortDesc
 	limit := boundary.Limit
 	job.MapOutSchema = data.NewSchema(inCols...)
-	job.Map = func(_ int, r data.Row, emit mr.Emit) {
-		pipes[0](r, func(row data.Row) { emit("", row) })
+	job.MapFactory = func(ctx mr.TaskCtx) mr.MapFunc {
+		pipe := mkPipes(ctx)[0]
+		return func(_ int, r data.Row, emit mr.Emit) {
+			pipe(r, func(row data.Row) { emit("", row) })
+		}
 	}
 	job.Reduce = func(_ string, rows []data.Row, emit func(data.Row)) {
 		sorted := append([]data.Row(nil), rows...)

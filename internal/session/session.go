@@ -6,6 +6,8 @@ package session
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"opportune/internal/afk"
 	"opportune/internal/cost"
@@ -49,7 +51,11 @@ func (m Mode) String() string {
 	}
 }
 
-// Session is one system instance.
+// Session is one system instance. Run may be called from concurrent
+// goroutines: planning (optimizer + rewriter, whose estimate caches are
+// shared mutable state) is serialized under planMu, while execution — the
+// expensive phase — proceeds concurrently against the lock-protected store
+// and catalog.
 type Session struct {
 	Store *storage.Store
 	Cat   *meta.Catalog
@@ -58,7 +64,13 @@ type Session struct {
 	Rew   *rewrite.Rewriter
 	Eval  *expr.Evaluator
 
-	statsSeed int64
+	// planMu serializes compile/rewrite/executable-build; the optimizer's
+	// per-query estimate cache and the rewriter's counters are not
+	// thread-safe, and queries must be estimated one at a time anyway so
+	// each sees a consistent statistics snapshot.
+	planMu sync.Mutex
+
+	statsSeed atomic.Int64
 }
 
 // New builds a system instance with the given cost parameters.
@@ -100,14 +112,31 @@ func (m Metrics) TotalSeconds() float64 {
 
 // Run compiles, (optionally) rewrites, and executes a query plan,
 // materializing the result under resultName and retaining all job outputs
-// as opportunistic views.
+// as opportunistic views. Run is safe for concurrent use; see Session.
 func (s *Session) Run(q *plan.Node, resultName string, mode Mode) (*Metrics, error) {
+	m, chosen, w, jobs, err := s.planQuery(q, resultName, mode)
+	if err != nil {
+		return nil, err
+	}
+	if jobs == nil {
+		// A bare scan: the result is already materialized.
+		return m, nil
+	}
+	return s.executePlan(m, chosen, w, jobs, resultName)
+}
+
+// planQuery compiles and (optionally) rewrites one query under planMu. A
+// nil jobs return means the chosen plan is a bare scan of an existing
+// materialization and nothing needs to execute.
+func (s *Session) planQuery(q *plan.Node, resultName string, mode Mode) (*Metrics, *plan.Node, *optimizer.Work, []*mr.Job, error) {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
 	// Estimates are cached per query so every plan for the same logical
 	// output costs identically; statistics change between queries.
 	s.Opt.ClearEstimates()
 	w, err := s.Opt.Compile(q)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, nil, err
 	}
 	m := &Metrics{Mode: mode, ResultName: resultName}
 
@@ -132,20 +161,26 @@ func (s *Session) Run(q *plan.Node, resultName string, mode Mode) (*Metrics, err
 		}
 	}
 
-	// A bare scan means the result is already materialized.
 	if chosen.Kind == plan.KindScan {
 		m.ResultName = chosen.Dataset
-		return m, nil
+		return m, chosen, w, nil, nil
 	}
 	if chosen != q {
 		if w, err = s.Opt.Compile(chosen); err != nil {
-			return nil, fmt.Errorf("session: rewritten plan failed to compile: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("session: rewritten plan failed to compile: %w", err)
 		}
 	}
 	jobs, err := s.Opt.Executable(w, resultName)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, nil, err
 	}
+	return m, chosen, w, jobs, nil
+}
+
+// executePlan runs the compiled jobs and retains their outputs as views.
+// It runs outside planMu: execution is the expensive phase, and the store
+// and catalog are themselves safe for concurrent use.
+func (s *Session) executePlan(m *Metrics, chosen *plan.Node, w *optimizer.Work, jobs []*mr.Job, resultName string) (*Metrics, error) {
 	// Pin the plan's input datasets and its own intermediate outputs
 	// against capacity eviction for the run: a job's materialization must
 	// not evict a view a later job of the same plan reads.
@@ -199,8 +234,7 @@ func (s *Session) Run(q *plan.Node, resultName string, mode Mode) (*Metrics, err
 			continue // evicted by the reclamation policy
 		}
 		s.Cat.RegisterView(name, jn.OutCols, jn.Ann, cost.Stats{}, jn.PlanFP)
-		s.statsSeed++
-		sec, err := s.Cat.CollectStats(s.Eng, name, s.statsSeed+int64(i))
+		sec, err := s.Cat.CollectStats(s.Eng, name, s.statsSeed.Add(1)+int64(i))
 		if err != nil {
 			return nil, err
 		}
@@ -230,11 +264,15 @@ func (s *Session) AppendRows(table string, rows []data.Row) ([]string, error) {
 	if !ok {
 		return nil, fmt.Errorf("session: %q not in store", table)
 	}
-	rel := ds.Relation()
+	// Copy-on-write: concurrent Runs may be scanning the current relation,
+	// so the stored rows are never mutated in place. The re-put installs
+	// the grown copy and updates size/eviction bookkeeping.
+	old := ds.Relation()
+	rel := data.NewRelation(old.Schema())
+	rel.AppendAll(old)
 	for _, r := range rows {
 		rel.Append(r)
 	}
-	// Re-put so size accounting and eviction bookkeeping update.
 	s.Store.Put(table, storage.Base, rel)
 	s.Cat.RegisterBase(table, info.Cols, info.KeyCol,
 		cost.Stats{Rows: int64(rel.Len()), Bytes: rel.EncodedSize()}, info.Distinct)

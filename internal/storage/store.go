@@ -121,6 +121,12 @@ func (s *Store) EnforceBudget() {
 // view is always admitted (if it alone exceeds capacity, every other view
 // is evicted and it is still stored — simplest admission rule).
 // Write bytes are counted.
+//
+// Replacing a dataset of the same kind preserves its retention metadata:
+// re-materializing a view under an existing name is a refresh of the same
+// logical artifact, so the UseCount, Benefit, and CreatedSeq signals the
+// LFU, cost-benefit, and FIFO reclamation policies rank on must survive.
+// (Only LastUsedSeq advances — the write itself is a touch.)
 func (s *Store) Put(name string, kind Kind, rel *data.Relation) *Dataset {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -132,6 +138,11 @@ func (s *Store) Put(name string, kind Kind, rel *data.Relation) *Dataset {
 		CreatedSeq:  s.seq,
 		LastUsedSeq: s.seq,
 		rel:         rel,
+	}
+	if old, ok := s.datasets[name]; ok && old.Kind == kind {
+		d.CreatedSeq = old.CreatedSeq
+		d.UseCount = old.UseCount
+		d.Benefit = old.Benefit
 	}
 	s.datasets[name] = d
 	s.counters.BytesWritten += d.SizeBytes
@@ -330,7 +341,10 @@ func (p ReclamationPolicy) pick(views []*Dataset) *Dataset {
 	return best
 }
 
-// worse reports whether a is a better eviction victim than b.
+// worse reports whether a is a better eviction victim than b. The ordering
+// is total: ties on the policy metric fall through to recency and finally
+// to the dataset name, so the victim never depends on Go map iteration
+// order (evictLocked gathers candidates from a map).
 func (p ReclamationPolicy) worse(a, b *Dataset) bool {
 	switch p {
 	case PolicyLFU:
@@ -344,10 +358,16 @@ func (p ReclamationPolicy) worse(a, b *Dataset) bool {
 			return ba < bb
 		}
 	case PolicyFIFO:
-		return a.CreatedSeq < b.CreatedSeq
+		if a.CreatedSeq != b.CreatedSeq {
+			return a.CreatedSeq < b.CreatedSeq
+		}
 	}
-	// LRU and all tie-breaks: least recently used first.
-	return a.LastUsedSeq < b.LastUsedSeq
+	// LRU and all policy-metric ties: least recently used first, then a
+	// stable name tie-break.
+	if a.LastUsedSeq != b.LastUsedSeq {
+		return a.LastUsedSeq < b.LastUsedSeq
+	}
+	return a.Name < b.Name
 }
 
 // AddBenefit credits a view with benefit (cost saved by a rewrite that used

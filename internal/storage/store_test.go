@@ -222,3 +222,66 @@ func TestPolicyNames(t *testing.T) {
 		t.Error("unknown policy name")
 	}
 }
+
+func TestPutPreservesRetentionMetadataOnReplace(t *testing.T) {
+	s := NewStore()
+	s.Put("v", View, rel(5))
+	for i := 0; i < 3; i++ {
+		if _, err := s.Read("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.AddBenefit("v", 42)
+	before, _ := s.Meta("v")
+	created, used, benefit := before.CreatedSeq, before.UseCount, before.Benefit
+
+	// Re-materializing under the same name is a refresh, not a new view:
+	// the reclamation-policy signals must survive.
+	d := s.Put("v", View, rel(8))
+	if d.CreatedSeq != created {
+		t.Errorf("CreatedSeq = %d, want preserved %d", d.CreatedSeq, created)
+	}
+	if d.UseCount != used {
+		t.Errorf("UseCount = %d, want preserved %d", d.UseCount, used)
+	}
+	if d.Benefit != benefit {
+		t.Errorf("Benefit = %g, want preserved %g", d.Benefit, benefit)
+	}
+	if d.LastUsedSeq <= before.LastUsedSeq {
+		t.Errorf("LastUsedSeq = %d, want advanced past %d (a write is a touch)", d.LastUsedSeq, before.LastUsedSeq)
+	}
+	if d.SizeBytes != rel(8).EncodedSize() {
+		t.Errorf("SizeBytes = %d, want new size %d", d.SizeBytes, rel(8).EncodedSize())
+	}
+
+	// A kind change is a different artifact: metadata starts fresh.
+	d2 := s.Put("v", Base, rel(2))
+	if d2.UseCount != 0 || d2.Benefit != 0 {
+		t.Errorf("kind change kept metadata: %+v", d2)
+	}
+}
+
+func TestEvictionDeterministicOnTies(t *testing.T) {
+	// Views tied on every policy metric must be evicted in stable name
+	// order, not Go map-iteration order. Ties are forced by constructing
+	// datasets directly (normal Store ops give each touch a unique seq).
+	for _, p := range []ReclamationPolicy{PolicyLRU, PolicyLFU, PolicyCostBenefit, PolicyFIFO} {
+		for trial := 0; trial < 20; trial++ {
+			s := NewStore()
+			s.Policy = p
+			r := rel(4)
+			per := r.EncodedSize()
+			for _, name := range []string{"v-c", "v-a", "v-b"} {
+				s.Put(name, View, r)
+				d, _ := s.Meta(name)
+				d.CreatedSeq, d.LastUsedSeq, d.UseCount, d.Benefit = 1, 1, 0, 0
+			}
+			s.ViewCapacityBytes = 2 * per
+			s.EnforceBudget()
+			got := s.List(View)
+			if len(got) != 2 || got[0] != "v-b" || got[1] != "v-c" {
+				t.Fatalf("%v trial %d: evicted wrong victim, left %v (want [v-b v-c])", p, trial, got)
+			}
+		}
+	}
+}
