@@ -1,4 +1,4 @@
-.PHONY: build test verify bench
+.PHONY: build test verify bench bench-smoke
 
 build:
 	go build ./...
@@ -13,3 +13,8 @@ verify:
 
 bench:
 	go test -bench=. -benchmem
+
+# Quick end-to-end check of the benchmark harness: one experiment with
+# -metrics, validated by cmd/metricscheck.
+bench-smoke:
+	./scripts/bench_smoke.sh

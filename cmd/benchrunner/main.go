@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|fig7|fig8|table1|fig9|fig10|fig11|fig12|table2|ablation|reclamation|jsens|similarity|footprint] [-quick] [-tweets N] [-workers N]
+//	benchrunner [-exp all|fig7|fig8|table1|fig9|fig10|fig11|fig12|table2|ablation|reclamation|jsens|similarity|footprint] [-quick] [-tweets N] [-workers N] [-metrics out.json]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"opportune/internal/experiments"
+	"opportune/internal/obs"
 	"opportune/internal/workload"
 )
 
@@ -22,6 +23,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	tweets := flag.Int("tweets", 0, "override tweet-log size (0 = scale default)")
 	workers := flag.Int("workers", 0, "MR engine worker-pool size (0 = GOMAXPROCS); affects wall-clock only, never results or simulated seconds")
+	metrics := flag.String("metrics", "", "write an observability export (metrics + spans, JSON) to this file")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -38,6 +40,11 @@ func main() {
 		cfg.Scale = sc
 	}
 	cfg.Workers = *workers
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		cfg.Obs = reg
+	}
 	fmt.Printf("# opportune benchrunner — scale: %d tweets, %d check-ins, %d landmarks, %d users\n\n",
 		cfg.Scale.Tweets, cfg.Scale.Checkins, cfg.Scale.Landmarks, cfg.Scale.Users)
 
@@ -80,5 +87,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	if reg != nil {
+		if err := writeMetrics(reg, *metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *metrics)
+	}
 	_ = workload.DefaultScale
+}
+
+func writeMetrics(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,121 @@
+// Command metricscheck validates a benchrunner -metrics export: the file
+// must be well-formed obs JSON with a populated metrics section, internally
+// consistent histograms, and the core counters every instrumented run
+// produces. make bench-smoke pipes a quick run through it.
+//
+// Usage:
+//
+//	metricscheck out.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"opportune/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck <metrics.json>")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var e obs.Export
+	if err := json.Unmarshal(raw, &e); err != nil {
+		fail("malformed export: %v", err)
+	}
+
+	m := e.Metrics
+	if len(m.Counters) == 0 {
+		fail("no counters recorded")
+	}
+	// Every instrumented benchrunner run executes jobs through the session,
+	// reading and writing the store; these counter families must exist and
+	// be positive.
+	for _, prefix := range []string{
+		"mr_jobs_total",
+		"mr_input_bytes_total",
+		"session_queries_total",
+		"storage_read_bytes_total",
+		"storage_write_bytes_total",
+	} {
+		if !hasPositive(m.Counters, prefix) {
+			fail("missing or zero counter %s", prefix)
+		}
+	}
+	for name, sec := range map[string]float64{
+		"mr_sim_seconds_total":           sumByPrefix(m.FloatCounters, "mr_sim_seconds_total"),
+		"session_exec_sim_seconds_total": sumByPrefix(m.FloatCounters, "session_exec_sim_seconds_total"),
+	} {
+		if sec <= 0 {
+			fail("float counter %s not positive", name)
+		}
+	}
+	for key, h := range m.Histograms {
+		if len(h.Counts) != len(h.Bounds)+1 {
+			fail("histogram %s: %d buckets for %d bounds", key, len(h.Counts), len(h.Bounds))
+		}
+		var n int64
+		for _, c := range h.Counts {
+			if c < 0 {
+				fail("histogram %s: negative bucket", key)
+			}
+			n += c
+		}
+		if n != h.Count {
+			fail("histogram %s: buckets sum to %d, count says %d", key, n, h.Count)
+		}
+	}
+	if len(e.Spans) == 0 {
+		fail("no spans recorded")
+	}
+	for _, sp := range e.Spans {
+		checkSpan(sp)
+	}
+	fmt.Printf("ok: %d counters, %d float counters, %d histograms, %d root spans\n",
+		len(m.Counters), len(m.FloatCounters), len(m.Histograms), len(e.Spans))
+}
+
+func checkSpan(sp obs.SpanExport) {
+	if sp.Phase == "" {
+		fail("span with empty phase")
+	}
+	if sp.WallSeconds < 0 || sp.SimSeconds < 0 {
+		fail("span %s: negative seconds", sp.Phase)
+	}
+	for _, c := range sp.Children {
+		checkSpan(c)
+	}
+}
+
+// hasPositive reports whether any counter named prefix (with or without
+// labels) is positive.
+func hasPositive(counters map[string]int64, prefix string) bool {
+	for k, v := range counters {
+		if (k == prefix || strings.HasPrefix(k, prefix+"{")) && v > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func sumByPrefix(fc map[string]float64, prefix string) float64 {
+	var sum float64
+	for k, v := range fc {
+		if k == prefix || strings.HasPrefix(k, prefix+"{") {
+			sum += v
+		}
+	}
+	return sum
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "metricscheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"opportune/internal/hiveql"
+	"opportune/internal/obs"
 	"opportune/internal/optimizer"
 	"opportune/internal/session"
 	"opportune/internal/workload"
@@ -32,6 +33,13 @@ type Config struct {
 	// Parallelism changes wall-clock only: simulated seconds, data volumes,
 	// and result bytes are identical at every worker count.
 	Workers int
+	// ReduceTasks overrides the engine's reduce-partition count R
+	// (0 = engine default). Like Workers it affects wall-clock parallelism
+	// only, never results or simulated seconds.
+	ReduceTasks int
+	// Obs, when set, is attached to every session the experiment builds
+	// (store, engine, optimizer, and session metrics all feed it).
+	Obs *obs.Registry
 }
 
 // DefaultConfig is the full-size harness configuration.
@@ -71,6 +79,12 @@ func newSession(c Config) (*session.Session, error) {
 		return nil, err
 	}
 	s.Eng.Workers = c.Workers
+	if c.ReduceTasks > 0 {
+		s.Eng.Params.ReduceTasks = c.ReduceTasks
+	}
+	if c.Obs != nil {
+		s.Instrument(c.Obs)
+	}
 	return s, nil
 }
 

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"opportune/internal/obs"
+)
+
+// runFig7Quick runs the quick Fig 7 workload against a fresh registry at the
+// given parallelism and returns the metrics snapshot.
+func runFig7Quick(t *testing.T, workers, reduceTasks int) obs.Snapshot {
+	t.Helper()
+	cfg := QuickConfig()
+	cfg.Workers = workers
+	cfg.ReduceTasks = reduceTasks
+	cfg.Obs = obs.NewRegistry()
+	if _, err := Fig7(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return cfg.Obs.Snapshot()
+}
+
+// TestMetricsDeterministicAcrossParallelism is the observability layer's
+// core guarantee: counters and float counters hold only simulated time,
+// volumes, and event counts, so a workload produces identical values at any
+// Workers/ReduceTasks setting. Wall-clock lives in histograms and spans,
+// which are excluded here.
+func TestMetricsDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick Fig 7 workload three times")
+	}
+	ref := runFig7Quick(t, 1, 1)
+	if len(ref.Counters) == 0 || len(ref.FloatCounters) == 0 {
+		t.Fatalf("reference run recorded no metrics: %+v", ref)
+	}
+	for _, k := range []string{"mr_jobs_total", "session_queries_total{mode=bfr}", "storage_read_bytes_total"} {
+		if ref.Counters[k] <= 0 {
+			t.Errorf("counter %s missing from instrumented run", k)
+		}
+	}
+	for _, cfg := range []struct{ w, r int }{{4, 3}, {2, 8}} {
+		got := runFig7Quick(t, cfg.w, cfg.r)
+		if !reflect.DeepEqual(got.Counters, ref.Counters) {
+			t.Errorf("workers=%d R=%d: counters differ\n got %v\nwant %v", cfg.w, cfg.r, got.Counters, ref.Counters)
+		}
+		if !reflect.DeepEqual(got.FloatCounters, ref.FloatCounters) {
+			t.Errorf("workers=%d R=%d: float counters differ\n got %v\nwant %v", cfg.w, cfg.r, got.FloatCounters, ref.FloatCounters)
+		}
+	}
+}
+
+// TestSessionSpansAndRewriteCounters checks the session layer's span export
+// and rewrite-counter publication through a real workload run.
+func TestSessionSpansAndRewriteCounters(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Obs = obs.NewRegistry()
+	if _, err := Fig7(cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap := cfg.Obs.Snapshot()
+	if snap.Counters["rewrite_candidates_considered_total{mode=bfr}"] <= 0 {
+		t.Errorf("no rewrite candidates counted: %v", snap.Counters)
+	}
+	if snap.Counters["rewrites_improved_total{mode=bfr}"] <= 0 {
+		t.Error("quick Fig 7 found no improving rewrites")
+	}
+	if snap.FloatCounters["session_exec_sim_seconds_total{mode=orig}"] <= 0 {
+		t.Error("no execution sim-seconds for orig mode")
+	}
+	if snap.Counters["optimizer_estimate_cache_hits_total{src=query}"] <= 0 {
+		t.Error("rewrite search hit the per-query estimate cache zero times")
+	}
+
+	var query, plan, execute int
+	var walk func(sp obs.SpanExport)
+	walk = func(sp obs.SpanExport) {
+		switch sp.Phase {
+		case "query":
+			query++
+		case "plan":
+			plan++
+		case "execute":
+			execute++
+		}
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	for _, sp := range cfg.Obs.Spans() {
+		walk(sp)
+	}
+	wantQueries := snap.Counters["session_queries_total{mode=orig}"] + snap.Counters["session_queries_total{mode=bfr}"]
+	if int64(query) != wantQueries {
+		t.Errorf("query spans = %d, session_queries_total = %d", query, wantQueries)
+	}
+	if plan != query {
+		t.Errorf("plan spans = %d, want one per query (%d)", plan, query)
+	}
+	if execute == 0 {
+		t.Error("no execute spans recorded")
+	}
+}

@@ -1,0 +1,294 @@
+package mr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"opportune/internal/cost"
+	"opportune/internal/data"
+	"opportune/internal/obs"
+	"opportune/internal/storage"
+)
+
+// flakyWordCount returns the word-count job with a reduce that panics the
+// first `failures` times it sees the key "wine". Attempts run serially and
+// only one reduce task owns a key, so the plain counter is race-free and
+// the injected failures are deterministic at any Workers/ReduceTasks.
+func flakyWordCount(failures int) *Job {
+	job := wordCountJob()
+	orig := job.Reduce
+	n := 0
+	job.Reduce = func(key string, rows []data.Row, emit func(data.Row)) {
+		if key == "wine" && n < failures {
+			n++
+			panic("transient reduce failure")
+		}
+		orig(key, rows, emit)
+	}
+	return job
+}
+
+// TestWastedSecondsInvariant is the retry-accounting regression: failed
+// attempts' time must land in an explicit WastedSeconds field with
+// Breakdown.Total() + WastedSeconds == SimSeconds, instead of silently
+// desynchronizing SimSeconds from the breakdown.
+func TestWastedSecondsInvariant(t *testing.T) {
+	e, st := newEngine()
+	loadWords(st)
+	e.MaxAttempts = 3
+	_, res, err := e.Run(flakyWordCount(2))
+	if err != nil {
+		t.Fatalf("job did not recover: %v", err)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3", res.Attempts)
+	}
+	if res.WastedSeconds <= 0 {
+		t.Error("recovered failures charged no WastedSeconds")
+	}
+	if got := res.Breakdown.Total() + res.WastedSeconds; got != res.SimSeconds {
+		t.Errorf("Breakdown.Total()+WastedSeconds = %g, SimSeconds = %g", got, res.SimSeconds)
+	}
+
+	// Clean runs keep the same invariant with zero waste.
+	e2, st2 := newEngine()
+	loadWords(st2)
+	_, clean, err := e2.Run(wordCountJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.WastedSeconds != 0 || clean.RetriedInputBytes != 0 || clean.RetriedShuffleBytes != 0 {
+		t.Errorf("clean run reports retry accounting: %+v", clean)
+	}
+	if clean.Breakdown.Total() != clean.SimSeconds {
+		t.Errorf("clean run: Breakdown.Total() = %g, SimSeconds = %g", clean.Breakdown.Total(), clean.SimSeconds)
+	}
+
+	// An unrecovered failure still satisfies the invariant (zero breakdown,
+	// waste covers the recovered-from attempts only).
+	e3, st3 := newEngine()
+	loadWords(st3)
+	e3.MaxAttempts = 2
+	_, failed, err := e3.Run(flakyWordCount(100))
+	if err == nil {
+		t.Fatal("permanent failure succeeded")
+	}
+	if got := failed.Breakdown.Total() + failed.WastedSeconds; got != failed.SimSeconds {
+		t.Errorf("failed job: Breakdown.Total()+WastedSeconds = %g, SimSeconds = %g", got, failed.SimSeconds)
+	}
+}
+
+// TestEngineStoreByteReconciliation is the under-reported-volume
+// regression: after recovered failures, the engine's Result must account
+// every byte the store served, not just the successful attempt's.
+func TestEngineStoreByteReconciliation(t *testing.T) {
+	for _, cfg := range []struct{ workers, reduceTasks int }{{1, 1}, {4, 3}} {
+		st := storage.NewStore()
+		loadWords(st)
+		params := cost.DefaultParams()
+		params.ReduceTasks = cfg.reduceTasks
+		e := New(st, params)
+		e.Workers = cfg.workers
+		e.MaxAttempts = 3
+		before := st.Counters()
+		_, res, err := e.Run(flakyWordCount(2))
+		if err != nil {
+			t.Fatalf("workers=%d: job did not recover: %v", cfg.workers, err)
+		}
+		after := st.Counters()
+
+		// Two failed attempts each re-read the full input.
+		if res.RetriedInputBytes != 2*res.InputBytes {
+			t.Errorf("workers=%d: RetriedInputBytes = %d, want %d", cfg.workers, res.RetriedInputBytes, 2*res.InputBytes)
+		}
+		// Reduce-side panics waste the whole shuffle of each failed attempt.
+		if res.RetriedShuffleBytes != 2*res.ShuffleBytes {
+			t.Errorf("workers=%d: RetriedShuffleBytes = %d, want %d", cfg.workers, res.RetriedShuffleBytes, 2*res.ShuffleBytes)
+		}
+		if got, want := after.BytesRead-before.BytesRead, res.InputBytes+res.RetriedInputBytes; got != want {
+			t.Errorf("workers=%d: store read %d bytes, engine accounts %d", cfg.workers, got, want)
+		}
+		// Failed attempts die before materializing: writes reconcile exactly.
+		if got := after.BytesWritten - before.BytesWritten; got != res.OutputBytes {
+			t.Errorf("workers=%d: store wrote %d bytes, engine accounts %d", cfg.workers, got, res.OutputBytes)
+		}
+	}
+}
+
+// TestRetriedAccountingWorkerIndependent pins the whole Result — including
+// the new retry fields — to be identical at any parallelism setting.
+func TestRetriedAccountingWorkerIndependent(t *testing.T) {
+	run := func(workers, reduceTasks int) Result {
+		st := storage.NewStore()
+		loadWords(st)
+		params := cost.DefaultParams()
+		params.ReduceTasks = reduceTasks
+		e := New(st, params)
+		e.Workers = workers
+		e.MaxAttempts = 3
+		_, res, err := e.Run(flakyWordCount(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *res
+	}
+	ref := run(1, 1)
+	for _, cfg := range []struct{ w, r int }{{2, 1}, {4, 4}, {8, 3}} {
+		if got := run(cfg.w, cfg.r); got != ref {
+			t.Errorf("workers=%d R=%d: Result differs:\n got %+v\nwant %+v", cfg.w, cfg.r, got, ref)
+		}
+	}
+}
+
+// TestMapOnlySchemaMismatchFails is the malformed-materialization
+// regression: a map-only job whose MapOutSchema disagrees with OutputSchema
+// must fail instead of materializing rows of the wrong width.
+func TestMapOnlySchemaMismatchFails(t *testing.T) {
+	e, st := newEngine()
+	loadWords(st)
+	job := &Job{
+		Name:   "badproject",
+		Inputs: []string{"docs"},
+		Map: func(_ int, r data.Row, emit Emit) {
+			emit("", data.Row{r[0]})
+		},
+		MapOutSchema: data.NewSchema("id"),
+		OutputSchema: data.NewSchema("id", "extra"), // width mismatch
+		Output:       "bad",
+		OutputKind:   storage.View,
+	}
+	_, _, err := e.Run(job)
+	if err == nil || !strings.Contains(err.Error(), "map-only") {
+		t.Fatalf("schema mismatch accepted: err = %v", err)
+	}
+	if st.Has("bad") {
+		t.Error("malformed output was materialized")
+	}
+}
+
+// TestRunTasksLowestIndexedError checks runTasks reports the error of the
+// lowest-indexed failed task regardless of worker count and scheduling, and
+// runs every task to completion even after a failure.
+func TestRunTasksLowestIndexedError(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		var ran atomic.Int64
+		err := runTasks(w, 8, func(i int) error {
+			ran.Add(1)
+			switch i {
+			case 2:
+				panic(fmt.Sprintf("panic in task %d", i))
+			case 5:
+				return fmt.Errorf("error in task %d", i)
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "task 2") {
+			t.Errorf("w=%d: err = %v, want lowest-indexed (task 2)", w, err)
+		}
+		if ran.Load() != 8 {
+			t.Errorf("w=%d: %d tasks ran, want all 8", w, ran.Load())
+		}
+	}
+	// A panic in task 0 outranks a later error.
+	for _, w := range []int{1, 4} {
+		err := runTasks(w, 4, func(i int) error {
+			if i == 0 {
+				panic("task 0 died")
+			}
+			if i == 3 {
+				return fmt.Errorf("task 3 failed")
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "task 0") {
+			t.Errorf("w=%d: err = %v, want task 0's", w, err)
+		}
+	}
+}
+
+// TestEngineObsMetricsAndSpans checks the engine's instrumentation: counter
+// totals match the Result, and the span tree carries per-attempt phase
+// children with simulated seconds that reconcile with the breakdown.
+func TestEngineObsMetricsAndSpans(t *testing.T) {
+	reg := obs.NewRegistry()
+	e, st := newEngine()
+	loadWords(st)
+	e.Obs = reg
+	e.MaxAttempts = 3
+	before := reg.Snapshot()
+	_, res, err := e.Run(flakyWordCount(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := reg.Snapshot().Diff(before)
+
+	wantCounters := map[string]int64{
+		"mr_jobs_total":                  1,
+		"mr_attempts_total":              3,
+		"mr_retries_total":               2,
+		"mr_input_bytes_total":           res.InputBytes,
+		"mr_shuffle_bytes_total":         res.ShuffleBytes,
+		"mr_output_bytes_total":          res.OutputBytes,
+		"mr_retried_input_bytes_total":   res.RetriedInputBytes,
+		"mr_retried_shuffle_bytes_total": res.RetriedShuffleBytes,
+	}
+	for k, want := range wantCounters {
+		if got := d.Counters[k]; got != want {
+			t.Errorf("%s = %d, want %d", k, got, want)
+		}
+	}
+	if got := d.FloatCounters["mr_sim_seconds_total"]; got != res.SimSeconds {
+		t.Errorf("mr_sim_seconds_total = %g, want %g", got, res.SimSeconds)
+	}
+	if got := d.FloatCounters["mr_wasted_sim_seconds_total"]; got != res.WastedSeconds {
+		t.Errorf("mr_wasted_sim_seconds_total = %g, want %g", got, res.WastedSeconds)
+	}
+	if d.Histograms["mr_job_wall_seconds"].Count != 1 {
+		t.Error("job wall-clock not observed")
+	}
+
+	spans := reg.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("root spans = %d, want 1", len(spans))
+	}
+	root := spans[0]
+	if root.Job != "wordcount" || root.Phase != "job" {
+		t.Errorf("root span = %+v", root)
+	}
+	if len(root.Children) != 3 {
+		t.Fatalf("attempt spans = %d, want 3", len(root.Children))
+	}
+	if math.Abs(root.SimSeconds-res.SimSeconds) > 1e-12 {
+		t.Errorf("root sim = %g, want %g", root.SimSeconds, res.SimSeconds)
+	}
+	// The successful (last) attempt has the full phase tree; its phases'
+	// simulated seconds reconcile with the cost breakdown.
+	last := root.Children[2]
+	var phases []string
+	var phaseSim float64
+	for _, c := range last.Children {
+		phases = append(phases, c.Phase)
+		phaseSim += c.SimSeconds
+		for _, g := range c.Children {
+			phaseSim += g.SimSeconds
+		}
+	}
+	want := []string{"split", "map", "shuffle", "reduce", "materialize"}
+	if strings.Join(phases, ",") != strings.Join(want, ",") {
+		t.Errorf("phases = %v, want %v", phases, want)
+	}
+	if total := res.Breakdown.Total(); math.Abs(phaseSim-total) > 1e-9*math.Max(1, total) {
+		t.Errorf("phase sim sum = %g, breakdown total = %g", phaseSim, total)
+	}
+	// Failed attempts are charged their partial cost on their span.
+	if root.Children[0].SimSeconds <= 0 {
+		t.Error("failed attempt span carries no simulated time")
+	}
+	sumAttempts := root.Children[0].SimSeconds + root.Children[1].SimSeconds + root.Children[2].SimSeconds
+	if math.Abs(sumAttempts-res.SimSeconds) > 1e-12 {
+		t.Errorf("attempt sims sum to %g, want %g", sumAttempts, res.SimSeconds)
+	}
+}

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"opportune/internal/cost"
 	"opportune/internal/data"
+	"opportune/internal/obs"
 	"opportune/internal/storage"
 )
 
@@ -81,6 +83,13 @@ type Job struct {
 }
 
 // Result reports the measured volumes and simulated time of one job run.
+// InputBytes..OutputRows cover the successful attempt only; the volumes
+// failed attempts consumed before dying are accounted separately in
+// RetriedInputBytes/RetriedShuffleBytes (failed attempts never write), and
+// their simulated time in WastedSeconds, so
+// Breakdown.Total() + WastedSeconds == SimSeconds always holds and
+// engine-side reads reconcile with storage.Store counters:
+// Store.BytesRead == Σ(InputBytes + RetriedInputBytes) absent samples.
 type Result struct {
 	Job          string
 	InputBytes   int64
@@ -92,8 +101,20 @@ type Result struct {
 	OutputBytes  int64
 	OutputRows   int64
 
-	Breakdown  cost.Breakdown
-	SimSeconds float64
+	// RetriedInputBytes and RetriedShuffleBytes are the volumes read and
+	// shuffled by failed attempts that were recovered from (zero when the
+	// job succeeded first try).
+	RetriedInputBytes   int64
+	RetriedShuffleBytes int64
+
+	// Breakdown prices the successful attempt; WastedSeconds is the
+	// simulated time of recovered-from failed attempts; SimSeconds is their
+	// sum. After an unrecovered failure Breakdown is zero and SimSeconds
+	// covers only the earlier failed attempts (the final attempt's partial
+	// volumes stay in InputBytes etc. for the caller to inspect).
+	Breakdown     cost.Breakdown
+	WastedSeconds float64
+	SimSeconds    float64
 }
 
 // DataMovedBytes is the paper's "data manipulated" metric (Fig 8b): bytes
@@ -122,6 +143,13 @@ type Engine struct {
 	// attempts' simulated time is charged to the final result. Values < 2
 	// mean no retry.
 	MaxAttempts int
+
+	// Obs, when set, receives per-job metrics (volume/attempt/wasted-work
+	// counters, wall-clock histograms) and per-attempt phase spans
+	// (split/map/combine/shuffle/reduce/materialize with wall-clock and
+	// simulated seconds). Nil disables instrumentation at the cost of one
+	// pointer check per event.
+	Obs *obs.Registry
 }
 
 // workers resolves the worker-pool size.
@@ -158,16 +186,23 @@ func (e *Engine) Run(job *Job) (*data.Relation, *Result, error) {
 	if attempts < 1 {
 		attempts = 1
 	}
+	var start time.Time
+	if e.Obs != nil {
+		start = time.Now()
+	}
+	root := e.Obs.StartSpan(job.Name, "job")
 	var wasted float64
+	var retriedIn, retriedShuf int64
 	for attempt := 1; ; attempt++ {
 		res := &Result{Job: job.Name}
-		rel, err := e.runAttempt(job, res)
+		asp := root.Child("attempt")
+		rel, err := e.runAttempt(job, res, asp)
 		if err != nil && attempt < attempts {
 			// Charge everything the failed attempt read, computed, and
 			// moved before dying: a panic in reduce wastes the full map
 			// and shuffle work, not just the map-side read (the partial
 			// volumes in res stop at the phase that panicked).
-			wasted += e.Params.JobCost(cost.JobSpec{
+			attemptCost := e.Params.JobCost(cost.JobSpec{
 				InputBytes:   res.InputBytes,
 				InputRows:    res.InputRows,
 				MapFns:       job.MapCost,
@@ -178,24 +213,82 @@ func (e *Engine) Run(job *Job) (*data.Relation, *Result, error) {
 				ReduceFns:    job.ReduceCost,
 				OutputBytes:  res.OutputBytes,
 			}).Total()
+			asp.AddSim(attemptCost)
+			asp.End()
+			wasted += attemptCost
+			retriedIn += res.InputBytes
+			retriedShuf += res.ShuffleBytes
 			continue
 		}
+		asp.AddSim(res.Breakdown.Total())
+		asp.End()
 		res.Attempts = attempt
-		res.SimSeconds += wasted
+		res.WastedSeconds = wasted
+		res.RetriedInputBytes = retriedIn
+		res.RetriedShuffleBytes = retriedShuf
+		res.SimSeconds = res.Breakdown.Total() + res.WastedSeconds
+		root.AddSim(res.SimSeconds)
+		root.End()
+		e.record(res, err, start)
 		return rel, res, err
 	}
 }
 
 // runAttempt is one execution attempt; user-code panics become errors (the
 // partial volume accounting in res survives for wasted-time charging).
-func (e *Engine) runAttempt(job *Job, res *Result) (rel *data.Relation, err error) {
+func (e *Engine) runAttempt(job *Job, res *Result, sp *obs.Span) (rel *data.Relation, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			rel = nil
 			err = fmt.Errorf("mr: job %q failed: %v", job.Name, r)
 		}
 	}()
-	return e.execute(job, res)
+	return e.execute(job, res, sp)
+}
+
+// fnsSim is the simulated CPU seconds of local functions over rows — the
+// per-phase decomposition of what JobCost folds into Cm/Cr.
+func (e *Engine) fnsSim(fns []cost.LocalFn, rows int64) float64 {
+	var s float64
+	for _, lf := range fns {
+		s += float64(rows) * e.Params.CPUSecondsPerTuple(lf)
+	}
+	return s
+}
+
+// record publishes one finished job's counters to the metrics registry.
+// Counter values are deterministic (volumes, simulated seconds, attempt
+// counts); real wall-clock goes only into the histogram.
+func (e *Engine) record(res *Result, err error, start time.Time) {
+	reg := e.Obs
+	if reg == nil {
+		return
+	}
+	reg.Counter("mr_jobs_total").Inc()
+	if err != nil {
+		reg.Counter("mr_job_failures_total").Inc()
+	}
+	reg.Counter("mr_attempts_total").Add(int64(res.Attempts))
+	reg.Counter("mr_retries_total").Add(int64(res.Attempts - 1))
+	reg.Counter("mr_input_bytes_total").Add(res.InputBytes)
+	reg.Counter("mr_input_rows_total").Add(res.InputRows)
+	reg.Counter("mr_combine_rows_total").Add(res.CombineRows)
+	reg.Counter("mr_shuffle_bytes_total").Add(res.ShuffleBytes)
+	reg.Counter("mr_shuffle_rows_total").Add(res.ShuffleRows)
+	reg.Counter("mr_output_bytes_total").Add(res.OutputBytes)
+	reg.Counter("mr_output_rows_total").Add(res.OutputRows)
+	reg.Counter("mr_retried_input_bytes_total").Add(res.RetriedInputBytes)
+	reg.Counter("mr_retried_shuffle_bytes_total").Add(res.RetriedShuffleBytes)
+	reg.FloatCounter("mr_sim_seconds_total").Add(res.SimSeconds)
+	reg.FloatCounter("mr_wasted_sim_seconds_total").Add(res.WastedSeconds)
+	b := res.Breakdown
+	for _, c := range []struct {
+		component string
+		seconds   float64
+	}{{"cm", b.Cm}, {"cs", b.Cs}, {"ct", b.Ct}, {"cr", b.Cr}, {"cw", b.Cw}} {
+		reg.FloatCounter("mr_breakdown_seconds_total", "component", c.component).Add(c.seconds)
+	}
+	reg.Histogram("mr_job_wall_seconds", nil).Observe(time.Since(start).Seconds())
 }
 
 // keyed is one shuffle record: a partition key and its row.
@@ -293,21 +386,35 @@ func runMapTask(job *Job, sp mapSplit, t *mapTaskOut) {
 	t.out = combined
 }
 
-func (e *Engine) execute(job *Job, res *Result) (*data.Relation, error) {
+func (e *Engine) execute(job *Job, res *Result, asp *obs.Span) (*data.Relation, error) {
 	if job.Map == nil && job.MapFactory == nil {
 		return nil, fmt.Errorf("mr: job %q has no map function", job.Name)
 	}
 	if job.Output == "" {
 		return nil, fmt.Errorf("mr: job %q has no output name", job.Name)
 	}
+	// A map-only job materializes the mapper's emissions directly, so the
+	// two schemas must agree on width — otherwise every emitted row would
+	// be malformed under OutputSchema yet only the reduce path validated it.
+	if job.Reduce == nil && job.MapOutSchema != nil && job.OutputSchema != nil &&
+		job.MapOutSchema.Len() != job.OutputSchema.Len() {
+		return nil, fmt.Errorf("mr: map-only job %q emits width %d (schema %s) but materializes schema %s",
+			job.Name, job.MapOutSchema.Len(), job.MapOutSchema, job.OutputSchema)
+	}
+
+	// Split phase: read every input and cut it into map tasks.
+	ssp := asp.Child("split")
+	splits, err := e.splitInputs(job, res)
+	ssp.AddSim(float64(res.InputBytes) / e.Params.ReadRate)
+	ssp.End()
+	if err != nil {
+		return nil, err
+	}
 
 	// Map phase: one task per input split, run on the worker pool. Task
 	// outputs are concatenated in split order, so the merged map output —
 	// and every volume counter — is identical for any Workers value.
-	splits, err := e.splitInputs(job, res)
-	if err != nil {
-		return nil, err
-	}
+	msp := asp.Child("map")
 	tasks := make([]mapTaskOut, len(splits))
 	mapErr := runTasks(e.workers(), len(splits), func(i int) error {
 		runMapTask(job, splits[i], &tasks[i])
@@ -318,6 +425,15 @@ func (e *Engine) execute(job *Job, res *Result) (*data.Relation, error) {
 		res.CombineRows += tasks[i].combineRows
 		mapOut = append(mapOut, tasks[i].out...)
 	}
+	msp.AddSim(e.fnsSim(job.MapCost, res.InputRows))
+	if job.Combine != nil && job.Reduce != nil {
+		// Combiners run inside map tasks: their wall-clock is folded into
+		// the map span, only the simulated seconds are reported separately.
+		csp := msp.Child("combine")
+		csp.AddSim(e.fnsSim(job.CombineCost, res.CombineRows))
+		csp.End()
+	}
+	msp.End()
 	if mapErr != nil {
 		return nil, fmt.Errorf("mr: job %q failed: %v", job.Name, mapErr)
 	}
@@ -328,15 +444,18 @@ func (e *Engine) execute(job *Job, res *Result) (*data.Relation, error) {
 		for _, kr := range mapOut {
 			out.Append(kr.row)
 		}
-	} else if err := e.shuffleReduce(job, res, mapOut, out); err != nil {
+	} else if err := e.shuffleReduce(job, res, mapOut, out, asp); err != nil {
 		return nil, err
 	}
 
+	wsp := asp.Child("materialize")
 	res.OutputRows = int64(out.Len())
 	res.OutputBytes = out.EncodedSize()
 
 	// Materialize (every job output is retained: opportunistic views).
 	e.Store.Put(job.Output, job.OutputKind, out)
+	wsp.AddSim(float64(res.OutputBytes) / e.Params.WriteRate)
+	wsp.End()
 
 	// Simulated execution time from measured volumes.
 	spec := cost.JobSpec{
@@ -351,7 +470,6 @@ func (e *Engine) execute(job *Job, res *Result) (*data.Relation, error) {
 		OutputBytes:  res.OutputBytes,
 	}
 	res.Breakdown = e.Params.JobCost(spec)
-	res.SimSeconds = res.Breakdown.Total()
 	return out, nil
 }
 
@@ -361,8 +479,9 @@ func (e *Engine) execute(job *Job, res *Result) (*data.Relation, error) {
 // accounts sort+transfer volume and preserves each key's row order, so both
 // accounting and reduce inputs match serial execution exactly; the final
 // key-sorted merge makes output row order independent of R and Workers.
-func (e *Engine) shuffleReduce(job *Job, res *Result, mapOut []keyed, out *data.Relation) error {
+func (e *Engine) shuffleReduce(job *Job, res *Result, mapOut []keyed, out *data.Relation, asp *obs.Span) error {
 	r := e.reduceTasks()
+	ssp := asp.Child("shuffle")
 	parts := make([][]keyed, r)
 	for _, kr := range mapOut {
 		res.ShuffleBytes += int64(kr.row.EncodedSize() + len(kr.key))
@@ -370,6 +489,9 @@ func (e *Engine) shuffleReduce(job *Job, res *Result, mapOut []keyed, out *data.
 		p := partitionOf(kr.key, r)
 		parts[p] = append(parts[p], kr)
 	}
+	ssp.AddSim(float64(res.ShuffleBytes)*e.Params.SortFactor + float64(res.ShuffleBytes)/e.Params.ShuffleRate)
+	ssp.End()
+	rsp := asp.Child("reduce")
 	// Each reduce task buffers its output per key, in partition-local
 	// sorted key order.
 	type redOut struct {
@@ -401,7 +523,9 @@ func (e *Engine) shuffleReduce(job *Job, res *Result, mapOut []keyed, out *data.
 		partOuts[pi] = outs
 		return nil
 	})
+	rsp.AddSim(e.fnsSim(job.ReduceCost, res.ShuffleRows))
 	if err != nil {
+		rsp.End()
 		return fmt.Errorf("mr: job %q failed: %v", job.Name, err)
 	}
 	// Merge: partitions hold disjoint keys, so a global sort of the
@@ -416,6 +540,7 @@ func (e *Engine) shuffleReduce(job *Job, res *Result, mapOut []keyed, out *data.
 			out.Append(row)
 		}
 	}
+	rsp.End()
 	return nil
 }
 
@@ -432,24 +557,36 @@ func (e *Engine) RunSequence(jobs []*Job) ([]*Result, Aggregate, error) {
 		}
 		results = append(results, res)
 		agg.Jobs++
+		agg.Attempts += res.Attempts
 		agg.SimSeconds += res.SimSeconds
+		agg.WastedSeconds += res.WastedSeconds
 		agg.BytesRead += res.InputBytes
 		agg.BytesShuffled += res.ShuffleBytes
 		agg.BytesWritten += res.OutputBytes
+		agg.RetriedInputBytes += res.RetriedInputBytes
+		agg.RetriedShuffleBytes += res.RetriedShuffleBytes
 	}
 	return results, agg, nil
 }
 
-// Aggregate sums volumes and simulated time across a plan's jobs.
+// Aggregate sums volumes and simulated time across a plan's jobs. Bytes*
+// cover successful attempts (the paper's data-manipulated metric); retried
+// volumes and wasted time are carried separately so engine accounting
+// reconciles with storage.Store counters after recovered failures.
 type Aggregate struct {
 	Jobs          int
+	Attempts      int
 	SimSeconds    float64
+	WastedSeconds float64
 	BytesRead     int64
 	BytesShuffled int64
 	BytesWritten  int64
+
+	RetriedInputBytes   int64
+	RetriedShuffleBytes int64
 }
 
-// DataMovedBytes is total read+shuffle+write volume.
+// DataMovedBytes is total read+shuffle+write volume of successful attempts.
 func (a Aggregate) DataMovedBytes() int64 {
 	return a.BytesRead + a.BytesShuffled + a.BytesWritten
 }
@@ -457,10 +594,14 @@ func (a Aggregate) DataMovedBytes() int64 {
 // Add merges another aggregate.
 func (a Aggregate) Add(o Aggregate) Aggregate {
 	return Aggregate{
-		Jobs:          a.Jobs + o.Jobs,
-		SimSeconds:    a.SimSeconds + o.SimSeconds,
-		BytesRead:     a.BytesRead + o.BytesRead,
-		BytesShuffled: a.BytesShuffled + o.BytesShuffled,
-		BytesWritten:  a.BytesWritten + o.BytesWritten,
+		Jobs:                a.Jobs + o.Jobs,
+		Attempts:            a.Attempts + o.Attempts,
+		SimSeconds:          a.SimSeconds + o.SimSeconds,
+		WastedSeconds:       a.WastedSeconds + o.WastedSeconds,
+		BytesRead:           a.BytesRead + o.BytesRead,
+		BytesShuffled:       a.BytesShuffled + o.BytesShuffled,
+		BytesWritten:        a.BytesWritten + o.BytesWritten,
+		RetriedInputBytes:   a.RetriedInputBytes + o.RetriedInputBytes,
+		RetriedShuffleBytes: a.RetriedShuffleBytes + o.RetriedShuffleBytes,
 	}
 }

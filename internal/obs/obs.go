@@ -1,0 +1,395 @@
+// Package obs is the observability layer: a dependency-free metrics
+// registry (counters, gauges, histograms) plus lightweight tracing spans,
+// giving the gray-box visibility the paper's UDF model (§3) and cost
+// calibration (§4.2) argue for — per-phase volumes, retry waste, eviction
+// churn, and optimizer cache behaviour, measured rather than assumed.
+//
+// Design rules:
+//
+//   - Components hold a *Registry that may be nil. Every method is nil-safe
+//     and a nil registry (or nil metric handle) is a no-op, so
+//     instrumentation costs one pointer check when no sink is registered.
+//   - All updates are atomic or mutex-guarded; the registry is safe for
+//     concurrent use (go test -race covers it).
+//   - Counters and float counters hold only deterministic quantities:
+//     simulated seconds, data volumes, event counts. Wall-clock time goes
+//     into histograms and spans only. This split is what lets tests assert
+//     Snapshot equality across runs at any parallelism setting.
+//
+// Metric identity is the metric name plus an optional label set, rendered
+// canonically as name{k=v,k2=v2} with label keys sorted, so snapshots (and
+// their JSON encoding) are deterministic.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics and finished trace spans. The zero value is
+// not usable; call NewRegistry. A nil *Registry is a valid no-op sink.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	fcounts  map[string]*FloatCounter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	spans        []*Span
+	spansDropped int64
+
+	// MaxSpans bounds retained finished root spans (oldest kept); excess
+	// roots are counted in the obs_spans_dropped_total counter of the
+	// snapshot. Set before use; defaults to 4096.
+	MaxSpans int
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		fcounts:  make(map[string]*FloatCounter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		MaxSpans: 4096,
+	}
+}
+
+// key renders the canonical metric identity. labels are alternating
+// key, value pairs; an odd trailing key gets an empty value.
+func key(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, (len(labels)+1)/2)
+	for i := 0; i < len(labels); i += 2 {
+		v := ""
+		if i+1 < len(labels) {
+			v = labels[i+1]
+		}
+		pairs = append(pairs, kv{labels[i], v})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteByte('=')
+		sb.WriteString(p.v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Counter is a monotonically increasing integer metric. Use it only for
+// deterministic quantities (event counts, byte volumes); wall-clock belongs
+// in histograms.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// FloatCounter is a monotonically increasing float metric (simulated
+// seconds). Deterministic quantities only.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add increments the counter.
+func (c *FloatCounter) Add(f float64) {
+	if c == nil {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + f)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the current sum.
+func (c *FloatCounter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a last-value float metric (e.g. current view bytes).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(f float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(f))
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefSecondsBuckets are the default histogram buckets for durations in
+// seconds (exponential, 1µs–10s).
+var DefSecondsBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10,
+}
+
+// Histogram accumulates observations into fixed upper-bound buckets (plus
+// an implicit +Inf bucket). Wall-clock measurements live here, never in
+// counters, so counter snapshots stay deterministic.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is +Inf
+	sum    float64
+	n      int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// HistogramSnapshot is an exported histogram state.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // len(Bounds)+1, last bucket is +Inf
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Counter returns the named counter, creating it on first use. labels are
+// alternating key, value pairs. Nil-safe.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// FloatCounter returns the named float counter, creating it on first use.
+func (r *Registry) FloatCounter(name string, labels ...string) *FloatCounter {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.fcounts[k]
+	if !ok {
+		c = &FloatCounter{}
+		r.fcounts[k] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (later calls reuse the existing buckets; pass
+// nil to accept whatever exists, defaulting to DefSecondsBuckets).
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[k]
+	if !ok {
+		if bounds == nil {
+			bounds = DefSecondsBuckets
+		}
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric, keyed by canonical
+// metric identity. Maps marshal with sorted keys, so the JSON encoding is
+// deterministic.
+type Snapshot struct {
+	Counters      map[string]int64             `json:"counters"`
+	FloatCounters map[string]float64           `json:"float_counters"`
+	Gauges        map[string]float64           `json:"gauges"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:      make(map[string]int64),
+		FloatCounters: make(map[string]float64),
+		Gauges:        make(map[string]float64),
+		Histograms:    make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, c := range r.counters {
+		s.Counters[k] = c.Value()
+	}
+	if r.spansDropped > 0 {
+		s.Counters["obs_spans_dropped_total"] = r.spansDropped
+	}
+	for k, c := range r.fcounts {
+		s.FloatCounters[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range r.hists {
+		h.mu.Lock()
+		s.Histograms[k] = HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]int64(nil), h.counts...),
+			Sum:    h.sum,
+			Count:  h.n,
+		}
+		h.mu.Unlock()
+	}
+	return s
+}
+
+// Diff returns the delta snapshot s−prev: counter and histogram values are
+// subtracted, gauges keep their current value. Entries whose delta is zero
+// and that existed before are dropped, so experiment assertions read only
+// what changed.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:      make(map[string]int64),
+		FloatCounters: make(map[string]float64),
+		Gauges:        make(map[string]float64),
+		Histograms:    make(map[string]HistogramSnapshot),
+	}
+	for k, v := range s.Counters {
+		if dv := v - prev.Counters[k]; dv != 0 {
+			d.Counters[k] = dv
+		}
+	}
+	for k, v := range s.FloatCounters {
+		if dv := v - prev.FloatCounters[k]; dv != 0 {
+			d.FloatCounters[k] = dv
+		}
+	}
+	for k, v := range s.Gauges {
+		if pv, ok := prev.Gauges[k]; !ok || pv != v {
+			d.Gauges[k] = v
+		}
+	}
+	for k, h := range s.Histograms {
+		p, ok := prev.Histograms[k]
+		if !ok {
+			d.Histograms[k] = h
+			continue
+		}
+		if h.Count == p.Count {
+			continue
+		}
+		dh := HistogramSnapshot{
+			Bounds: h.Bounds,
+			Counts: make([]int64, len(h.Counts)),
+			Sum:    h.Sum - p.Sum,
+			Count:  h.Count - p.Count,
+		}
+		for i := range h.Counts {
+			if i < len(p.Counts) {
+				dh.Counts[i] = h.Counts[i] - p.Counts[i]
+			} else {
+				dh.Counts[i] = h.Counts[i]
+			}
+		}
+		d.Histograms[k] = dh
+	}
+	return d
+}
+
+// Export is the full observability dump: metrics plus the finished span
+// trees.
+type Export struct {
+	Metrics Snapshot     `json:"metrics"`
+	Spans   []SpanExport `json:"spans"`
+}
+
+// Export captures metrics and spans together.
+func (r *Registry) Export() Export {
+	return Export{Metrics: r.Snapshot(), Spans: r.Spans()}
+}
+
+// WriteJSON writes the Export as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Export()); err != nil {
+		return fmt.Errorf("obs: encoding export: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestLabelCanonicalization(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reads", "policy", "lru", "kind", "view")
+	b := r.Counter("reads", "kind", "view", "policy", "lru")
+	if a != b {
+		t.Error("label order changed metric identity")
+	}
+	a.Inc()
+	s := r.Snapshot()
+	if s.Counters["reads{kind=view,policy=lru}"] != 1 {
+		t.Errorf("canonical key missing: %v", s.Counters)
+	}
+	if r.Counter("reads") == a {
+		t.Error("unlabeled metric collided with labeled one")
+	}
+}
+
+func TestCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(41)
+	r.Counter("c").Inc()
+	r.FloatCounter("f").Add(1.5)
+	r.FloatCounter("f").Add(2.5)
+	r.Gauge("g").Set(7)
+	h := r.Histogram("h", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100)
+
+	s := r.Snapshot()
+	if s.Counters["c"] != 42 {
+		t.Errorf("counter = %d", s.Counters["c"])
+	}
+	if s.FloatCounters["f"] != 4 {
+		t.Errorf("float counter = %g", s.FloatCounters["f"])
+	}
+	if s.Gauges["g"] != 7 {
+		t.Errorf("gauge = %g", s.Gauges["g"])
+	}
+	hs := s.Histograms["h"]
+	if hs.Count != 3 || hs.Sum != 105.5 {
+		t.Errorf("hist = %+v", hs)
+	}
+	want := []int64{1, 1, 1} // ≤1, ≤10, +Inf
+	for i, n := range want {
+		if hs.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d", i, hs.Counts[i], n)
+		}
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("c", "k", "v").Add(1)
+	r.FloatCounter("f").Add(1)
+	r.Gauge("g").Set(1)
+	r.Histogram("h", nil).Observe(1)
+	sp := r.StartSpan("job", "phase")
+	sp.AddSim(1)
+	child := sp.Child("x")
+	child.End()
+	sp.End()
+	if got := r.Spans(); got != nil {
+		t.Errorf("nil registry exported spans: %v", got)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.FloatCounters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot nonempty: %+v", s)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(10)
+	r.FloatCounter("f").Add(1)
+	r.Gauge("g").Set(5)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	before := r.Snapshot()
+
+	r.Counter("a").Add(3)
+	r.Counter("b").Inc()
+	r.Gauge("g").Set(6)
+	r.Histogram("h", nil).Observe(2)
+	d := r.Snapshot().Diff(before)
+
+	if d.Counters["a"] != 3 || d.Counters["b"] != 1 {
+		t.Errorf("counter deltas = %v", d.Counters)
+	}
+	if _, ok := d.FloatCounters["f"]; ok {
+		t.Error("unchanged float counter survived Diff")
+	}
+	if d.Gauges["g"] != 6 {
+		t.Errorf("gauge delta = %v", d.Gauges)
+	}
+	h := d.Histograms["h"]
+	if h.Count != 1 || h.Sum != 2 || h.Counts[0] != 0 || h.Counts[1] != 1 {
+		t.Errorf("hist delta = %+v", h)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("q1", "query")
+	a := root.Child("plan")
+	a.AddSim(1.5)
+	a.End()
+	b := root.Child("execute")
+	c := b.Child("reduce")
+	c.AddSim(2)
+	c.End()
+	b.End()
+	root.AddSim(3.5)
+	root.End()
+	root.End() // idempotent
+
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("roots = %d", len(spans))
+	}
+	got := spans[0]
+	if got.Job != "q1" || got.Phase != "query" || got.SimSeconds != 3.5 {
+		t.Errorf("root = %+v", got)
+	}
+	if len(got.Children) != 2 || got.Children[0].Phase != "plan" || got.Children[1].Phase != "execute" {
+		t.Fatalf("children = %+v", got.Children)
+	}
+	if got.Children[0].SimSeconds != 1.5 {
+		t.Errorf("plan sim = %g", got.Children[0].SimSeconds)
+	}
+	if len(got.Children[1].Children) != 1 || got.Children[1].Children[0].SimSeconds != 2 {
+		t.Errorf("grandchild = %+v", got.Children[1].Children)
+	}
+}
+
+func TestMaxSpansDropsAndCounts(t *testing.T) {
+	r := NewRegistry()
+	r.MaxSpans = 2
+	for i := 0; i < 5; i++ {
+		r.StartSpan("j", "p").End()
+	}
+	if got := len(r.Spans()); got != 2 {
+		t.Errorf("retained spans = %d, want 2", got)
+	}
+	if n := r.Snapshot().Counters["obs_spans_dropped_total"]; n != 3 {
+		t.Errorf("dropped = %d, want 3", n)
+	}
+}
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mr_jobs_total").Add(2)
+	r.FloatCounter("mr_sim_seconds_total").Add(1.25)
+	r.Histogram("wall", nil, "phase", "map").Observe(0.01)
+	sp := r.StartSpan("wc", "job")
+	sp.Child("map").End()
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var e Export
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatalf("export not valid JSON: %v", err)
+	}
+	if e.Metrics.Counters["mr_jobs_total"] != 2 {
+		t.Errorf("counters = %v", e.Metrics.Counters)
+	}
+	if len(e.Spans) != 1 || len(e.Spans[0].Children) != 1 {
+		t.Errorf("spans = %+v", e.Spans)
+	}
+	// Deterministic encoding: same registry marshals identically.
+	var buf2 bytes.Buffer
+	if err := r.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("JSON export not deterministic")
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("n", "w", "x").Inc()
+				r.FloatCounter("f").Add(0.5)
+				r.Gauge("g").Set(float64(i))
+				r.Histogram("h", nil).Observe(float64(i))
+				sp := r.StartSpan("job", "p")
+				sp.Child("c").End()
+				sp.AddSim(1)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["n{w=x}"] != workers*per {
+		t.Errorf("counter = %d", s.Counters["n{w=x}"])
+	}
+	if s.FloatCounters["f"] != workers*per*0.5 {
+		t.Errorf("float counter = %g", s.FloatCounters["f"])
+	}
+	if s.Histograms["h"].Count != workers*per {
+		t.Errorf("hist count = %d", s.Histograms["h"].Count)
+	}
+	retained := len(r.Spans())
+	dropped := s.Counters["obs_spans_dropped_total"]
+	if int64(retained)+dropped != workers*per {
+		t.Errorf("spans retained %d + dropped %d != %d", retained, dropped, workers*per)
+	}
+}

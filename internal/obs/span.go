@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed region of work: a (job, phase) pair with real
+// wall-clock seconds, accumulated simulated seconds, and child spans in
+// creation order. Spans from StartSpan register with the Registry when
+// ended; child spans live and die with their root.
+//
+// A nil *Span (from a nil Registry) is a valid no-op, so instrumented code
+// never branches on whether a sink is attached.
+//
+// The tree structure, phase names, and simulated seconds are deterministic
+// for a deterministic caller; wall-clock seconds are not, and tests must
+// not assert on them.
+type Span struct {
+	mu       sync.Mutex
+	reg      *Registry // set on roots only
+	job      string
+	phase    string
+	start    time.Time
+	wall     float64
+	sim      float64
+	ended    bool
+	children []*Span
+}
+
+// StartSpan opens a root span for a (job, phase) region. End it to register
+// it with the registry's span export.
+func (r *Registry) StartSpan(job, phase string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, job: job, phase: phase, start: time.Now()}
+}
+
+// Child opens a sub-span (same job, new phase). Children appear in the
+// exported tree in creation order.
+func (sp *Span) Child(phase string) *Span {
+	if sp == nil {
+		return nil
+	}
+	c := &Span{job: sp.job, phase: phase, start: time.Now()}
+	sp.mu.Lock()
+	sp.children = append(sp.children, c)
+	sp.mu.Unlock()
+	return c
+}
+
+// AddSim accumulates simulated seconds attributed to this span.
+func (sp *Span) AddSim(seconds float64) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	sp.sim += seconds
+	sp.mu.Unlock()
+}
+
+// End freezes the span's wall-clock duration; on a root span it also
+// registers the finished tree with the registry. End is idempotent.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.ended {
+		sp.mu.Unlock()
+		return
+	}
+	sp.ended = true
+	sp.wall = time.Since(sp.start).Seconds()
+	reg := sp.reg
+	sp.mu.Unlock()
+	if reg != nil {
+		reg.addSpan(sp)
+	}
+}
+
+func (r *Registry) addSpan(sp *Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	max := r.MaxSpans
+	if max <= 0 {
+		max = 4096
+	}
+	if len(r.spans) >= max {
+		r.spansDropped++
+		return
+	}
+	r.spans = append(r.spans, sp)
+}
+
+// SpanExport is the serializable form of a span tree. WallSeconds is real
+// elapsed time (nondeterministic); SimSeconds is deterministic simulated
+// time. A phase whose wall time cannot be isolated (e.g. combiners running
+// inside map tasks) reports WallSeconds 0 and only simulated seconds.
+type SpanExport struct {
+	Job         string       `json:"job,omitempty"`
+	Phase       string       `json:"phase"`
+	WallSeconds float64      `json:"wall_seconds"`
+	SimSeconds  float64      `json:"sim_seconds"`
+	Children    []SpanExport `json:"children,omitempty"`
+}
+
+// export deep-copies the span tree.
+func (sp *Span) export(root bool) SpanExport {
+	sp.mu.Lock()
+	e := SpanExport{Phase: sp.phase, WallSeconds: sp.wall, SimSeconds: sp.sim}
+	if root {
+		e.Job = sp.job
+	}
+	children := append([]*Span(nil), sp.children...)
+	sp.mu.Unlock()
+	for _, c := range children {
+		e.Children = append(e.Children, c.export(false))
+	}
+	return e
+}
+
+// Spans exports every finished root span tree, in End order.
+func (r *Registry) Spans() []SpanExport {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	roots := append([]*Span(nil), r.spans...)
+	r.mu.Unlock()
+	out := make([]SpanExport, 0, len(roots))
+	for _, sp := range roots {
+		out = append(out, sp.export(true))
+	}
+	return out
+}

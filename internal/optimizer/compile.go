@@ -8,6 +8,7 @@ import (
 	"opportune/internal/cost"
 	"opportune/internal/expr"
 	"opportune/internal/meta"
+	"opportune/internal/obs"
 	"opportune/internal/plan"
 	"opportune/internal/udf"
 )
@@ -30,6 +31,11 @@ type Optimizer struct {
 	// DisableCombiners turns off map-side combining for group-by jobs
 	// (execution and estimation); used by the combiner ablation.
 	DisableCombiners bool
+
+	// Obs, when set, receives estimate-cache hit/miss counters. Planning is
+	// deterministic (and serialized by the session), so these counters are
+	// reproducible across runs.
+	Obs *obs.Registry
 }
 
 func (o *Optimizer) combinersOn() bool { return !o.DisableCombiners }
@@ -151,6 +157,7 @@ func (o *Optimizer) Compile(root *plan.Node) (*Work, error) {
 	}
 	w := &Work{Root: root}
 	est := newEstimator(o.Cat, o.annEst)
+	est.obs = o.Obs
 	byBoundary := make(map[*plan.Node]*JobNode)
 
 	var build func(n *plan.Node) (*JobNode, error)

@@ -9,6 +9,7 @@ import (
 	"opportune/internal/cost"
 	"opportune/internal/expr"
 	"opportune/internal/meta"
+	"opportune/internal/obs"
 	"opportune/internal/plan"
 	"opportune/internal/udf"
 )
@@ -39,6 +40,7 @@ type estimator struct {
 	memo   map[*plan.Node]cost.Stats
 	dmemo  map[*plan.Node]map[string]int64 // per-node per-column distinct estimates
 	annEst map[string]cost.Stats           // cross-plan estimates by annotation (owned by the Optimizer)
+	obs    *obs.Registry
 }
 
 func newEstimator(cat *meta.Catalog, annEst map[string]cost.Stats) *estimator {
@@ -65,13 +67,16 @@ func (e *estimator) stats(n *plan.Node) cost.Stats {
 	if n.Kind != plan.KindScan {
 		canon = n.Ann.Canon()
 		if t, ok := e.cat.ByAnnotation(canon); ok && t.Stats.Rows > 0 {
+			e.obs.Counter("optimizer_estimate_cache_hits_total", "src", "catalog").Inc()
 			e.memo[n] = t.Stats
 			return t.Stats
 		}
 		if s, ok := e.annEst[canon]; ok {
+			e.obs.Counter("optimizer_estimate_cache_hits_total", "src", "query").Inc()
 			e.memo[n] = s
 			return s
 		}
+		e.obs.Counter("optimizer_estimate_cache_misses_total").Inc()
 	}
 	var s cost.Stats
 	switch n.Kind {

@@ -15,6 +15,7 @@ import (
 	"opportune/internal/expr"
 	"opportune/internal/meta"
 	"opportune/internal/mr"
+	"opportune/internal/obs"
 	"opportune/internal/optimizer"
 	"opportune/internal/plan"
 	"opportune/internal/rewrite"
@@ -71,6 +72,19 @@ type Session struct {
 	planMu sync.Mutex
 
 	statsSeed atomic.Int64
+
+	// Obs receives session-level metrics and per-query spans when set via
+	// Instrument; nil costs one pointer check per query.
+	Obs *obs.Registry
+}
+
+// Instrument attaches a metrics registry to the session and to every layer
+// under it (store, engine, optimizer). Pass nil to detach.
+func (s *Session) Instrument(reg *obs.Registry) {
+	s.Obs = reg
+	s.Store.SetObs(reg)
+	s.Eng.Obs = reg
+	s.Opt.Obs = reg
 }
 
 // New builds a system instance with the given cost parameters.
@@ -114,15 +128,63 @@ func (m Metrics) TotalSeconds() float64 {
 // materializing the result under resultName and retaining all job outputs
 // as opportunistic views. Run is safe for concurrent use; see Session.
 func (s *Session) Run(q *plan.Node, resultName string, mode Mode) (*Metrics, error) {
+	qsp := s.Obs.StartSpan(resultName, "query")
+	psp := qsp.Child("plan")
 	m, chosen, w, jobs, err := s.planQuery(q, resultName, mode)
+	psp.End()
 	if err != nil {
+		s.Obs.Counter("session_query_failures_total", "mode", mode.String()).Inc()
+		qsp.End()
 		return nil, err
 	}
-	if jobs == nil {
-		// A bare scan: the result is already materialized.
-		return m, nil
+	if jobs != nil {
+		esp := qsp.Child("execute")
+		m, err = s.executePlan(m, chosen, w, jobs, resultName)
+		if err == nil {
+			esp.AddSim(m.ExecSeconds)
+		}
+		esp.End()
+		if err != nil {
+			s.Obs.Counter("session_query_failures_total", "mode", mode.String()).Inc()
+			qsp.End()
+			return nil, err
+		}
+		// Statistics collection runs inside executePlan; its wall share
+		// cannot be isolated there, so the stats span is sim-only.
+		if m.StatsSeconds > 0 {
+			ssp := qsp.Child("stats")
+			ssp.AddSim(m.StatsSeconds)
+			ssp.End()
+		}
 	}
-	return s.executePlan(m, chosen, w, jobs, resultName)
+	qsp.AddSim(m.ExecSeconds + m.StatsSeconds)
+	qsp.End()
+	s.record(m)
+	return m, nil
+}
+
+// record publishes per-query metrics. Counter values are deterministic
+// (simulated seconds, search counters, query counts); the rewrite search's
+// real runtime goes into a histogram only.
+func (s *Session) record(m *Metrics) {
+	reg := s.Obs
+	if reg == nil {
+		return
+	}
+	mode := m.Mode.String()
+	reg.Counter("session_queries_total", "mode", mode).Inc()
+	reg.FloatCounter("session_exec_sim_seconds_total", "mode", mode).Add(m.ExecSeconds)
+	reg.FloatCounter("session_stats_sim_seconds_total", "mode", mode).Add(m.StatsSeconds)
+	if m.Rewrite != nil {
+		c := m.Rewrite.Counters
+		reg.Counter("rewrite_candidates_considered_total", "mode", mode).Add(int64(c.CandidatesConsidered))
+		reg.Counter("rewrite_attempts_total", "mode", mode).Add(int64(c.RewriteAttempts))
+		reg.Counter("rewrites_found_total", "mode", mode).Add(int64(c.RewritesFound))
+		if m.Rewrite.Improved {
+			reg.Counter("rewrites_improved_total", "mode", mode).Inc()
+		}
+		reg.Histogram("session_rewrite_wall_seconds", nil, "mode", mode).Observe(m.RewriteSeconds)
+	}
 }
 
 // planQuery compiles and (optionally) rewrites one query under planMu. A

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"opportune/internal/data"
+	"opportune/internal/obs"
 )
 
 // Kind distinguishes base datasets (raw logs, never evicted) from
@@ -70,6 +71,49 @@ type Store struct {
 	ViewCapacityBytes int64
 	// Policy selects eviction victims when capacity is exceeded.
 	Policy ReclamationPolicy
+
+	// Pre-resolved metric handles (nil when no registry is attached — every
+	// obs method is a no-op on nil, so the uninstrumented path costs one
+	// pointer check). Eviction counters are labeled by policy and resolved
+	// per event, since the policy can change between evictions.
+	obsReg           *obs.Registry
+	obsReadOps       *obs.Counter
+	obsReadBytes     *obs.Counter
+	obsWriteOps      *obs.Counter
+	obsWriteBytes    *obs.Counter
+	obsSampleOps     *obs.Counter
+	obsSampleBytes   *obs.Counter
+	obsPinContention *obs.Counter
+	obsViewBytes     *obs.Gauge
+}
+
+// SetObs attaches a metrics registry. Pass nil to detach. Counter values are
+// deterministic (byte volumes and event counts mirror Counters); only the
+// storage_view_bytes gauge varies with eviction timing under capacity
+// pressure.
+func (s *Store) SetObs(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obsReg = reg
+	s.obsReadOps = reg.Counter("storage_read_ops_total")
+	s.obsReadBytes = reg.Counter("storage_read_bytes_total")
+	s.obsWriteOps = reg.Counter("storage_write_ops_total")
+	s.obsWriteBytes = reg.Counter("storage_write_bytes_total")
+	s.obsSampleOps = reg.Counter("storage_sample_ops_total")
+	s.obsSampleBytes = reg.Counter("storage_sample_bytes_total")
+	s.obsPinContention = reg.Counter("storage_pin_contention_total")
+	s.obsViewBytes = reg.Gauge("storage_view_bytes")
+}
+
+// viewBytesLocked totals view sizes; callers hold s.mu.
+func (s *Store) viewBytesLocked() int64 {
+	var total int64
+	for _, d := range s.datasets {
+		if d.Kind == View {
+			total += d.SizeBytes
+		}
+	}
+	return total
 }
 
 // NewStore creates an empty store with unlimited view capacity.
@@ -88,6 +132,9 @@ func (s *Store) Pin(names []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, n := range names {
+		if s.pinned[n] > 0 {
+			s.obsPinContention.Inc()
+		}
 		s.pinned[n]++
 	}
 }
@@ -114,6 +161,7 @@ func (s *Store) EnforceBudget() {
 	if s.ViewCapacityBytes > 0 {
 		s.evictLocked("")
 	}
+	s.obsViewBytes.Set(float64(s.viewBytesLocked()))
 }
 
 // Put stores (or replaces) a dataset. When a view write exceeds the
@@ -147,9 +195,12 @@ func (s *Store) Put(name string, kind Kind, rel *data.Relation) *Dataset {
 	s.datasets[name] = d
 	s.counters.BytesWritten += d.SizeBytes
 	s.counters.WriteOps++
+	s.obsWriteOps.Inc()
+	s.obsWriteBytes.Add(d.SizeBytes)
 	if kind == View && s.ViewCapacityBytes > 0 {
 		s.evictLocked(name)
 	}
+	s.obsViewBytes.Set(float64(s.viewBytesLocked()))
 	return d
 }
 
@@ -172,6 +223,10 @@ func (s *Store) evictLocked(keep string) {
 		}
 		victim := s.Policy.pick(views)
 		delete(s.datasets, victim.Name)
+		if s.obsReg != nil {
+			s.obsReg.Counter("storage_evictions_total", "policy", s.Policy.String()).Inc()
+			s.obsReg.Counter("storage_evicted_bytes_total", "policy", s.Policy.String()).Add(victim.SizeBytes)
+		}
 	}
 }
 
@@ -204,6 +259,8 @@ func (s *Store) Read(name string) (*data.Relation, error) {
 	d.UseCount++
 	s.counters.BytesRead += d.SizeBytes
 	s.counters.ReadOps++
+	s.obsReadOps.Inc()
+	s.obsReadBytes.Add(d.SizeBytes)
 	return d.rel, nil
 }
 
@@ -233,6 +290,8 @@ func (s *Store) Sample(name string, frac float64, seed int64) (*data.Relation, e
 	}
 	s.counters.BytesRead += out.EncodedSize()
 	s.counters.ReadOps++
+	s.obsSampleOps.Inc()
+	s.obsSampleBytes.Add(out.EncodedSize())
 	return out, nil
 }
 
@@ -241,6 +300,7 @@ func (s *Store) Delete(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.datasets, name)
+	s.obsViewBytes.Set(float64(s.viewBytesLocked()))
 }
 
 // DropViews removes every view, keeping base data. Returns the number
@@ -255,6 +315,7 @@ func (s *Store) DropViews() int {
 			n++
 		}
 	}
+	s.obsViewBytes.Set(0)
 	return n
 }
 
@@ -276,13 +337,7 @@ func (s *Store) List(kind Kind) []string {
 func (s *Store) ViewBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var total int64
-	for _, d := range s.datasets {
-		if d.Kind == View {
-			total += d.SizeBytes
-		}
-	}
-	return total
+	return s.viewBytesLocked()
 }
 
 // Counters returns a snapshot of the I/O counters.

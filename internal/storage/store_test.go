@@ -99,6 +99,69 @@ func TestSample(t *testing.T) {
 	}
 }
 
+func TestSampleFullFraction(t *testing.T) {
+	s := NewStore()
+	full := rel(50)
+	s.Put("t", Base, full)
+	before := s.Counters()
+	samp, err := s.Sample("t", 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samp.Len() != 50 {
+		t.Errorf("frac=1 sampled %d of 50 rows", samp.Len())
+	}
+	// frac=1 reads every row, so the byte charge equals a full read.
+	if got := s.Counters().BytesRead - before.BytesRead; got != full.EncodedSize() {
+		t.Errorf("frac=1 charged %d bytes, want full %d", got, full.EncodedSize())
+	}
+}
+
+func TestSampleEmptyRelation(t *testing.T) {
+	s := NewStore()
+	s.Put("empty", Base, rel(0))
+	before := s.Counters()
+	samp, err := s.Sample("empty", 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samp.Len() != 0 {
+		t.Errorf("empty relation sampled %d rows", samp.Len())
+	}
+	// No rows means no row bytes; the op is still counted.
+	c := s.Counters()
+	if got := c.BytesRead - before.BytesRead; got != samp.EncodedSize() {
+		t.Errorf("empty sample charged %d bytes, want %d", got, samp.EncodedSize())
+	}
+	if c.ReadOps != before.ReadOps+1 {
+		t.Error("empty sample not counted as a read op")
+	}
+}
+
+func TestSampleFallbackByteAccounting(t *testing.T) {
+	// A fraction tiny enough to select no rows forces the single-row
+	// fallback; the byte charge must be the fallback row's encoding, not
+	// zero and not the full relation.
+	s := NewStore()
+	full := rel(100)
+	s.Put("t", Base, full)
+	before := s.Counters()
+	samp, err := s.Sample("t", 1e-12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samp.Len() != 1 {
+		t.Fatalf("fallback sampled %d rows, want 1", samp.Len())
+	}
+	got := s.Counters().BytesRead - before.BytesRead
+	if got != samp.EncodedSize() {
+		t.Errorf("fallback charged %d bytes, want sample's %d", got, samp.EncodedSize())
+	}
+	if got <= 0 || got >= full.EncodedSize() {
+		t.Errorf("fallback charge %d outside (0, %d)", got, full.EncodedSize())
+	}
+}
+
 func TestListDeleteDropViews(t *testing.T) {
 	s := NewStore()
 	s.Put("base1", Base, rel(1))

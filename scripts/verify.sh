@@ -1,7 +1,13 @@
 #!/bin/sh
-# Tier-1 verification: build, vet, race-enabled full test suite.
+# Tier-1 verification: formatting, build, vet, race-enabled full test suite.
 set -eux
 
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 go build ./...
 go vet ./...
 go test -race ./...
