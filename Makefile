@@ -1,4 +1,4 @@
-.PHONY: build test verify bench bench-smoke
+.PHONY: build test verify bench bench-smoke fuzz-smoke
 
 build:
 	go build ./...
@@ -18,3 +18,8 @@ bench:
 # -metrics, validated by cmd/metricscheck.
 bench-smoke:
 	./scripts/bench_smoke.sh
+
+# Short fuzz pass over every native fuzz target (FUZZTIME=20s by default),
+# seeded from the checked-in corpora under */testdata/fuzz/.
+fuzz-smoke:
+	./scripts/fuzz_smoke.sh

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|fig7|fig8|table1|fig9|fig10|fig11|fig12|table2|ablation|reclamation|jsens|similarity|footprint] [-quick] [-tweets N] [-workers N] [-metrics out.json]
+//	benchrunner [-exp all|fig7|fig8|table1|fig9|fig10|fig11|fig12|table2|ablation|reclamation|jsens|similarity|footprint] [-quick] [-tweets N] [-workers N] [-metrics out.json] [-faults plan.json]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"opportune/internal/experiments"
+	"opportune/internal/fault"
 	"opportune/internal/obs"
 	"opportune/internal/workload"
 )
@@ -24,6 +25,7 @@ func main() {
 	tweets := flag.Int("tweets", 0, "override tweet-log size (0 = scale default)")
 	workers := flag.Int("workers", 0, "MR engine worker-pool size (0 = GOMAXPROCS); affects wall-clock only, never results or simulated seconds")
 	metrics := flag.String("metrics", "", "write an observability export (metrics + spans, JSON) to this file")
+	faults := flag.String("faults", "", "inject a scripted fault plan (JSON, see internal/fault); results stay identical, recovery cost lands in wasted sim-seconds")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -44,6 +46,16 @@ func main() {
 	if *metrics != "" {
 		reg = obs.NewRegistry()
 		cfg.Obs = reg
+	}
+	if *faults != "" {
+		plan, err := fault.Load(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Faults = plan
+		fmt.Printf("# chaos: injecting %d scripted faults (seed %d) from %s\n",
+			len(plan.Faults), plan.Seed, *faults)
 	}
 	fmt.Printf("# opportune benchrunner — scale: %d tweets, %d check-ins, %d landmarks, %d users\n\n",
 		cfg.Scale.Tweets, cfg.Scale.Checkins, cfg.Scale.Landmarks, cfg.Scale.Users)

@@ -68,6 +68,24 @@ type Params struct {
 	// modeled seconds — JobCost models the cluster's aggregate work — only
 	// local wall-clock parallelism.
 	ReduceTasks int
+
+	// Task-level recovery constants (all in simulated seconds or pure
+	// ratios, so recovery policy never couples accounting to wall-clock).
+
+	// TaskBackoffBase is the simulated backoff before the first per-task
+	// retry; retry n waits TaskBackoffBase × TaskBackoffFactor^(n-1).
+	TaskBackoffBase   float64
+	TaskBackoffFactor float64
+
+	// SpeculationLagFactor schedules the speculative copy of a straggling
+	// task: the copy launches lag = factor × nominal-task-cost simulated
+	// seconds after the original started (Hadoop waits for a task to fall
+	// behind its peers before speculating).
+	SpeculationLagFactor float64
+
+	// SpeculationThreshold is the minimum observed slowdown factor that
+	// triggers a speculative copy; below it the straggler just runs slow.
+	SpeculationThreshold float64
 }
 
 // DefaultParams returns constants modeled after a small Hadoop-era cluster
@@ -87,7 +105,11 @@ func DefaultParams() Params {
 			OpFilter: 0.2e-6,
 			OpGroup:  1.0e-6,
 		},
-		SplitRows: 4096,
+		SplitRows:            4096,
+		TaskBackoffBase:      1.0,
+		TaskBackoffFactor:    2.0,
+		SpeculationLagFactor: 1.0,
+		SpeculationThreshold: 2.0,
 	}
 }
 

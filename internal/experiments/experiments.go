@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strings"
 
+	"opportune/internal/fault"
 	"opportune/internal/hiveql"
 	"opportune/internal/obs"
 	"opportune/internal/optimizer"
@@ -40,6 +41,16 @@ type Config struct {
 	// Obs, when set, is attached to every session the experiment builds
 	// (store, engine, optimizer, and session metrics all feed it).
 	Obs *obs.Registry
+
+	// Faults, when set, is the scripted chaos plan injected into every
+	// session the experiment builds. Job-level retry is enabled alongside
+	// it (MaxAttempts=3) so read errors and escalated task failures
+	// recover the way a real cluster's job tracker would.
+	Faults *fault.Plan
+
+	// DisableSpeculation turns off speculative re-execution of straggling
+	// tasks (the speculation-benefit experiment flips this).
+	DisableSpeculation bool
 }
 
 // DefaultConfig is the full-size harness configuration.
@@ -84,6 +95,11 @@ func newSession(c Config) (*session.Session, error) {
 	}
 	if c.Obs != nil {
 		s.Instrument(c.Obs)
+	}
+	s.Eng.DisableSpeculation = c.DisableSpeculation
+	if c.Faults != nil {
+		s.InjectFaults(fault.NewInjector(c.Faults))
+		s.Eng.MaxAttempts = 3
 	}
 	return s, nil
 }

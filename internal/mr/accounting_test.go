@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"opportune/internal/cost"
 	"opportune/internal/data"
+	"opportune/internal/fault"
 	"opportune/internal/obs"
 	"opportune/internal/storage"
 )
@@ -78,6 +80,144 @@ func TestWastedSecondsInvariant(t *testing.T) {
 	}
 	if got := failed.Breakdown.Total() + failed.WastedSeconds; got != failed.SimSeconds {
 		t.Errorf("failed job: Breakdown.Total()+WastedSeconds = %g, SimSeconds = %g", got, failed.SimSeconds)
+	}
+}
+
+// TestWastedSecondsInvariantUnderFaultPlans extends the accounting
+// invariant to scripted chaos: under every fault type — task panic,
+// straggler with speculation, storage read error, deadline abort — the
+// identity Breakdown.Total() + WastedSeconds == SimSeconds must hold
+// exactly, and all fault-induced overhead must be itemized in
+// Result.Faults (WastedSeconds money), never folded into Breakdown.
+func TestWastedSecondsInvariantUnderFaultPlans(t *testing.T) {
+	wineShard := fault.Shard("wine", fault.DefaultVirtualShards)
+	cases := []struct {
+		name     string
+		plan     *fault.Plan
+		deadline float64
+		wantErr  error // nil means the run must recover
+		// noWaste marks faults that legitimately waste nothing: a failed
+		// read dies before any bytes are served or work is done.
+		noWaste bool
+		// noRecovered marks faults that are not failures (stragglers slow
+		// a task down without killing it), so nothing is "recovered from".
+		noRecovered bool
+	}{
+		{name: "map task panic", plan: &fault.Plan{Faults: []fault.Fault{
+			{Phase: fault.PhaseMap, Task: 1, Kind: fault.KindPanic, FailAttempts: 2},
+		}}},
+		{name: "reduce group panic", plan: &fault.Plan{Faults: []fault.Fault{
+			{Phase: fault.PhaseReduce, Task: wineShard, Kind: fault.KindPanic, FailAttempts: 1},
+		}}},
+		{name: "corrupted map output", plan: &fault.Plan{Faults: []fault.Fault{
+			{Phase: fault.PhaseMap, Task: 0, Kind: fault.KindCorrupt, FailAttempts: 1},
+		}}},
+		{name: "straggler with speculation", plan: &fault.Plan{Faults: []fault.Fault{
+			{Phase: fault.PhaseMap, Task: 2, Kind: fault.KindStraggler, Factor: 6},
+		}}, noRecovered: true},
+		{name: "storage read error", plan: &fault.Plan{Faults: []fault.Fault{
+			{Kind: fault.KindReadError, Dataset: "docs", FailReads: 1},
+		}}, noWaste: true},
+		{name: "deadline abort", plan: &fault.Plan{Faults: []fault.Fault{
+			{Phase: fault.PhaseMap, Task: 0, Kind: fault.KindStraggler, Factor: 1e6},
+		}}, deadline: 1e-9, wantErr: ErrDeadlineExceeded},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.plan.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			st := storage.NewStore()
+			loadWords(st)
+			params := cost.DefaultParams()
+			params.SplitRows = 1 // three map tasks
+			e := New(st, params)
+			e.Faults = fault.NewInjector(tc.plan)
+			st.SetFaults(e.Faults)
+			e.MaxAttempts = 3
+			e.DeadlineSimSeconds = tc.deadline
+			if tc.deadline > 0 {
+				e.DisableSpeculation = true // let the straggler blow the budget
+			}
+			_, res, err := e.Run(wordCountJob())
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("run did not recover: %v", err)
+				}
+				if !tc.noWaste && res.WastedSeconds <= 0 {
+					t.Error("recovered fault charged no waste")
+				}
+				if !tc.noRecovered && res.RecoveredError == "" {
+					t.Error("recovered run surfaces no RecoveredError")
+				}
+			} else if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if got := res.Breakdown.Total() + res.WastedSeconds; got != res.SimSeconds {
+				t.Errorf("Breakdown.Total()+WastedSeconds = %g, SimSeconds = %g", got, res.SimSeconds)
+			}
+			// Fault overhead is itemized waste: the sum of the itemized
+			// components plus whole-attempt waste reconstructs WastedSeconds.
+			jobWaste := res.WastedSeconds - res.Faults.Total()
+			if jobWaste < 0 {
+				t.Errorf("itemized fault waste %g exceeds WastedSeconds %g", res.Faults.Total(), res.WastedSeconds)
+			}
+		})
+	}
+}
+
+// TestFaultObsCounters checks the recovery counters the engine publishes:
+// values mirror the Result, and zero-valued families are still registered
+// so snapshot key sets never depend on which faults fired.
+func TestFaultObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := storage.NewStore()
+	loadWords(st)
+	params := cost.DefaultParams()
+	params.SplitRows = 1
+	e := New(st, params)
+	e.Obs = reg
+	e.Faults = fault.NewInjector(&fault.Plan{Faults: []fault.Fault{
+		{Phase: fault.PhaseMap, Task: 0, Kind: fault.KindPanic, FailAttempts: 1},
+		{Phase: fault.PhaseMap, Task: 1, Kind: fault.KindStraggler, Factor: 6},
+	}})
+	_, res, err := e.Run(wordCountJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for k, want := range map[string]int64{
+		"mr_task_retries_total":      int64(res.TaskRetries),
+		"mr_straggler_tasks_total":   int64(res.StragglerTasks),
+		"mr_speculative_tasks_total": int64(res.SpeculativeTasks),
+		"mr_speculative_wins_total":  int64(res.SpeculativeWins),
+		"mr_deadline_aborts_total":   0,
+	} {
+		got, ok := snap.Counters[k]
+		if !ok {
+			t.Errorf("counter %s not registered", k)
+		} else if got != want {
+			t.Errorf("%s = %d, want %d", k, got, want)
+		}
+	}
+	var itemized float64
+	for comp, want := range map[string]float64{
+		"retry":       res.Faults.TaskRetrySeconds,
+		"backoff":     res.Faults.BackoffSeconds,
+		"straggler":   res.Faults.StragglerSeconds,
+		"speculation": res.Faults.SpeculationSeconds,
+	} {
+		k := "mr_fault_waste_sim_seconds_total{component=" + comp + "}"
+		got, ok := snap.FloatCounters[k]
+		if !ok {
+			t.Errorf("float counter %s not registered", k)
+		} else if got != want {
+			t.Errorf("%s = %g, want %g", k, got, want)
+		}
+		itemized += got
+	}
+	if itemized != res.Faults.Total() {
+		t.Errorf("itemized fault waste sums to %g, Result says %g", itemized, res.Faults.Total())
 	}
 }
 

@@ -11,6 +11,7 @@
 package mr
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -18,6 +19,7 @@ import (
 
 	"opportune/internal/cost"
 	"opportune/internal/data"
+	"opportune/internal/fault"
 	"opportune/internal/obs"
 	"opportune/internal/storage"
 )
@@ -107,11 +109,32 @@ type Result struct {
 	RetriedInputBytes   int64
 	RetriedShuffleBytes int64
 
+	// Task-level recovery tallies (zero without an injected fault plan).
+	// TaskRetries counts task/group attempts that died and were re-run in
+	// place; Straggler/Speculative tasks count scripted slowdowns and the
+	// speculative copies raced against them (SpeculativeWins: races the
+	// copy won). Task retries re-execute from in-memory splits, so they
+	// move no extra bytes — their cost is pure simulated time, itemized in
+	// Faults.
+	TaskRetries      int
+	StragglerTasks   int
+	SpeculativeTasks int
+	SpeculativeWins  int
+	Faults           FaultWaste
+
+	// RecoveredError is the message of the last failure this run recovered
+	// from (task-level or whole-job), "" for a clean run. Chaos tests
+	// assert on it to prove *which* injected fault fired.
+	RecoveredError string
+
 	// Breakdown prices the successful attempt; WastedSeconds is the
-	// simulated time of recovered-from failed attempts; SimSeconds is their
-	// sum. After an unrecovered failure Breakdown is zero and SimSeconds
-	// covers only the earlier failed attempts (the final attempt's partial
-	// volumes stay in InputBytes etc. for the caller to inspect).
+	// simulated time of recovered-from failed attempts plus all task-level
+	// fault waste (Faults.Total()); SimSeconds is their sum. After an
+	// unrecovered failure Breakdown is zero and SimSeconds covers only the
+	// earlier failed attempts (the final attempt's partial volumes stay in
+	// InputBytes etc. for the caller to inspect); a deadline abort
+	// additionally charges the aborted attempt's partial work, so the
+	// degraded result still prices everything that ran.
 	Breakdown     cost.Breakdown
 	WastedSeconds float64
 	SimSeconds    float64
@@ -150,6 +173,31 @@ type Engine struct {
 	// simulated seconds). Nil disables instrumentation at the cost of one
 	// pointer check per event.
 	Obs *obs.Registry
+
+	// Faults, when set, scripts deterministic fault injection
+	// (internal/fault): task panics, corrupted task outputs, stragglers,
+	// and — via the store — read errors. Injected task failures recover at
+	// task granularity (retry with simulated backoff, speculation);
+	// genuine user-code panics keep the job-level MaxAttempts path.
+	Faults *fault.Injector
+
+	// TaskMaxAttempts bounds per-task retries of injected failures before
+	// the failure escalates to the job level; <=0 means 4 (Hadoop's
+	// mapred.map.max.attempts default).
+	TaskMaxAttempts int
+
+	// DisableSpeculation turns off speculative re-execution of straggling
+	// tasks (stragglers then just run slow, like Hadoop with
+	// mapred.*.tasks.speculative.execution=false).
+	DisableSpeculation bool
+
+	// DeadlineSimSeconds, when >0, aborts a job once its accrued simulated
+	// seconds (prior attempts' waste + fault waste + completed phase time)
+	// exceed the budget, returning an error wrapping ErrDeadlineExceeded
+	// with the partial accounting in Result — graceful degradation instead
+	// of unbounded retry under a hostile fault plan. Checked at phase
+	// boundaries, which are parallelism-independent points.
+	DeadlineSimSeconds float64
 }
 
 // workers resolves the worker-pool size.
@@ -193,16 +241,21 @@ func (e *Engine) Run(job *Job) (*data.Relation, *Result, error) {
 	root := e.Obs.StartSpan(job.Name, "job")
 	var wasted float64
 	var retriedIn, retriedShuf int64
+	var fw FaultWaste
+	var recovered string
+	var taskRetries, stragglers, specs, specWins int
 	for attempt := 1; ; attempt++ {
 		res := &Result{Job: job.Name}
 		asp := root.Child("attempt")
-		rel, err := e.runAttempt(job, res, asp)
-		if err != nil && attempt < attempts {
-			// Charge everything the failed attempt read, computed, and
+		rel, err := e.runAttempt(job, res, asp, wasted+fw.Total())
+		deadlined := err != nil && errors.Is(err, ErrDeadlineExceeded)
+		var attemptCost float64
+		if err != nil {
+			// Price everything the failed attempt read, computed, and
 			// moved before dying: a panic in reduce wastes the full map
 			// and shuffle work, not just the map-side read (the partial
 			// volumes in res stop at the phase that panicked).
-			attemptCost := e.Params.JobCost(cost.JobSpec{
+			attemptCost = e.Params.JobCost(cost.JobSpec{
 				InputBytes:   res.InputBytes,
 				InputRows:    res.InputRows,
 				MapFns:       job.MapCost,
@@ -213,17 +266,42 @@ func (e *Engine) Run(job *Job) (*data.Relation, *Result, error) {
 				ReduceFns:    job.ReduceCost,
 				OutputBytes:  res.OutputBytes,
 			}).Total()
-			asp.AddSim(attemptCost)
+		}
+		if err != nil && !deadlined && attempt < attempts {
+			asp.AddSim(attemptCost + res.Faults.Total())
 			asp.End()
 			wasted += attemptCost
 			retriedIn += res.InputBytes
 			retriedShuf += res.ShuffleBytes
+			fw = fw.add(res.Faults)
+			taskRetries += res.TaskRetries
+			stragglers += res.StragglerTasks
+			specs += res.SpeculativeTasks
+			specWins += res.SpeculativeWins
+			recovered = err.Error()
 			continue
 		}
-		asp.AddSim(res.Breakdown.Total())
+		if deadlined {
+			// Graceful degradation: the aborted attempt's partial work is
+			// charged (unlike an exhausted-retries failure, where the
+			// final attempt stays unpriced), so the degraded Result prices
+			// everything that ran before the deadline tripped.
+			wasted += attemptCost
+			asp.AddSim(attemptCost + res.Faults.Total())
+		} else {
+			asp.AddSim(res.Breakdown.Total() + res.Faults.Total())
+		}
 		asp.End()
 		res.Attempts = attempt
-		res.WastedSeconds = wasted
+		res.Faults = fw.add(res.Faults)
+		res.TaskRetries += taskRetries
+		res.StragglerTasks += stragglers
+		res.SpeculativeTasks += specs
+		res.SpeculativeWins += specWins
+		if res.RecoveredError == "" {
+			res.RecoveredError = recovered
+		}
+		res.WastedSeconds = wasted + res.Faults.Total()
 		res.RetriedInputBytes = retriedIn
 		res.RetriedShuffleBytes = retriedShuf
 		res.SimSeconds = res.Breakdown.Total() + res.WastedSeconds
@@ -236,14 +314,16 @@ func (e *Engine) Run(job *Job) (*data.Relation, *Result, error) {
 
 // runAttempt is one execution attempt; user-code panics become errors (the
 // partial volume accounting in res survives for wasted-time charging).
-func (e *Engine) runAttempt(job *Job, res *Result, sp *obs.Span) (rel *data.Relation, err error) {
+// prior is the simulated waste carried from earlier failed attempts, needed
+// by the deadline checks inside execute.
+func (e *Engine) runAttempt(job *Job, res *Result, sp *obs.Span, prior float64) (rel *data.Relation, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			rel = nil
 			err = fmt.Errorf("mr: job %q failed: %v", job.Name, r)
 		}
 	}()
-	return e.execute(job, res, sp)
+	return e.execute(job, res, sp, prior)
 }
 
 // fnsSim is the simulated CPU seconds of local functions over rows — the
@@ -281,6 +361,25 @@ func (e *Engine) record(res *Result, err error, start time.Time) {
 	reg.Counter("mr_retried_shuffle_bytes_total").Add(res.RetriedShuffleBytes)
 	reg.FloatCounter("mr_sim_seconds_total").Add(res.SimSeconds)
 	reg.FloatCounter("mr_wasted_sim_seconds_total").Add(res.WastedSeconds)
+	// Fault/recovery counters are recorded unconditionally (zeros included)
+	// so snapshot key sets — and therefore counter-map equality across
+	// parallelism settings — never depend on which faults happened to fire.
+	reg.Counter("mr_task_retries_total").Add(int64(res.TaskRetries))
+	reg.Counter("mr_straggler_tasks_total").Add(int64(res.StragglerTasks))
+	reg.Counter("mr_speculative_tasks_total").Add(int64(res.SpeculativeTasks))
+	reg.Counter("mr_speculative_wins_total").Add(int64(res.SpeculativeWins))
+	deadlines := int64(0)
+	if errors.Is(err, ErrDeadlineExceeded) {
+		deadlines = 1
+	}
+	reg.Counter("mr_deadline_aborts_total").Add(deadlines)
+	fw := res.Faults
+	for _, c := range []struct {
+		component string
+		seconds   float64
+	}{{"retry", fw.TaskRetrySeconds}, {"backoff", fw.BackoffSeconds}, {"straggler", fw.StragglerSeconds}, {"speculation", fw.SpeculationSeconds}} {
+		reg.FloatCounter("mr_fault_waste_sim_seconds_total", "component", c.component).Add(c.seconds)
+	}
 	b := res.Breakdown
 	for _, c := range []struct {
 		component string
@@ -386,7 +485,7 @@ func runMapTask(job *Job, sp mapSplit, t *mapTaskOut) {
 	t.out = combined
 }
 
-func (e *Engine) execute(job *Job, res *Result, asp *obs.Span) (*data.Relation, error) {
+func (e *Engine) execute(job *Job, res *Result, asp *obs.Span, prior float64) (*data.Relation, error) {
 	if job.Map == nil && job.MapFactory == nil {
 		return nil, fmt.Errorf("mr: job %q has no map function", job.Name)
 	}
@@ -410,16 +509,34 @@ func (e *Engine) execute(job *Job, res *Result, asp *obs.Span) (*data.Relation, 
 	if err != nil {
 		return nil, err
 	}
+	accrued := float64(res.InputBytes) / e.Params.ReadRate
+	if err := e.deadlineCheck(job, res, prior, accrued); err != nil {
+		return nil, err
+	}
 
 	// Map phase: one task per input split, run on the worker pool. Task
 	// outputs are concatenated in split order, so the merged map output —
-	// and every volume counter — is identical for any Workers value.
+	// and every volume counter — is identical for any Workers value. Under
+	// an injected fault plan each task runs with task-level recovery; per-
+	// task recovery records are folded into res in split-index order so the
+	// waste sums are Workers-independent too.
 	msp := asp.Child("map")
 	tasks := make([]mapTaskOut, len(splits))
+	recs := make([]taskRecovery, len(splits))
 	mapErr := runTasks(e.workers(), len(splits), func(i int) error {
-		runMapTask(job, splits[i], &tasks[i])
-		return nil
+		if e.Faults == nil {
+			runMapTask(job, splits[i], &tasks[i])
+			return nil
+		}
+		nominal := e.mapTaskCost(job, splits[i])
+		return e.runTaskAttempts(job, fault.PhaseMap, i, nominal, &recs[i], func() {
+			tasks[i] = mapTaskOut{}
+			runMapTask(job, splits[i], &tasks[i])
+		})
 	})
+	for i := range recs {
+		res.applyRecovery(&recs[i])
+	}
 	var mapOut []keyed
 	for i := range tasks {
 		res.CombineRows += tasks[i].combineRows
@@ -435,7 +552,11 @@ func (e *Engine) execute(job *Job, res *Result, asp *obs.Span) (*data.Relation, 
 	}
 	msp.End()
 	if mapErr != nil {
-		return nil, fmt.Errorf("mr: job %q failed: %v", job.Name, mapErr)
+		return nil, fmt.Errorf("mr: job %q failed: %w", job.Name, mapErr)
+	}
+	accrued += e.fnsSim(job.MapCost, res.InputRows) + e.fnsSim(job.CombineCost, res.CombineRows)
+	if err := e.deadlineCheck(job, res, prior, accrued); err != nil {
+		return nil, err
 	}
 
 	out := data.NewRelation(job.OutputSchema)
@@ -445,6 +566,11 @@ func (e *Engine) execute(job *Job, res *Result, asp *obs.Span) (*data.Relation, 
 			out.Append(kr.row)
 		}
 	} else if err := e.shuffleReduce(job, res, mapOut, out, asp); err != nil {
+		return nil, err
+	}
+	accrued += float64(res.ShuffleBytes)*e.Params.SortFactor + float64(res.ShuffleBytes)/e.Params.ShuffleRate +
+		e.fnsSim(job.ReduceCost, res.ShuffleRows)
+	if err := e.deadlineCheck(job, res, prior, accrued); err != nil {
 		return nil, err
 	}
 
@@ -493,12 +619,24 @@ func (e *Engine) shuffleReduce(job *Job, res *Result, mapOut []keyed, out *data.
 	ssp.End()
 	rsp := asp.Child("reduce")
 	// Each reduce task buffers its output per key, in partition-local
-	// sorted key order.
+	// sorted key order. Under a fault plan, recovery runs per key *group*
+	// (not per partition): group contents are independent of R, so retry
+	// and speculation waste lands on the same keys at any partitioning.
+	// Per-group recovery records are collected here and folded below in
+	// global key order, keeping float summation R-independent. A failed
+	// group does not stop the partition — remaining groups still run (and
+	// account), mirroring runTasks' run-every-task rule.
 	type redOut struct {
 		key  string
 		rows []data.Row
 	}
+	type groupRec struct {
+		key string
+		rec taskRecovery
+		err error
+	}
 	partOuts := make([][]redOut, r)
+	grecs := make([][]groupRec, r)
 	err := runTasks(e.workers(), r, func(pi int) error {
 		groups := make(map[string][]data.Row)
 		var keys []string
@@ -512,12 +650,26 @@ func (e *Engine) shuffleReduce(job *Job, res *Result, mapOut []keyed, out *data.
 		outs := make([]redOut, 0, len(keys))
 		for _, k := range keys {
 			cur := redOut{key: k}
-			job.Reduce(k, groups[k], func(row data.Row) {
+			emit := func(row data.Row) {
 				if len(row) != job.OutputSchema.Len() {
 					panic(fmt.Sprintf("mr: job %q reduce emitted width %d, schema %s", job.Name, len(row), job.OutputSchema))
 				}
 				cur.rows = append(cur.rows, row)
-			})
+			}
+			if e.Faults == nil {
+				job.Reduce(k, groups[k], emit)
+			} else {
+				gr := groupRec{key: k}
+				nominal := e.reduceGroupCost(job, k, groups[k])
+				gr.err = e.runTaskAttempts(job, fault.PhaseReduce, e.Faults.Shard(k), nominal, &gr.rec, func() {
+					cur.rows = nil
+					job.Reduce(k, groups[k], emit)
+				})
+				grecs[pi] = append(grecs[pi], gr)
+				if gr.err != nil {
+					continue
+				}
+			}
 			outs = append(outs, cur)
 		}
 		partOuts[pi] = outs
@@ -527,6 +679,26 @@ func (e *Engine) shuffleReduce(job *Job, res *Result, mapOut []keyed, out *data.
 	if err != nil {
 		rsp.End()
 		return fmt.Errorf("mr: job %q failed: %v", job.Name, err)
+	}
+	if e.Faults != nil {
+		var all []groupRec
+		for _, g := range grecs {
+			all = append(all, g...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+		var gerr error
+		for i := range all {
+			res.applyRecovery(&all[i].rec)
+			// Lowest failing key wins, like runTasks' lowest task index:
+			// the reported error never depends on the partitioning.
+			if gerr == nil && all[i].err != nil {
+				gerr = all[i].err
+			}
+		}
+		if gerr != nil {
+			rsp.End()
+			return fmt.Errorf("mr: job %q failed: %w", job.Name, gerr)
+		}
 	}
 	// Merge: partitions hold disjoint keys, so a global sort of the
 	// per-key buffers reproduces the serial all-keys-sorted output.

@@ -1,0 +1,230 @@
+package mr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"opportune/internal/data"
+	"opportune/internal/fault"
+)
+
+// ErrDeadlineExceeded marks a job aborted by Engine.DeadlineSimSeconds.
+// Run does not retry past it; the returned Result carries the partial
+// volumes and the waste accrued up to the abort.
+var ErrDeadlineExceeded = errors.New("simulated deadline exceeded")
+
+// FaultWaste itemizes the simulated seconds a job lost to task-level
+// recovery. Every component is WastedSeconds money: Breakdown stays the
+// pure volume-priced cost of the successful execution, and
+// Breakdown.Total() + WastedSeconds == SimSeconds keeps holding under
+// injected faults.
+type FaultWaste struct {
+	// TaskRetrySeconds is the nominal cost of task attempts that died and
+	// were re-executed (the dead attempt's work, not the retry's — the
+	// retry's cost is the task's nominal cost, already in Breakdown).
+	TaskRetrySeconds float64
+	// BackoffSeconds is the exponential simulated-time backoff spent
+	// between task attempts.
+	BackoffSeconds float64
+	// StragglerSeconds is the extra time straggling tasks ran beyond their
+	// nominal cost (when the straggler finished first or speculation was
+	// off).
+	StragglerSeconds float64
+	// SpeculationSeconds is the work burned by speculative execution: the
+	// killed loser's run, whichever copy lost.
+	SpeculationSeconds float64
+}
+
+// Total sums the components.
+func (w FaultWaste) Total() float64 {
+	return w.TaskRetrySeconds + w.BackoffSeconds + w.StragglerSeconds + w.SpeculationSeconds
+}
+
+func (w FaultWaste) add(o FaultWaste) FaultWaste {
+	return FaultWaste{
+		TaskRetrySeconds:   w.TaskRetrySeconds + o.TaskRetrySeconds,
+		BackoffSeconds:     w.BackoffSeconds + o.BackoffSeconds,
+		StragglerSeconds:   w.StragglerSeconds + o.StragglerSeconds,
+		SpeculationSeconds: w.SpeculationSeconds + o.SpeculationSeconds,
+	}
+}
+
+// taskRecovery accumulates one task's (or reduce group's) recovery events.
+// Tasks run concurrently, so each task writes its own record; the engine
+// folds records into the Result afterwards in a canonical order (map: split
+// index; reduce: global key order) to keep float summation — and therefore
+// every counter byte — independent of Workers and ReduceTasks.
+type taskRecovery struct {
+	waste      FaultWaste
+	retries    int
+	stragglers int
+	specs      int
+	specWins   int
+	lastErr    string
+}
+
+// applyRecovery folds one task's recovery record into the result.
+func (r *Result) applyRecovery(rec *taskRecovery) {
+	r.Faults = r.Faults.add(rec.waste)
+	r.TaskRetries += rec.retries
+	r.StragglerTasks += rec.stragglers
+	r.SpeculativeTasks += rec.specs
+	r.SpeculativeWins += rec.specWins
+	if rec.lastErr != "" {
+		r.RecoveredError = rec.lastErr
+	}
+}
+
+// taskMaxAttempts resolves the per-task retry budget.
+func (e *Engine) taskMaxAttempts() int {
+	if e.TaskMaxAttempts > 0 {
+		return e.TaskMaxAttempts
+	}
+	return 4
+}
+
+// backoff is the simulated wait before retrying a task after its n-th
+// failed attempt (1-based): Base × Factor^(n-1).
+func (e *Engine) backoff(attempt int) float64 {
+	factor := e.Params.TaskBackoffFactor
+	if factor <= 0 {
+		factor = 1
+	}
+	return e.Params.TaskBackoffBase * math.Pow(factor, float64(attempt-1))
+}
+
+// mapTaskCost is one map task's nominal simulated cost: its split's share
+// of the input read plus its map CPU — the task-granular decomposition of
+// Breakdown.Cm, used to price task retries and speculation.
+func (e *Engine) mapTaskCost(job *Job, sp mapSplit) float64 {
+	var bytes int64
+	for _, r := range sp.rows {
+		bytes += int64(r.EncodedSize())
+	}
+	return float64(bytes)/e.Params.ReadRate + e.fnsSim(job.MapCost, int64(len(sp.rows)))
+}
+
+// reduceGroupCost is one key group's nominal simulated cost: its share of
+// sort/transfer plus its reduce CPU — the group-granular decomposition of
+// Cs+Ct+Cr. Groups (not partitions) are the recovery unit because group
+// contents are independent of the partition count R.
+func (e *Engine) reduceGroupCost(job *Job, key string, rows []data.Row) float64 {
+	var bytes int64
+	for _, r := range rows {
+		bytes += int64(r.EncodedSize() + len(key))
+	}
+	return float64(bytes)*e.Params.SortFactor + float64(bytes)/e.Params.ShuffleRate +
+		e.fnsSim(job.ReduceCost, int64(len(rows)))
+}
+
+// runTaskAttempts executes one task with task-level recovery: injected
+// failures (scripted panics and corrupted outputs) are retried up to the
+// task budget with exponential simulated backoff, each dead attempt's
+// nominal cost charged to the recovery record; genuine user-code panics
+// propagate unchanged so they keep escalating to the job-level retry path.
+// On success the task's scripted straggler slowdown (if any) is applied,
+// speculating a second copy when the slowdown crosses the threshold.
+func (e *Engine) runTaskAttempts(job *Job, phase fault.Phase, task int, nominal float64, rec *taskRecovery, run func()) error {
+	max := e.taskMaxAttempts()
+	for attempt := 1; ; attempt++ {
+		err := runInjected(e.Faults, job.Name, phase, task, attempt, run)
+		if err == nil {
+			e.applyStraggler(job.Name, phase, task, nominal, rec, run)
+			return nil
+		}
+		rec.lastErr = err.Error()
+		if attempt >= max {
+			// Budget exhausted: escalate to the job level (which may still
+			// retry the whole job from durable inputs).
+			return err
+		}
+		rec.retries++
+		rec.waste.TaskRetrySeconds += nominal
+		rec.waste.BackoffSeconds += e.backoff(attempt)
+	}
+}
+
+// runInjected runs one task attempt under the injector. A scripted panic
+// kills the attempt before it does work; a scripted corruption lets the
+// attempt run, then discards its output at validation. Only *fault.Fired
+// panics are recovered here — anything else re-panics into the existing
+// job-level failure path.
+func runInjected(inj *fault.Injector, job string, phase fault.Phase, task, attempt int, run func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fd, ok := r.(*fault.Fired)
+			if !ok {
+				panic(r)
+			}
+			err = fd
+		}
+	}()
+	fd := inj.TaskFailure(job, phase, task, attempt)
+	if fd != nil && fd.Fault.Kind == fault.KindPanic {
+		panic(fd)
+	}
+	run()
+	if fd != nil {
+		// Corruption: the work happened, the output fails validation.
+		return fd
+	}
+	return nil
+}
+
+// applyStraggler charges a task's scripted slowdown and, when it crosses
+// the speculation threshold, races a speculative copy against it — all in
+// simulated time, so the outcome is scripted arithmetic, not a wall-clock
+// race. Timeline from task start, nominal cost C, slowdown F, copy launch
+// lag L = SpeculationLagFactor × C:
+//
+//	straggler finishes at F·C, the copy at L+C; first finisher wins and
+//	the loser is killed when the winner commits. Either way exactly one
+//	nominal C lands in Breakdown; everything else is waste.
+func (e *Engine) applyStraggler(jobName string, phase fault.Phase, task int, nominal float64, rec *taskRecovery, run func()) {
+	f := e.Faults.Slowdown(jobName, phase, task)
+	if f <= 1 {
+		return
+	}
+	rec.stragglers++
+	if e.DisableSpeculation || f < e.Params.SpeculationThreshold {
+		rec.waste.StragglerSeconds += (f - 1) * nominal
+		return
+	}
+	rec.specs++
+	// The speculative copy really re-executes the task; determinism makes
+	// its output identical, so the committed output is the same bytes
+	// whichever copy wins and only the accounting needs the race outcome.
+	run()
+	lag := e.Params.SpeculationLagFactor * nominal
+	if f*nominal <= lag+nominal {
+		// Straggler wins: pay its slowdown; the copy burned from launch to
+		// the straggler's commit.
+		rec.waste.StragglerSeconds += (f - 1) * nominal
+		if burned := f*nominal - lag; burned > 0 {
+			rec.waste.SpeculationSeconds += burned
+		}
+	} else {
+		// Copy wins: its nominal run is the Breakdown cost; the straggler
+		// ran from 0 until the copy committed at lag+nominal, all wasted.
+		rec.specWins++
+		rec.waste.SpeculationSeconds += lag + nominal
+	}
+}
+
+// deadlineCheck enforces the job's simulated-time deadline at a phase
+// boundary. prior is waste carried from earlier job attempts; accrued is
+// the current attempt's phase sim so far. Boundaries are R- and Workers-
+// independent points, so a deadline abort happens at the same place with
+// the same partial accounting at any parallelism.
+func (e *Engine) deadlineCheck(job *Job, res *Result, prior, accrued float64) error {
+	if e.DeadlineSimSeconds <= 0 {
+		return nil
+	}
+	total := prior + res.Faults.Total() + accrued
+	if total <= e.DeadlineSimSeconds {
+		return nil
+	}
+	return fmt.Errorf("mr: job %q: %w: %.3f sim-seconds accrued against deadline %.3f",
+		job.Name, ErrDeadlineExceeded, total, e.DeadlineSimSeconds)
+}

@@ -13,6 +13,7 @@ import (
 	"opportune/internal/cost"
 	"opportune/internal/data"
 	"opportune/internal/expr"
+	"opportune/internal/fault"
 	"opportune/internal/meta"
 	"opportune/internal/mr"
 	"opportune/internal/obs"
@@ -85,6 +86,19 @@ func (s *Session) Instrument(reg *obs.Registry) {
 	s.Store.SetObs(reg)
 	s.Eng.Obs = reg
 	s.Opt.Obs = reg
+}
+
+// InjectFaults attaches a fault injector to every layer that can fail (the
+// engine's task scheduler and the store's reads). Pass nil to detach —
+// detaching clears the store hook entirely rather than leaving a typed-nil
+// injector behind the interface.
+func (s *Session) InjectFaults(inj *fault.Injector) {
+	s.Eng.Faults = inj
+	if inj == nil {
+		s.Store.SetFaults(nil)
+		return
+	}
+	s.Store.SetFaults(inj)
 }
 
 // New builds a system instance with the given cost parameters.

@@ -50,6 +50,16 @@ func (d *Dataset) Rows() int64 { return int64(d.rel.Len()) }
 // for offline operations (persistence), not query execution.
 func (d *Dataset) Relation() *data.Relation { return d.rel }
 
+// ReadFaultInjector scripts read failures for chaos testing. The store
+// stays decoupled from the fault package: anything that can answer "does
+// reading this dataset fail right now?" plugs in (internal/fault.Injector
+// satisfies it).
+type ReadFaultInjector interface {
+	// ReadError returns the scripted error for a read of the named dataset,
+	// or nil when the read succeeds.
+	ReadError(name string) error
+}
+
 // Counters tallies simulated I/O volume.
 type Counters struct {
 	BytesRead    int64
@@ -85,6 +95,18 @@ type Store struct {
 	obsSampleBytes   *obs.Counter
 	obsPinContention *obs.Counter
 	obsViewBytes     *obs.Gauge
+
+	// faults, when set, can fail reads (chaos testing). A failed read
+	// serves no bytes, so engine-side accounting still reconciles with the
+	// Counters exactly.
+	faults ReadFaultInjector
+}
+
+// SetFaults attaches (or with nil detaches) a read-fault injector.
+func (s *Store) SetFaults(inj ReadFaultInjector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = inj
 }
 
 // SetObs attaches a metrics registry. Pass nil to detach. Counter values are
@@ -253,6 +275,14 @@ func (s *Store) Read(name string) (*data.Relation, error) {
 	d, ok := s.datasets[name]
 	if !ok {
 		return nil, fmt.Errorf("storage: dataset %q not found", name)
+	}
+	if s.faults != nil {
+		if err := s.faults.ReadError(name); err != nil {
+			// Fail before any bytes are served or counted: the engine
+			// charges nothing for this read either, so Store counters and
+			// engine Result volumes stay reconciled under read faults.
+			return nil, fmt.Errorf("storage: read %q: %w", name, err)
+		}
 	}
 	s.seq++
 	d.LastUsedSeq = s.seq
