@@ -1,4 +1,4 @@
-.PHONY: build test verify bench bench-smoke fuzz-smoke
+.PHONY: build test verify bench bench-json bench-smoke fuzz-smoke
 
 build:
 	go build ./...
@@ -13,6 +13,12 @@ verify:
 
 bench:
 	go test -bench=. -benchmem
+
+# Refresh the tracked benchmark trajectory (BENCH_PR4.json): runs the
+# hot-path suites with -benchmem and fills the "after" column, preserving
+# any existing "before" column. Use BENCH_COL=before to (re)baseline.
+bench-json:
+	./scripts/bench_json.sh BENCH_PR4.json
 
 # Quick end-to-end check of the benchmark harness: one experiment with
 # -metrics, validated by cmd/metricscheck.

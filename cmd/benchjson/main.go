@@ -1,0 +1,174 @@
+// Command benchjson converts `go test -bench -benchmem` output into the
+// tracked benchmark-trajectory JSON (BENCH_PR4.json and successors): one
+// record per benchmark with ns/op, B/op, and allocs/op, optionally merged
+// with a prior file so a record carries both "before" and "after" columns.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -col after -merge before.json -o BENCH_PR4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Columns holds one measurement of a benchmark.
+type Columns struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// Record is one benchmark's trajectory entry. Before is the measurement
+// taken on the pre-optimization tree (absent for benchmarks that have no
+// meaningful baseline); After is the current tree.
+type Record struct {
+	Name   string   `json:"name"`
+	Before *Columns `json:"before,omitempty"`
+	After  *Columns `json:"after,omitempty"`
+}
+
+// File is the checked-in trajectory document.
+type File struct {
+	GeneratedBy string   `json:"generated_by"`
+	GoVersion   string   `json:"go_version"`
+	Benchmarks  []Record `json:"benchmarks"`
+}
+
+func main() {
+	col := flag.String("col", "after", `which column the piped bench output fills: "before" or "after"`)
+	merge := flag.String("merge", "", "existing trajectory JSON to merge with (its other column is preserved)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if *col != "before" && *col != "after" {
+		fmt.Fprintf(os.Stderr, "benchjson: -col must be before or after, got %q\n", *col)
+		os.Exit(2)
+	}
+
+	measured, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+
+	byName := make(map[string]*Record)
+	var order []string
+	if *merge != "" {
+		prior, err := readFile(*merge)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		for i := range prior.Benchmarks {
+			r := prior.Benchmarks[i]
+			byName[r.Name] = &r
+			order = append(order, r.Name)
+		}
+	}
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := measured[name]
+		r, ok := byName[name]
+		if !ok {
+			r = &Record{Name: name}
+			byName[name] = r
+			order = append(order, name)
+		}
+		if *col == "before" {
+			r.Before = &c
+		} else {
+			r.After = &c
+		}
+	}
+
+	doc := File{GeneratedBy: "scripts/bench_json.sh", GoVersion: runtime.Version()}
+	for _, name := range order {
+		doc.Benchmarks = append(doc.Benchmarks, *byName[name])
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func readFile(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// parseBench extracts measurements from `go test -bench -benchmem` output.
+// A benchmark line is "BenchmarkName-P   N   123 ns/op   456 B/op   7 allocs/op"
+// possibly with extra custom metrics; the GOMAXPROCS suffix is stripped so
+// records stay stable across machines. A benchmark run for several configs
+// keeps the last measurement per name.
+func parseBench(r *os.File) (map[string]Columns, error) {
+	out := make(map[string]Columns)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var c Columns
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				c.NsOp = v
+				seen = true
+			case "B/op":
+				c.BOp = v
+			case "allocs/op":
+				c.AllocsOp = v
+			}
+		}
+		if seen {
+			out[name] = c
+		}
+	}
+	return out, sc.Err()
+}

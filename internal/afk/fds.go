@@ -1,6 +1,9 @@
 package afk
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // FDSet is a set of functional dependencies over attribute signature IDs.
 // It powers the "less aggregated" refinement check: grouping by keys X
@@ -10,7 +13,13 @@ import "sort"
 // (tweet_id → every TWTR column), and every derived attribute contributes
 // inputs → derived (a deterministic per-tuple UDF output is functionally
 // determined by its inputs).
+//
+// FDSet is safe for concurrent use. Plan annotation only ever *adds*
+// dependencies, and Closure is a fixpoint whose result depends on the set
+// contents, not insertion order — so concurrent Adds from parallel rewrite
+// probing cannot change what any later Closure computes.
 type FDSet struct {
+	mu  sync.RWMutex
 	fds []fd
 }
 
@@ -26,6 +35,8 @@ func NewFDSet() *FDSet { return &FDSet{} }
 func (f *FDSet) Add(from []string, to string) {
 	sorted := append([]string(nil), from...)
 	sort.Strings(sorted)
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for _, e := range f.fds {
 		if e.to == to && eqStrs(e.from, sorted) {
 			return
@@ -44,10 +55,16 @@ func (f *FDSet) AddKey(key string, attrs []string) {
 }
 
 // Len returns the number of dependencies.
-func (f *FDSet) Len() int { return len(f.fds) }
+func (f *FDSet) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.fds)
+}
 
 // Clone copies the FD set.
 func (f *FDSet) Clone() *FDSet {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	c := &FDSet{fds: make([]fd, len(f.fds))}
 	copy(c.fds, f.fds)
 	return c
@@ -55,6 +72,8 @@ func (f *FDSet) Clone() *FDSet {
 
 // Each visits every dependency (for persistence).
 func (f *FDSet) Each(fn func(from []string, to string)) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	for _, e := range f.fds {
 		fn(append([]string(nil), e.from...), e.to)
 	}
@@ -63,6 +82,13 @@ func (f *FDSet) Each(fn func(from []string, to string)) {
 // Closure computes the attribute closure of the given IDs under the FDs
 // (standard fixpoint).
 func (f *FDSet) Closure(ids []string) map[string]bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.closureLocked(ids)
+}
+
+// closureLocked is Closure's body; callers hold at least a read lock.
+func (f *FDSet) closureLocked(ids []string) map[string]bool {
 	closure := make(map[string]bool, len(ids))
 	for _, id := range ids {
 		closure[id] = true
@@ -91,7 +117,9 @@ func (f *FDSet) Closure(ids []string) map[string]bool {
 
 // Determines reports whether X → y follows from the FDs.
 func (f *FDSet) Determines(x []string, y string) bool {
-	return f.Closure(x)[y]
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.closureLocked(x)[y]
 }
 
 // Refines reports whether the partition induced by grouping keys vK is at
@@ -107,7 +135,9 @@ func (f *FDSet) Refines(vK, qK SigSet) bool {
 	if len(vK) == 0 {
 		return false
 	}
-	closure := f.Closure(vK.IDs())
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	closure := f.closureLocked(vK.IDs())
 	for id := range qK {
 		if !closure[id] {
 			return false

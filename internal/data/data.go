@@ -137,6 +137,18 @@ func (rel *Relation) Append(r Row) {
 	rel.rows = append(rel.rows, r)
 }
 
+// Grow pre-allocates capacity for at least n more rows (no-op for n <= 0).
+// Hot-path callers size output relations from optimizer estimates; a wrong
+// estimate only costs a reallocation.
+func (rel *Relation) Grow(n int) {
+	if n <= 0 || cap(rel.rows)-len(rel.rows) >= n {
+		return
+	}
+	rows := make([]Row, len(rel.rows), len(rel.rows)+n)
+	copy(rows, rel.rows)
+	rel.rows = rows
+}
+
 // AppendAll adds every row of another relation; schemas must be equal.
 func (rel *Relation) AppendAll(o *Relation) {
 	if !rel.schema.Equal(o.schema) {
@@ -177,19 +189,37 @@ func (rel *Relation) SortBy(cols ...string) {
 	})
 }
 
-// Key extracts the values of the given column indexes as a comparable
-// grouping key string. FNV over encoded values keeps keys compact while the
-// appended raw strings keep them collision-safe for test-scale data.
-func Key(r Row, idxs []int) string {
-	h := fnv.New64a()
-	var sb strings.Builder
+// KeyEncoder builds composite grouping keys into one reusable buffer, so a
+// tight loop (a map task keying every row) performs exactly one allocation
+// per key — the returned string — instead of one per column. Keys are the
+// concatenated value.AppendKey encodings: length-prefixed, injective, and
+// prefix-free per column, so distinct column tuples never collide. A
+// KeyEncoder is not safe for concurrent use; give each task its own.
+type KeyEncoder struct {
+	buf []byte
+}
+
+// Key encodes the values of the given column indexes of r.
+func (e *KeyEncoder) Key(r Row, idxs []int) string {
+	e.buf = e.buf[:0]
 	for _, ix := range idxs {
-		v := r[ix]
-		sb.WriteString(v.String())
-		sb.WriteByte(0x1f)
+		e.buf = r[ix].AppendKey(e.buf)
 	}
-	h.Write([]byte(sb.String()))
-	return sb.String()
+	return string(e.buf)
+}
+
+// KeyOf encodes a single value (e.g. a join key).
+func (e *KeyEncoder) KeyOf(v value.V) string {
+	e.buf = v.AppendKey(e.buf[:0])
+	return string(e.buf)
+}
+
+// Key extracts the values of the given column indexes as a comparable
+// grouping key string. Convenience form of KeyEncoder.Key for call sites
+// outside per-tuple hot loops.
+func Key(r Row, idxs []int) string {
+	var e KeyEncoder
+	return e.Key(r, idxs)
 }
 
 // GroupBy partitions rows by the values of the named columns, returning a
@@ -202,8 +232,9 @@ func (rel *Relation) GroupBy(cols ...string) (map[string][]int, []string) {
 	}
 	groups := make(map[string][]int)
 	var order []string
+	var enc KeyEncoder
 	for i, r := range rel.rows {
-		k := Key(r, idxs)
+		k := enc.Key(r, idxs)
 		if _, seen := groups[k]; !seen {
 			order = append(order, k)
 		}

@@ -14,7 +14,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"time"
 
 	"opportune/internal/cost"
@@ -82,6 +81,15 @@ type Job struct {
 	MapCost     []cost.LocalFn
 	CombineCost []cost.LocalFn
 	ReduceCost  []cost.LocalFn
+
+	// EstShuffleRows, EstGroups, and EstOutputRows are optimizer cardinality
+	// hints (zero when unknown) used only to pre-size in-memory buffers on
+	// the hot path: shuffle partitions, group tables, and the output
+	// relation. They never affect results, accounting, or simulated seconds
+	// — a wildly wrong estimate costs a reallocation, not correctness.
+	EstShuffleRows int64
+	EstGroups      int64
+	EstOutputRows  int64
 }
 
 // Result reports the measured volumes and simulated time of one job run.
@@ -454,35 +462,37 @@ func runMapTask(job *Job, sp mapSplit, t *mapTaskOut) {
 	if job.MapFactory != nil {
 		fn = job.MapFactory(sp.ctx)
 	}
+	out := getKeyedBuf(len(sp.rows))
 	emit := func(key string, r data.Row) {
 		if len(r) != job.MapOutSchema.Len() {
 			panic(fmt.Sprintf("mr: job %q map emitted width %d, schema %s", job.Name, len(r), job.MapOutSchema))
 		}
-		t.out = append(t.out, keyed{key, r})
+		out = append(out, keyed{key, r})
 	}
 	for _, r := range sp.rows {
 		fn(sp.ctx.Input, r, emit)
 	}
+	t.out = out
 	if job.Combine == nil || job.Reduce == nil || len(t.out) == 0 {
 		return
 	}
-	groups := make(map[string][]data.Row)
-	var order []string
-	for _, kr := range t.out {
-		if _, seen := groups[kr.key]; !seen {
-			order = append(order, kr.key)
-		}
-		groups[kr.key] = append(groups[kr.key], kr.row)
+	hint := len(t.out)
+	if job.EstGroups > 0 && job.EstGroups < int64(hint) {
+		hint = int(job.EstGroups)
 	}
+	g := getGrouper(hint)
+	g.build(t.out)
 	t.combineRows = int64(len(t.out))
-	combined := make([]keyed, 0, len(order))
-	for _, k := range order {
-		key := k
-		job.Combine(key, groups[key], func(r data.Row) {
+	combined := getKeyedBuf(g.len())
+	for id := int32(0); id < int32(g.len()); id++ {
+		key := g.keys[id]
+		job.Combine(key, g.rows(id), func(r data.Row) {
 			combined = append(combined, keyed{key, r})
 		})
 	}
+	putKeyedBuf(t.out)
 	t.out = combined
+	g.release()
 }
 
 func (e *Engine) execute(job *Job, res *Result, asp *obs.Span, prior float64) (*data.Relation, error) {
@@ -515,11 +525,11 @@ func (e *Engine) execute(job *Job, res *Result, asp *obs.Span, prior float64) (*
 	}
 
 	// Map phase: one task per input split, run on the worker pool. Task
-	// outputs are concatenated in split order, so the merged map output —
-	// and every volume counter — is identical for any Workers value. Under
-	// an injected fault plan each task runs with task-level recovery; per-
-	// task recovery records are folded into res in split-index order so the
-	// waste sums are Workers-independent too.
+	// outputs stay in per-task buffers consumed in split order, so the
+	// effective map output — and every volume counter — is identical for any
+	// Workers value. Under an injected fault plan each task runs with
+	// task-level recovery; per-task recovery records are folded into res in
+	// split-index order so the waste sums are Workers-independent too.
 	msp := asp.Child("map")
 	tasks := make([]mapTaskOut, len(splits))
 	recs := make([]taskRecovery, len(splits))
@@ -530,6 +540,9 @@ func (e *Engine) execute(job *Job, res *Result, asp *obs.Span, prior float64) (*
 		}
 		nominal := e.mapTaskCost(job, splits[i])
 		return e.runTaskAttempts(job, fault.PhaseMap, i, nominal, &recs[i], func() {
+			if tasks[i].out != nil {
+				putKeyedBuf(tasks[i].out)
+			}
 			tasks[i] = mapTaskOut{}
 			runMapTask(job, splits[i], &tasks[i])
 		})
@@ -537,10 +550,8 @@ func (e *Engine) execute(job *Job, res *Result, asp *obs.Span, prior float64) (*
 	for i := range recs {
 		res.applyRecovery(&recs[i])
 	}
-	var mapOut []keyed
 	for i := range tasks {
 		res.CombineRows += tasks[i].combineRows
-		mapOut = append(mapOut, tasks[i].out...)
 	}
 	msp.AddSim(e.fnsSim(job.MapCost, res.InputRows))
 	if job.Combine != nil && job.Reduce != nil {
@@ -560,12 +571,19 @@ func (e *Engine) execute(job *Job, res *Result, asp *obs.Span, prior float64) (*
 	}
 
 	out := data.NewRelation(job.OutputSchema)
+	if job.EstOutputRows > 0 && job.EstOutputRows <= poolMaxRetain {
+		out.Grow(int(job.EstOutputRows))
+	}
 	if job.Reduce == nil {
-		// Map-only: emitted rows are the output.
-		for _, kr := range mapOut {
-			out.Append(kr.row)
+		// Map-only: emitted rows are the output, consumed in split order.
+		for i := range tasks {
+			for _, kr := range tasks[i].out {
+				out.Append(kr.row)
+			}
+			putKeyedBuf(tasks[i].out)
+			tasks[i].out = nil
 		}
-	} else if err := e.shuffleReduce(job, res, mapOut, out, asp); err != nil {
+	} else if err := e.shuffleReduce(job, res, tasks, out, asp); err != nil {
 		return nil, err
 	}
 	accrued += float64(res.ShuffleBytes)*e.Params.SortFactor + float64(res.ShuffleBytes)/e.Params.ShuffleRate +
@@ -599,80 +617,111 @@ func (e *Engine) execute(job *Job, res *Result, asp *obs.Span, prior float64) (*
 	return out, nil
 }
 
-// shuffleReduce hash-partitions the map output into R reduce partitions,
-// reduces the partitions concurrently, and materializes their outputs in
-// global key order. The single partition scan (in map-emission order)
-// accounts sort+transfer volume and preserves each key's row order, so both
-// accounting and reduce inputs match serial execution exactly; the final
-// key-sorted merge makes output row order independent of R and Workers.
-func (e *Engine) shuffleReduce(job *Job, res *Result, mapOut []keyed, out *data.Relation, asp *obs.Span) error {
+// redOut is one reduce key's buffered output; rows aliases a slice of the
+// owning partition's arena, valid until that arena is released.
+type redOut struct {
+	key  string
+	rows []data.Row
+}
+
+// groupRec is one key group's recovery record under an injected fault plan.
+type groupRec struct {
+	key string
+	rec taskRecovery
+	err error
+}
+
+// shuffleReduce hash-partitions the map-task outputs into R reduce
+// partitions, reduces the partitions concurrently, and materializes their
+// outputs in global key order. The single partition scan (task outputs in
+// split order = map-emission order) accounts sort+transfer volume and
+// preserves each key's row order, so both accounting and reduce inputs match
+// serial execution exactly; the final k-way merge streams the partitions'
+// key-sorted runs out in global key order, making output row order
+// independent of R and Workers.
+func (e *Engine) shuffleReduce(job *Job, res *Result, tasks []mapTaskOut, out *data.Relation, asp *obs.Span) error {
 	r := e.reduceTasks()
 	ssp := asp.Child("shuffle")
+	total := 0
+	for i := range tasks {
+		total += len(tasks[i].out)
+	}
 	parts := make([][]keyed, r)
-	for _, kr := range mapOut {
-		res.ShuffleBytes += int64(kr.row.EncodedSize() + len(kr.key))
-		res.ShuffleRows++
-		p := partitionOf(kr.key, r)
-		parts[p] = append(parts[p], kr)
+	for pi := range parts {
+		// Pre-size for an even spread plus slack; a skewed key simply grows.
+		parts[pi] = getKeyedBuf(total/r + total/(2*r) + 4)
+	}
+	for i := range tasks {
+		for _, kr := range tasks[i].out {
+			res.ShuffleBytes += int64(kr.row.EncodedSize() + len(kr.key))
+			res.ShuffleRows++
+			p := partitionOf(kr.key, r)
+			parts[p] = append(parts[p], kr)
+		}
+		putKeyedBuf(tasks[i].out)
+		tasks[i].out = nil
 	}
 	ssp.AddSim(float64(res.ShuffleBytes)*e.Params.SortFactor + float64(res.ShuffleBytes)/e.Params.ShuffleRate)
 	ssp.End()
 	rsp := asp.Child("reduce")
 	// Each reduce task buffers its output per key, in partition-local
-	// sorted key order. Under a fault plan, recovery runs per key *group*
-	// (not per partition): group contents are independent of R, so retry
-	// and speculation waste lands on the same keys at any partitioning.
-	// Per-group recovery records are collected here and folded below in
-	// global key order, keeping float summation R-independent. A failed
-	// group does not stop the partition — remaining groups still run (and
-	// account), mirroring runTasks' run-every-task rule.
-	type redOut struct {
-		key  string
-		rows []data.Row
-	}
-	type groupRec struct {
-		key string
-		rec taskRecovery
-		err error
-	}
+	// sorted key order; rows land in one pooled arena per partition, and
+	// redOut entries alias arena slices. Under a fault plan, recovery runs
+	// per key *group* (not per partition): group contents are independent
+	// of R, so retry and speculation waste lands on the same keys at any
+	// partitioning. Per-group recovery records are collected here and
+	// folded below in global key order, keeping float summation
+	// R-independent. A failed group does not stop the partition — remaining
+	// groups still run (and account), mirroring runTasks' run-every-task
+	// rule.
 	partOuts := make([][]redOut, r)
+	partArenas := make([][]data.Row, r)
 	grecs := make([][]groupRec, r)
-	err := runTasks(e.workers(), r, func(pi int) error {
-		groups := make(map[string][]data.Row)
-		var keys []string
-		for _, kr := range parts[pi] {
-			if _, seen := groups[kr.key]; !seen {
-				keys = append(keys, kr.key)
-			}
-			groups[kr.key] = append(groups[kr.key], kr.row)
+	groupHint := 0
+	if job.EstGroups > 0 {
+		gh := job.EstGroups/int64(r) + 1
+		if gh > int64(total) {
+			gh = int64(total)
 		}
-		sort.Strings(keys) // deterministic reduce order
-		outs := make([]redOut, 0, len(keys))
-		for _, k := range keys {
-			cur := redOut{key: k}
+		groupHint = int(gh)
+	}
+	err := runTasks(e.workers(), r, func(pi int) error {
+		g := getGrouper(groupHint)
+		g.build(parts[pi])
+		g.sortKeys() // deterministic reduce order
+		arena := getRowsBuf(len(parts[pi]))
+		outs := make([]redOut, 0, g.len())
+		for _, k := range g.keys {
+			grows := g.rows(g.id(k))
+			start := len(arena)
 			emit := func(row data.Row) {
 				if len(row) != job.OutputSchema.Len() {
 					panic(fmt.Sprintf("mr: job %q reduce emitted width %d, schema %s", job.Name, len(row), job.OutputSchema))
 				}
-				cur.rows = append(cur.rows, row)
+				arena = append(arena, row)
 			}
 			if e.Faults == nil {
-				job.Reduce(k, groups[k], emit)
+				job.Reduce(k, grows, emit)
 			} else {
 				gr := groupRec{key: k}
-				nominal := e.reduceGroupCost(job, k, groups[k])
+				nominal := e.reduceGroupCost(job, k, grows)
 				gr.err = e.runTaskAttempts(job, fault.PhaseReduce, e.Faults.Shard(k), nominal, &gr.rec, func() {
-					cur.rows = nil
-					job.Reduce(k, groups[k], emit)
+					arena = arena[:start] // drop a dead attempt's partial emissions
+					job.Reduce(k, grows, emit)
 				})
 				grecs[pi] = append(grecs[pi], gr)
 				if gr.err != nil {
+					arena = arena[:start]
 					continue
 				}
 			}
-			outs = append(outs, cur)
+			outs = append(outs, redOut{key: k, rows: arena[start:len(arena):len(arena)]})
 		}
 		partOuts[pi] = outs
+		partArenas[pi] = arena
+		putKeyedBuf(parts[pi])
+		parts[pi] = nil
+		g.release()
 		return nil
 	})
 	rsp.AddSim(e.fnsSim(job.ReduceCost, res.ShuffleRows))
@@ -681,35 +730,33 @@ func (e *Engine) shuffleReduce(job *Job, res *Result, mapOut []keyed, out *data.
 		return fmt.Errorf("mr: job %q failed: %v", job.Name, err)
 	}
 	if e.Faults != nil {
-		var all []groupRec
-		for _, g := range grecs {
-			all = append(all, g...)
-		}
-		sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+		// Partition-local records are already key-sorted; a k-way merge
+		// folds them in global key order without re-sorting.
 		var gerr error
-		for i := range all {
-			res.applyRecovery(&all[i].rec)
+		mergeRuns(grecs, func(g *groupRec) string { return g.key }, func(g *groupRec) {
+			res.applyRecovery(&g.rec)
 			// Lowest failing key wins, like runTasks' lowest task index:
 			// the reported error never depends on the partitioning.
-			if gerr == nil && all[i].err != nil {
-				gerr = all[i].err
+			if gerr == nil && g.err != nil {
+				gerr = g.err
 			}
-		}
+		})
 		if gerr != nil {
 			rsp.End()
 			return fmt.Errorf("mr: job %q failed: %w", job.Name, gerr)
 		}
 	}
-	// Merge: partitions hold disjoint keys, so a global sort of the
-	// per-key buffers reproduces the serial all-keys-sorted output.
-	var all []redOut
-	for _, po := range partOuts {
-		all = append(all, po...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
-	for _, ro := range all {
+	// Merge: partitions hold disjoint keys and each partition's buffers are
+	// key-sorted, so a k-way merge reproduces the serial all-keys-sorted
+	// output while doing strictly less work than the old global sort.
+	mergeRuns(partOuts, func(ro *redOut) string { return ro.key }, func(ro *redOut) {
 		for _, row := range ro.rows {
 			out.Append(row)
+		}
+	})
+	for pi := range partArenas {
+		if partArenas[pi] != nil {
+			putRowsBuf(partArenas[pi])
 		}
 	}
 	rsp.End()

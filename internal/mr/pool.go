@@ -1,0 +1,161 @@
+package mr
+
+import (
+	"sort"
+	"sync"
+
+	"opportune/internal/data"
+)
+
+// Buffer pooling for the shuffle/reduce hot path. Pooled buffers live
+// strictly within one job phase; before a buffer returns to its pool every
+// row/key reference is cleared so the pool never retains user data past the
+// job (see DESIGN.md, performance model). Capacity is retained — that is
+// the point of pooling — but buffers that grew beyond poolMaxRetain are
+// dropped so one huge job cannot pin memory for the rest of the process.
+const poolMaxRetain = 1 << 17
+
+var keyedPool = sync.Pool{New: func() any { b := make([]keyed, 0, 256); return &b }}
+
+// getKeyedBuf returns an empty keyed buffer with at least the hinted
+// capacity when the pooled one is large enough (the hint only pre-sizes, it
+// never limits).
+func getKeyedBuf(hint int) []keyed {
+	b := *keyedPool.Get().(*[]keyed)
+	if hint > cap(b) {
+		b = make([]keyed, 0, hint)
+	}
+	return b[:0]
+}
+
+// putKeyedBuf zeroes the buffer's references and returns it to the pool.
+func putKeyedBuf(b []keyed) {
+	if cap(b) > poolMaxRetain {
+		return
+	}
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = keyed{}
+	}
+	b = b[:0]
+	keyedPool.Put(&b)
+}
+
+var rowsPool = sync.Pool{New: func() any { b := make([]data.Row, 0, 256); return &b }}
+
+func getRowsBuf(hint int) []data.Row {
+	b := *rowsPool.Get().(*[]data.Row)
+	if hint > cap(b) {
+		b = make([]data.Row, 0, hint)
+	}
+	return b[:0]
+}
+
+func putRowsBuf(b []data.Row) {
+	if cap(b) > poolMaxRetain {
+		return
+	}
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = nil
+	}
+	b = b[:0]
+	rowsPool.Put(&b)
+}
+
+// grouper groups shuffle records by key without per-key slice growth: one
+// pass assigns dense group ids and counts, a second scatters rows into a
+// single arena partitioned by prefix-sum offsets. Group row slices alias the
+// arena, so a grouper stays alive until its consumer (combiner or reducer)
+// is done with every group, then goes back to the pool via release().
+type grouper struct {
+	ids    map[string]int32 // key -> dense group id
+	keys   []string         // group id -> key, in first-seen order
+	counts []int32
+	offs   []int32
+	arena  []data.Row
+}
+
+var grouperPool = sync.Pool{New: func() any {
+	return &grouper{ids: make(map[string]int32, 64)}
+}}
+
+// getGrouper returns an empty grouper; hint pre-sizes the per-group tables.
+func getGrouper(hint int) *grouper {
+	g := grouperPool.Get().(*grouper)
+	if hint > 0 && cap(g.keys) < hint {
+		g.keys = make([]string, 0, hint)
+		g.counts = make([]int32, 0, hint)
+		g.offs = make([]int32, 0, hint)
+	}
+	return g
+}
+
+// build ingests one run of shuffle records, preserving first-seen key order.
+func (g *grouper) build(recs []keyed) {
+	for i := range recs {
+		k := &recs[i]
+		id, seen := g.ids[k.key]
+		if !seen {
+			id = int32(len(g.keys))
+			g.ids[k.key] = id
+			g.keys = append(g.keys, k.key)
+			g.counts = append(g.counts, 0)
+		}
+		g.counts[id]++
+	}
+	g.offs = append(g.offs[:0], make([]int32, len(g.keys))...)
+	var off int32
+	for id, n := range g.counts {
+		g.offs[id] = off
+		off += n
+	}
+	if cap(g.arena) < len(recs) {
+		g.arena = make([]data.Row, len(recs))
+	} else {
+		g.arena = g.arena[:len(recs)]
+	}
+	next := append([]int32(nil), g.offs...)
+	for i := range recs {
+		id := g.ids[recs[i].key]
+		g.arena[next[id]] = recs[i].row
+		next[id]++
+	}
+}
+
+// len returns the number of groups.
+func (g *grouper) len() int { return len(g.keys) }
+
+// rows returns group id's rows (a view into the arena; valid until release).
+func (g *grouper) rows(id int32) []data.Row {
+	return g.arena[g.offs[id] : g.offs[id]+g.counts[id]]
+}
+
+// sortKeys orders the group ids by key; first-seen order is lost.
+func (g *grouper) sortKeys() {
+	sort.Strings(g.keys)
+	// ids map still resolves keys to their (stale) first-seen id; re-point
+	// offsets through the map at access time instead of rebuilding it.
+}
+
+// id resolves a key to its group id.
+func (g *grouper) id(key string) int32 { return g.ids[key] }
+
+// release zeroes every reference and returns the grouper to the pool.
+func (g *grouper) release() {
+	if len(g.keys) > poolMaxRetain || cap(g.arena) > poolMaxRetain {
+		return
+	}
+	clear(g.ids)
+	for i := range g.keys {
+		g.keys[i] = ""
+	}
+	g.keys = g.keys[:0]
+	g.counts = g.counts[:0]
+	g.offs = g.offs[:0]
+	for i := range g.arena {
+		g.arena[i] = nil
+	}
+	g.arena = g.arena[:0]
+	grouperPool.Put(g)
+}

@@ -160,6 +160,11 @@ func (o *Optimizer) executableJob(jn *JobNode, outName string) (*mr.Job, error) 
 		Output:       outName,
 		OutputKind:   storage.View,
 		OutputSchema: data.NewSchema(jn.OutCols...),
+		// Cardinality hints from the estimator: pre-size only, the engine
+		// never lets them affect results or accounting.
+		EstShuffleRows: jn.EstSpec.ShuffleRows,
+		EstGroups:      jn.Est.Rows,
+		EstOutputRows:  jn.Est.Rows,
 	}
 	factories := make([]pipelineFactory, len(jn.streams))
 	for i, st := range jn.streams {
@@ -238,6 +243,7 @@ func (o *Optimizer) joinJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.Jo
 
 	job.MapFactory = func(ctx mr.TaskCtx) mr.MapFunc {
 		pipes := mkPipes(ctx)
+		var enc data.KeyEncoder
 		return func(input int, r data.Row, emit mr.Emit) {
 			pipes[input](r, func(row data.Row) {
 				out := make(data.Row, width)
@@ -253,7 +259,7 @@ func (o *Optimizer) joinJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.Jo
 				if key.IsNull() {
 					return // null keys never join
 				}
-				emit(key.String(), out)
+				emit(enc.KeyOf(key), out)
 			})
 		}
 	}
@@ -328,9 +334,11 @@ func (o *Optimizer) groupAggJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*m
 	}
 	job.MapOutSchema = data.NewSchema(shufCols...)
 	nKeys := len(keyIdx)
+	keyIdxs := keyRange(nKeys)
 
 	job.MapFactory = func(ctx mr.TaskCtx) mr.MapFunc {
 		pipe := mkPipes(ctx)[0]
+		var enc data.KeyEncoder
 		return func(_ int, r data.Row, emit mr.Emit) {
 			pipe(r, func(row data.Row) {
 				out := make(data.Row, 0, len(shufCols))
@@ -340,7 +348,7 @@ func (o *Optimizer) groupAggJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*m
 				for _, a := range aggs {
 					out = append(out, a.initPartials(row)...)
 				}
-				emit(data.Key(out, keyRange(nKeys)), out)
+				emit(enc.Key(out, keyIdxs), out)
 			})
 		}
 	}
@@ -519,6 +527,7 @@ func (o *Optimizer) aggUDFJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.
 	}
 	job.MapFactory = func(ctx mr.TaskCtx) mr.MapFunc {
 		pipe := mkPipes(ctx)[0]
+		var enc data.KeyEncoder
 		return func(_ int, r data.Row, emit mr.Emit) {
 			pipe(r, func(row data.Row) {
 				args := make([]value.V, len(argIdx))
@@ -535,7 +544,7 @@ func (o *Optimizer) aggUDFJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.
 				for len(out) < nKeys+payloadW {
 					out = append(out, value.NullV)
 				}
-				emit(data.Key(out, keyIdxs), out)
+				emit(enc.Key(out, keyIdxs), out)
 			})
 		}
 	}

@@ -115,7 +115,16 @@ type Node struct {
 	// annotations bottom-up dominated the search cost. Clone and
 	// Substitute clear the flag on every node they copy.
 	annotated bool
+	// annCanon caches Ann.Canon() (computed together with the annotation):
+	// the estimator resolves cross-plan estimates by canon for every node
+	// on every compile, and the search compiles the same subtrees many
+	// times over.
+	annCanon string
 }
+
+// AnnCanon returns the canonical annotation fingerprint cached when the
+// node was annotated ("" for scans, whose estimates come from the catalog).
+func (n *Node) AnnCanon() string { return n.annCanon }
 
 // Scan builds a scan node.
 func Scan(dataset string) *Node { return &Node{Kind: KindScan, Dataset: dataset} }
@@ -327,6 +336,9 @@ func Annotate(n *Node, cat *meta.Catalog) error {
 	default:
 		return fmt.Errorf("plan: invalid node kind %d", n.Kind)
 	}
+	if n.Kind != KindScan {
+		n.annCanon = n.Ann.Canon()
+	}
 	n.annotated = true
 	return nil
 }
@@ -427,6 +439,7 @@ func (n *Node) fp(sb *strings.Builder) {
 func (n *Node) Clone() *Node {
 	c := *n
 	c.annotated = false
+	c.annCanon = ""
 	c.Inputs = make([]*Node, len(n.Inputs))
 	for i, in := range n.Inputs {
 		c.Inputs[i] = in.Clone()
@@ -453,6 +466,7 @@ func Substitute(root *Node, repl map[*Node]*Node) *Node {
 	}
 	c := *root
 	c.annotated = false
+	c.annCanon = ""
 	c.Inputs = make([]*Node, len(root.Inputs))
 	for i, in := range root.Inputs {
 		c.Inputs[i] = Substitute(in, repl)

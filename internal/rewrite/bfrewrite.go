@@ -48,16 +48,32 @@ type TargetWork struct {
 
 // planCost estimates a rewrite plan's execution cost. A bare scan of an
 // existing dataset costs nothing: the target's output is already
-// materialized.
+// materialized. Costs memoize by plan fingerprint until the next
+// statistics reset — sound because estimates are consistent within a
+// generation (the same annotation always resolves to the same stats), so
+// recompiling a syntactically identical plan cannot change its cost. The
+// memo is skipped inside probe tasks, where cost evaluation must flow
+// through the task's estimate-cache fork.
 func (r *Rewriter) planCost(p *plan.Node) (float64, error) {
 	if p.Kind == plan.KindScan {
 		return 0, plan.Annotate(p, r.Cat)
+	}
+	fp := ""
+	if !r.forked {
+		fp = p.Fingerprint()
+		if c, ok := r.planMemoGet(fp); ok {
+			return c, nil
+		}
 	}
 	w, err := r.Opt.Compile(p)
 	if err != nil {
 		return 0, err
 	}
-	return w.TotalCost(), nil
+	c := w.TotalCost()
+	if fp != "" {
+		r.planMemoPut(fp, c)
+	}
+	return c, nil
 }
 
 // bfState is the per-target state of Algorithm 1.

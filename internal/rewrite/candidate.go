@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"opportune/internal/afk"
 	"opportune/internal/cost"
@@ -27,7 +28,9 @@ type Candidate struct {
 	Stats cost.Stats // combined read volume of the constituents
 
 	OptCost float64
-	key     string // dedup key
+	key     string   // dedup key
+	names   []string // constituent view names, sorted once at construction
+	sigs    []string // Ann.A signature IDs, sorted once at construction
 }
 
 // Key is the candidate's canonical identity: constituent views plus merge
@@ -36,12 +39,7 @@ func (c *Candidate) Key() string { return c.key }
 
 // Names returns the constituent view names, sorted.
 func (c *Candidate) Names() []string {
-	out := make([]string, len(c.Views))
-	for i, v := range c.Views {
-		out[i] = v.Name
-	}
-	sort.Strings(out)
-	return out
+	return append([]string(nil), c.names...)
 }
 
 // Rewriter holds the shared machinery: the catalog, the optimizer (for
@@ -61,27 +59,196 @@ type Rewriter struct {
 	// candidate examined.
 	DisableOptCost       bool
 	DisableGuessComplete bool
+
+	// ProbeWorkers bounds the worker pool that probes candidates in
+	// parallel (compensation-order enumeration, view-finder merges, batch
+	// probes); 0 means GOMAXPROCS. Results are folded in a deterministic
+	// order, so the pool size never changes the winner or any counter.
+	ProbeWorkers int
+
+	// forked marks a task-local rewriter inside a parallel probe region
+	// (see forkedWith): it runs serially on a forked optimizer and never
+	// touches the shared memos.
+	forked bool
+
+	// memo caches probe and plan-cost results across search iterations; it
+	// is shared (by pointer) with forked copies but only ever consulted
+	// from the serial root context.
+	memo *memoState
+}
+
+// memoState holds the rewrite-layer memos, keyed by estimate generation:
+// ClearEstimates bumps the generation, and the first access under a new
+// generation drops everything — exactly the points where a serial search
+// would recompute against fresh statistics.
+type memoState struct {
+	mu      sync.Mutex
+	gen     uint64
+	probe   map[string]probeHit        // (candidate key, target fingerprint) -> enum result
+	plans   map[string]float64         // plan fingerprint -> compiled total cost
+	singles map[string]*Candidate      // view name -> single-view candidate template
+	merges  map[string]*Candidate      // view-set key -> merged template (nil: not connected)
+	useful  map[string]map[string]bool // target fingerprint -> useful signature IDs
+}
+
+// probeHit is a memoized REWRITEENUM outcome.
+type probeHit struct {
+	plan *plan.Node
+	cost float64
+}
+
+func (m *memoState) sync(gen uint64) {
+	if m.gen != gen {
+		m.gen = gen
+		m.probe = nil
+		m.plans = nil
+		m.singles = nil
+		m.merges = nil
+		m.useful = nil
+	}
+}
+
+func (r *Rewriter) probeMemoGet(key string) (probeHit, bool) {
+	if r.memo == nil {
+		return probeHit{}, false
+	}
+	r.memo.mu.Lock()
+	defer r.memo.mu.Unlock()
+	r.memo.sync(r.Opt.EstGen())
+	h, ok := r.memo.probe[key]
+	return h, ok
+}
+
+func (r *Rewriter) probeMemoPut(key string, h probeHit) {
+	if r.memo == nil {
+		return
+	}
+	r.memo.mu.Lock()
+	defer r.memo.mu.Unlock()
+	r.memo.sync(r.Opt.EstGen())
+	if r.memo.probe == nil {
+		r.memo.probe = make(map[string]probeHit)
+	}
+	r.memo.probe[key] = h
+}
+
+func (r *Rewriter) planMemoGet(fp string) (float64, bool) {
+	if r.memo == nil {
+		return 0, false
+	}
+	r.memo.mu.Lock()
+	defer r.memo.mu.Unlock()
+	r.memo.sync(r.Opt.EstGen())
+	c, ok := r.memo.plans[fp]
+	return c, ok
+}
+
+func (r *Rewriter) planMemoPut(fp string, c float64) {
+	if r.memo == nil {
+		return
+	}
+	r.memo.mu.Lock()
+	defer r.memo.mu.Unlock()
+	r.memo.sync(r.Opt.EstGen())
+	if r.memo.plans == nil {
+		r.memo.plans = make(map[string]float64)
+	}
+	r.memo.plans[fp] = c
 }
 
 // NewRewriter creates a rewriter with the paper's experimental parameters
 // J=4, k=2.
 func NewRewriter(cat *meta.Catalog, opt *optimizer.Optimizer) *Rewriter {
-	return &Rewriter{Cat: cat, Opt: opt, MaxViews: 4, MaxOpRepeat: 2}
+	return &Rewriter{Cat: cat, Opt: opt, MaxViews: 4, MaxOpRepeat: 2, memo: &memoState{}}
 }
 
-// single builds the candidate for one view.
+// forkedWith returns a task-local copy of the rewriter for one parallel
+// probe task: it runs against the forked optimizer, enumerates serially
+// (no nested pools), and skips the shared memos so memo behavior — and
+// therefore every counter — is identical at every pool size.
+func (r *Rewriter) forkedWith(opt *optimizer.Optimizer) *Rewriter {
+	c := *r
+	c.Opt = opt
+	c.forked = true
+	c.ProbeWorkers = 1
+	return &c
+}
+
+// single builds the candidate for one view. Construction (a scan node plus
+// its annotation) is cached per view until the next statistics reset; each
+// caller gets its own shallow copy, since callers mutate OptCost. The
+// cached value is independent of when it was built — annotating a view
+// scan depends only on catalog registration state, and its FD additions
+// are idempotent — so which caller populates the cache is unobservable.
 func (r *Rewriter) single(v *meta.TableInfo) (*Candidate, error) {
+	if r.memo != nil {
+		r.memo.mu.Lock()
+		r.memo.sync(r.Opt.EstGen())
+		if t, ok := r.memo.singles[v.Name]; ok {
+			r.memo.mu.Unlock()
+			c := *t
+			return &c, nil
+		}
+		r.memo.mu.Unlock()
+	}
 	p := plan.Scan(v.Name)
 	if err := plan.Annotate(p, r.Cat); err != nil {
 		return nil, err
 	}
-	return &Candidate{
+	t := &Candidate{
 		Views: []*meta.TableInfo{v},
 		Plan:  p,
 		Ann:   p.Ann,
 		Stats: v.Stats,
 		key:   v.Name,
-	}, nil
+		names: []string{v.Name},
+		sigs:  sortedSigIDs(p.Ann),
+	}
+	if r.memo != nil {
+		r.memo.mu.Lock()
+		r.memo.sync(r.Opt.EstGen())
+		if r.memo.singles == nil {
+			r.memo.singles = make(map[string]*Candidate)
+		}
+		r.memo.singles[v.Name] = t
+		r.memo.mu.Unlock()
+	}
+	c := *t
+	return &c, nil
+}
+
+// sortedSigIDs caches a candidate's attribute signature IDs in sorted
+// order, so joinSig can scan ascending and stop at the first (= smallest)
+// shared keyed signature instead of re-sorting per merge attempt.
+func sortedSigIDs(ann afk.Annotation) []string {
+	ids := make([]string, 0, len(ann.A))
+	for id := range ann.A {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// mergeSortedNames merges two sorted, internally-duplicate-free name lists,
+// reporting whether they overlap.
+func mergeSortedNames(a, b []string) (merged []string, overlap bool) {
+	merged = make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return nil, true
+		case a[i] < b[j]:
+			merged = append(merged, a[i])
+			i++
+		default:
+			merged = append(merged, b[j])
+			j++
+		}
+	}
+	merged = append(merged, a[i:]...)
+	merged = append(merged, b[j:]...)
+	return merged, false
 }
 
 // Merge attempts to merge two candidates (the MERGE function of
@@ -95,20 +262,16 @@ func (r *Rewriter) Merge(a, b *Candidate, skip func(key string) bool) []*Candida
 	if len(a.Views)+len(b.Views) > r.MaxViews {
 		return nil
 	}
-	// Reject merges of overlapping view sets.
-	names := make(map[string]bool, len(a.Views))
-	for _, v := range a.Views {
-		names[v.Name] = true
-	}
-	for _, v := range b.Views {
-		if names[v.Name] {
-			return nil
-		}
+	// Reject merges of overlapping view sets; the merged sorted name list
+	// doubles as the canonical identity of the union.
+	merged, overlap := mergeSortedNames(a.names, b.names)
+	if overlap {
+		return nil
 	}
 	// The sides must share at least one joinable signature (an attribute
 	// of both with key status on one side) for the set to be connected.
 	joinable := false
-	for id := range a.Ann.A {
+	for _, id := range a.sigs {
 		if _, ok := b.Ann.A[id]; ok && (a.Ann.K.HasID(id) || b.Ann.K.HasID(id)) {
 			joinable = true
 			break
@@ -117,26 +280,46 @@ func (r *Rewriter) Merge(a, b *Candidate, skip func(key string) bool) []*Candida
 	if !joinable {
 		return nil
 	}
-	views := append(append([]*meta.TableInfo(nil), a.Views...), b.Views...)
-	key := setKey(views)
+	key := strings.Join(merged, "+")
 	if skip != nil && skip(key) {
 		return nil
 	}
+	// The merged candidate depends only on the view set (the join tree is
+	// canonical), not on the pair the search discovered it through or the
+	// target — cache the construction per set key, nil marking a set that
+	// proved unconnected. Callers get shallow copies (they mutate OptCost).
+	if r.memo != nil {
+		r.memo.mu.Lock()
+		r.memo.sync(r.Opt.EstGen())
+		t, ok := r.memo.merges[key]
+		r.memo.mu.Unlock()
+		if ok {
+			if t == nil {
+				return nil
+			}
+			c := *t
+			return []*Candidate{&c}
+		}
+	}
+	views := append(append([]*meta.TableInfo(nil), a.Views...), b.Views...)
 	m, err := r.buildMerged(views, key)
 	if err != nil {
+		m = nil
+	}
+	if r.memo != nil {
+		r.memo.mu.Lock()
+		r.memo.sync(r.Opt.EstGen())
+		if r.memo.merges == nil {
+			r.memo.merges = make(map[string]*Candidate)
+		}
+		r.memo.merges[key] = m
+		r.memo.mu.Unlock()
+	}
+	if m == nil {
 		return nil
 	}
-	return []*Candidate{m}
-}
-
-// setKey is the canonical identity of a view set.
-func setKey(views []*meta.TableInfo) string {
-	names := make([]string, len(views))
-	for i, v := range views {
-		names[i] = v.Name
-	}
-	sort.Strings(names)
-	return strings.Join(names, "+")
+	c := *m
+	return []*Candidate{&c}
 }
 
 // buildMerged constructs the canonical join tree of a view set: views
@@ -184,21 +367,18 @@ func (r *Rewriter) buildMerged(views []*meta.TableInfo, key string) (*Candidate,
 }
 
 // joinSig picks the canonical join signature between two candidates: the
-// smallest shared signature ID that is a grouping key of either side.
+// smallest shared signature ID that is a grouping key of either side. The
+// cached sorted ID list makes the first match the smallest.
 func joinSig(a, b *Candidate) string {
-	best := ""
-	for id := range a.Ann.A {
+	for _, id := range a.sigs {
 		if _, ok := b.Ann.A[id]; !ok {
 			continue
 		}
-		if !a.Ann.K.HasID(id) && !b.Ann.K.HasID(id) {
-			continue
-		}
-		if best == "" || id < best {
-			best = id
+		if a.Ann.K.HasID(id) || b.Ann.K.HasID(id) {
+			return id
 		}
 	}
-	return best
+	return ""
 }
 
 // mergeOn joins two candidates on the given common signature ID.
@@ -249,12 +429,15 @@ func (r *Rewriter) mergeOn(a, b *Candidate, sigID string) (*Candidate, error) {
 		return nil, err
 	}
 	views := append(append([]*meta.TableInfo(nil), a.Views...), b.Views...)
+	names, _ := mergeSortedNames(a.names, b.names)
 	c := &Candidate{
 		Views: views,
 		Plan:  p,
 		Ann:   p.Ann,
 		Stats: cost.Stats{Rows: a.Stats.Rows + b.Stats.Rows, Bytes: a.Stats.Bytes + b.Stats.Bytes},
-		key:   setKey(views),
+		key:   strings.Join(names, "+"),
+		names: names,
+		sigs:  sortedSigIDs(p.Ann),
 	}
 	return c, nil
 }
@@ -274,19 +457,46 @@ func indexRename(cols, as []string, col string) string {
 // implied by q's (a view that excluded tuples q needs can never join back
 // to completeness, since merges only conjoin filters).
 func (r *Rewriter) Relevant(q afk.Annotation, c *Candidate) bool {
+	return r.relevantWith(q, c, usefulSigs(q))
+}
+
+func (r *Rewriter) relevantWith(q afk.Annotation, c *Candidate, useful map[string]bool) bool {
 	if c.Ann.Limited || q.Limited {
 		return false // see GuessComplete: LIMIT is outside the model
 	}
 	if !q.F.ImpliesAll(c.Ann.F) {
 		return false
 	}
-	useful := usefulSigs(q)
 	for id := range c.Ann.A {
 		if useful[id] {
 			return true
 		}
 	}
 	return false
+}
+
+// usefulSigsFor caches usefulSigs per target (by plan fingerprint): the
+// set depends only on the target's annotation, and OPTCOST re-derives it
+// for every candidate examined against that target.
+func (r *Rewriter) usefulSigsFor(q *optimizer.JobNode) map[string]bool {
+	if r.memo == nil {
+		return usefulSigs(q.Ann)
+	}
+	r.memo.mu.Lock()
+	r.memo.sync(r.Opt.EstGen())
+	if u, ok := r.memo.useful[q.PlanFP]; ok {
+		r.memo.mu.Unlock()
+		return u
+	}
+	r.memo.mu.Unlock()
+	u := usefulSigs(q.Ann) // compute outside the lock; the map is read-only after
+	r.memo.mu.Lock()
+	if r.memo.useful == nil {
+		r.memo.useful = make(map[string]map[string]bool)
+	}
+	r.memo.useful[q.PlanFP] = u
+	r.memo.mu.Unlock()
+	return u
 }
 
 // usefulSigs collects the signature IDs of q's attributes, keys, filter
@@ -332,7 +542,7 @@ func usefulSigs(q afk.Annotation) map[string]bool {
 // views reads at least their bytes and runs at least one local function
 // over their rows.
 func (r *Rewriter) OptCost(q *optimizer.JobNode, c *Candidate) float64 {
-	if !r.Relevant(q.Ann, c) {
+	if !r.relevantWith(q.Ann, c, r.usefulSigsFor(q)) {
 		return inf
 	}
 	if r.DisableOptCost {
@@ -369,4 +579,53 @@ func ProbeCandidate(r *Rewriter, q *optimizer.JobNode, v *meta.TableInfo) (float
 	}
 	p, cost := r.RewriteEnum(q, c)
 	return oc, p, cost
+}
+
+// ProbeResult is one view's outcome from a batch probe: the OPTCOST lower
+// bound, and — when GUESSCOMPLETE passed and REWRITEENUM found a rewrite —
+// the rewrite plan with its cost (nil, +Inf otherwise).
+type ProbeResult struct {
+	View    *meta.TableInfo
+	OptCost float64
+	Plan    *plan.Node
+	Cost    float64
+}
+
+// ProbeCandidates evaluates each view against one target, fanning the
+// REWRITEENUM calls over the rewriter's probe pool. Candidate construction,
+// OPTCOST, and GUESSCOMPLETE run serially first: GUESSCOMPLETE reads the
+// FD set, whose contents grow as plans are annotated, so its verdicts must
+// be sequenced exactly as a serial probe loop would sequence them. Each
+// surviving view then enumerates on a forked optimizer; the forks' estimate
+// logs replay in view order, so results and cache counters are identical to
+// the serial loop at every pool size.
+func ProbeCandidates(r *Rewriter, q *optimizer.JobNode, views []*meta.TableInfo) []ProbeResult {
+	out := make([]ProbeResult, len(views))
+	cands := make([]*Candidate, len(views))
+	var enum []int
+	for i, v := range views {
+		out[i] = ProbeResult{View: v, OptCost: inf, Cost: inf}
+		c, err := r.single(v)
+		if err != nil {
+			continue
+		}
+		cands[i] = c
+		out[i].OptCost = r.OptCost(q, c)
+		if afk.GuessComplete(q.Ann, c.Ann, r.Cat.FDs) {
+			enum = append(enum, i)
+		}
+	}
+	forks := make([]*optimizer.Optimizer, len(enum))
+	for j := range forks {
+		forks[j] = r.Opt.ForkEstimates()
+	}
+	runParallel(r.probeWorkers(), len(enum), func(j int) {
+		i := enum[j]
+		sub := r.forkedWith(forks[j])
+		out[i].Plan, out[i].Cost = sub.RewriteEnum(q, cands[i])
+	})
+	for j := range enum {
+		r.Opt.MergeEstimates(forks[j])
+	}
+	return out
 }

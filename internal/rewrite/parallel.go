@@ -1,0 +1,57 @@
+package rewrite
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// probeWorkers resolves the candidate-probing pool size: ProbeWorkers when
+// positive, GOMAXPROCS otherwise. A forked (task-local) rewriter is always
+// serial — nesting pools inside a probe task would oversubscribe the pool
+// and break the one-level base/overlay structure of estimate forks.
+func (r *Rewriter) probeWorkers() int {
+	if r.forked {
+		return 1
+	}
+	if r.ProbeWorkers > 0 {
+		return r.ProbeWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runParallel executes task(0..n-1) on up to workers goroutines. Tasks are
+// claimed by atomic counter, so scheduling is nondeterministic — callers
+// must write results into index-addressed slots and fold them in index
+// order afterwards; every determinism argument in this package hangs on
+// that fold discipline, not on scheduling.
+func runParallel(workers, n int, task func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -51,27 +51,37 @@ type viewFinder struct {
 // newViewFinder is INIT: all views become initial candidates ordered by
 // OPTCOST. Irrelevant candidates (OPTCOST = ∞) are dropped immediately —
 // they can never participate in a complete rewrite (see Relevant).
+// Candidate construction and OPTCOST run on the probe pool (neither reads
+// search state); insertion folds in view order, so the queue and counters
+// are those of the serial loop.
 func newViewFinder(r *Rewriter, q *optimizer.JobNode, views []*meta.TableInfo, counters *Counters) *viewFinder {
 	vf := &viewFinder{r: r, q: q, dedup: make(map[string]bool), counters: counters}
-	for _, v := range views {
-		cand, err := r.single(v)
+	cands := make([]*Candidate, len(views))
+	runParallel(r.probeWorkers(), len(views), func(i int) {
+		c, err := r.single(views[i])
 		if err != nil {
-			continue
+			return
 		}
-		vf.push(cand)
+		c.OptCost = r.OptCost(q, c)
+		cands[i] = c
+	})
+	for _, c := range cands {
+		if c != nil {
+			vf.pushScored(c)
+		}
 	}
 	return vf
 }
 
-// push evaluates OPTCOST for a candidate and inserts it unless irrelevant
-// or already seen.
-func (vf *viewFinder) push(c *Candidate) {
+// pushScored inserts a candidate whose OPTCOST is already computed, unless
+// irrelevant or already seen. Counter semantics match the serial push:
+// every non-duplicate candidate counts as considered, relevant or not.
+func (vf *viewFinder) pushScored(c *Candidate) {
 	if vf.dedup[c.Key()] {
 		return
 	}
 	vf.dedup[c.Key()] = true
 	vf.counters.CandidatesConsidered++
-	c.OptCost = vf.r.OptCost(vf.q, c)
 	if c.OptCost >= inf {
 		return
 	}
@@ -95,9 +105,22 @@ func (vf *viewFinder) Refine() (*plan.Node, float64) {
 	}
 	v := heap.Pop(&vf.pq).(*Candidate)
 	vf.poppedBounds = append(vf.poppedBounds, v.OptCost)
+	// Merge v with every seen candidate on the probe pool. The region is
+	// read-only on search state: skip reads dedup, which only the fold
+	// below mutates, and distinct seen partners always yield distinct view
+	// sets, so no intra-refine dedup dependency is lost. Fold in seen
+	// order = the serial merge order.
 	skip := func(key string) bool { return vf.dedup[key] }
-	for _, s := range vf.seen {
-		for _, m := range vf.r.Merge(v, s, skip) {
+	merged := make([][]*Candidate, len(vf.seen))
+	runParallel(vf.r.probeWorkers(), len(vf.seen), func(i int) {
+		ms := vf.r.Merge(v, vf.seen[i], skip)
+		for _, m := range ms {
+			m.OptCost = vf.r.OptCost(vf.q, m)
+		}
+		merged[i] = ms
+	})
+	for i := range merged {
+		for _, m := range merged[i] {
 			// Any rewrite from the merged candidate also uses v and s, so
 			// both lower bounds apply; taking the max keeps the queue
 			// monotone (the merged candidate can never need examining
@@ -105,7 +128,7 @@ func (vf *viewFinder) Refine() (*plan.Node, float64) {
 			if vf.dedup[m.Key()] {
 				continue
 			}
-			vf.push(m)
+			vf.pushScored(m)
 			if m.OptCost < v.OptCost {
 				m.OptCost = v.OptCost
 				heap.Init(&vf.pq)

@@ -210,6 +210,34 @@ func putUint64(b []byte, u uint64) {
 	b[7] = byte(u >> 56)
 }
 
+// AppendKey appends the value's canonical key encoding to b and returns the
+// extended slice: a 1-byte kind tag, then a fixed-width payload (Int/Bool as
+// 8 little-endian bytes, Float as its IEEE bits) or, for strings, a 4-byte
+// little-endian length prefix followed by the bytes. The encoding is
+// injective — two values encode identically iff they are identical — and
+// prefix-free per column, so multi-column keys built by concatenation never
+// collide across column boundaries.
+func (v V) AppendKey(b []byte) []byte {
+	b = append(b, byte(v.kind))
+	switch v.kind {
+	case Int, Bool:
+		var p [8]byte
+		putUint64(p[:], uint64(v.i))
+		return append(b, p[:]...)
+	case Float:
+		var p [8]byte
+		putUint64(p[:], math.Float64bits(v.f))
+		return append(b, p[:]...)
+	case Str:
+		var p [4]byte
+		n := uint32(len(v.s))
+		p[0], p[1], p[2], p[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+		return append(append(b, p[:]...), v.s...)
+	default:
+		return b
+	}
+}
+
 // EncodedSize returns the number of bytes the value occupies in the
 // simulated on-disk representation: a 1-byte kind tag plus the payload.
 // This is the unit the storage layer and cost model account in.

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# bench_json.sh — run the hot-path benchmark suite with -benchmem and write
+# the tracked trajectory JSON (ns/op, B/op, allocs/op per benchmark).
+#
+# Usage:
+#   scripts/bench_json.sh [out.json]          # fill the "after" column
+#   BENCH_COL=before scripts/bench_json.sh    # fill the "before" column
+#
+# Environment knobs:
+#   BENCH_COL    before|after   column the run fills          (default after)
+#   BENCH_MERGE  path           prior JSON to merge with      (default out.json if it exists)
+#   BENCH_PKGS   packages       packages to benchmark         (default ./internal/mr ./internal/rewrite)
+#   BENCH_TIME   duration       -benchtime per benchmark      (default 2s)
+#   BENCH_FILTER regexp         -bench selector               (default .)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_PR4.json}
+col=${BENCH_COL:-after}
+pkgs=${BENCH_PKGS:-"./internal/mr ./internal/rewrite"}
+benchtime=${BENCH_TIME:-2s}
+filter=${BENCH_FILTER:-.}
+merge=${BENCH_MERGE:-}
+if [ -z "$merge" ] && [ -f "$out" ]; then
+  merge="$out"
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+# shellcheck disable=SC2086
+go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" $pkgs | tee "$tmp"
+
+merge_args=()
+if [ -n "$merge" ]; then
+  cp "$merge" "$tmp.prior"
+  merge_args=(-merge "$tmp.prior")
+  trap 'rm -f "$tmp" "$tmp.prior"' EXIT
+fi
+go run ./cmd/benchjson -col "$col" "${merge_args[@]}" -o "$out" < "$tmp"
+echo "benchmark trajectory written to $out (column: $col)"
