@@ -1,4 +1,9 @@
-.PHONY: build test verify bench bench-json bench-smoke fuzz-smoke
+.PHONY: build test verify bench bench-json bench-compare bench-smoke fuzz-smoke
+
+# Benchmark trajectory files: BENCH_BASE is the previous PR's tracked
+# numbers, BENCH_OUT is the file this PR refreshes and compares against it.
+BENCH_BASE ?= BENCH_PR4.json
+BENCH_OUT  ?= BENCH_PR5.json
 
 build:
 	go build ./...
@@ -14,11 +19,16 @@ verify:
 bench:
 	go test -bench=. -benchmem
 
-# Refresh the tracked benchmark trajectory (BENCH_PR4.json): runs the
+# Refresh the tracked benchmark trajectory ($(BENCH_OUT)): runs the
 # hot-path suites with -benchmem and fills the "after" column, preserving
 # any existing "before" column. Use BENCH_COL=before to (re)baseline.
 bench-json:
-	./scripts/bench_json.sh BENCH_PR4.json
+	./scripts/bench_json.sh $(BENCH_OUT)
+
+# Regression gate: compare this PR's trajectory against the previous PR's,
+# failing on any >20% ns/op slowdown.
+bench-compare:
+	go run ./cmd/benchjson -compare $(BENCH_BASE) $(BENCH_OUT)
 
 # Quick end-to-end check of the benchmark harness: one experiment with
 # -metrics, validated by cmd/metricscheck.

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// comparison is one benchmark's delta between two trajectory files, on the
+// "after" column (the measurement of each file's own tree).
+type comparison struct {
+	Name       string
+	OldNs      float64
+	NewNs      float64
+	Delta      float64 // fractional ns/op change, e.g. 0.25 = 25% slower
+	Regression bool
+}
+
+// compareReport is the outcome of comparing two trajectory files.
+type compareReport struct {
+	Rows    []comparison
+	Added   []string // benchmarks only in the new file
+	Removed []string // benchmarks only in the old file
+}
+
+// regressions lists the rows whose slowdown exceeded the threshold.
+func (r compareReport) regressions() []comparison {
+	var out []comparison
+	for _, c := range r.Rows {
+		if c.Regression {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// compareFiles diffs the After columns of two trajectory files. A
+// benchmark regresses when its new ns/op exceeds old ns/op by more than
+// threshold (fractional: 0.2 = 20%). Benchmarks present in only one file
+// are reported but never fail the comparison — new benchmarks have no
+// baseline and removed ones no measurement.
+func compareFiles(old, cur *File, threshold float64) compareReport {
+	oldBy := make(map[string]*Columns)
+	for i := range old.Benchmarks {
+		if c := old.Benchmarks[i].After; c != nil {
+			oldBy[old.Benchmarks[i].Name] = c
+		}
+	}
+	var rep compareReport
+	seen := make(map[string]bool)
+	for _, b := range cur.Benchmarks {
+		if b.After == nil {
+			continue
+		}
+		seen[b.Name] = true
+		prior, ok := oldBy[b.Name]
+		if !ok || prior.NsOp <= 0 {
+			rep.Added = append(rep.Added, b.Name)
+			continue
+		}
+		delta := b.After.NsOp/prior.NsOp - 1
+		rep.Rows = append(rep.Rows, comparison{
+			Name:       b.Name,
+			OldNs:      prior.NsOp,
+			NewNs:      b.After.NsOp,
+			Delta:      delta,
+			Regression: delta > threshold,
+		})
+	}
+	for name := range oldBy {
+		if !seen[name] {
+			rep.Removed = append(rep.Removed, name)
+		}
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool { return rep.Rows[i].Delta > rep.Rows[j].Delta })
+	sort.Strings(rep.Added)
+	sort.Strings(rep.Removed)
+	return rep
+}
+
+// render prints the comparison as an aligned table.
+func (r compareReport) render(threshold float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-50s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, c := range r.Rows {
+		mark := ""
+		if c.Regression {
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(&sb, "%-50s %14.1f %14.1f %8.1f%%%s\n", c.Name, c.OldNs, c.NewNs, 100*c.Delta, mark)
+	}
+	for _, n := range r.Added {
+		fmt.Fprintf(&sb, "%-50s %14s %14s %9s\n", n, "-", "new", "-")
+	}
+	for _, n := range r.Removed {
+		fmt.Fprintf(&sb, "%-50s %14s %14s %9s\n", n, "removed", "-", "-")
+	}
+	if reg := r.regressions(); len(reg) > 0 {
+		fmt.Fprintf(&sb, "\n%d benchmark(s) regressed more than %.0f%% ns/op\n", len(reg), 100*threshold)
+	}
+	return sb.String()
+}

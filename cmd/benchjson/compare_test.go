@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func traj(entries map[string]float64) *File {
+	f := &File{}
+	for name, ns := range entries {
+		f.Benchmarks = append(f.Benchmarks, Record{Name: name, After: &Columns{NsOp: ns}})
+	}
+	return f
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := traj(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100, "BenchmarkC": 100})
+	cur := traj(map[string]float64{"BenchmarkA": 119, "BenchmarkB": 121, "BenchmarkC": 60})
+	rep := compareFiles(old, cur, 0.20)
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rep.Rows))
+	}
+	reg := rep.regressions()
+	if len(reg) != 1 || reg[0].Name != "BenchmarkB" {
+		t.Fatalf("regressions = %+v, want just BenchmarkB", reg)
+	}
+	// Rows sort slowest-delta first.
+	if rep.Rows[0].Name != "BenchmarkB" || rep.Rows[2].Name != "BenchmarkC" {
+		t.Errorf("unexpected row order: %+v", rep.Rows)
+	}
+	out := rep.render(0.20)
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "1 benchmark(s) regressed") {
+		t.Errorf("render missing regression callout:\n%s", out)
+	}
+}
+
+func TestCompareIgnoresAddedAndRemoved(t *testing.T) {
+	old := traj(map[string]float64{"BenchmarkA": 100, "BenchmarkGone": 50})
+	cur := traj(map[string]float64{"BenchmarkA": 100, "BenchmarkNew": 9999})
+	rep := compareFiles(old, cur, 0.20)
+	if len(rep.regressions()) != 0 {
+		t.Fatalf("added/removed benchmarks must not regress: %+v", rep.regressions())
+	}
+	if len(rep.Added) != 1 || rep.Added[0] != "BenchmarkNew" {
+		t.Errorf("Added = %v", rep.Added)
+	}
+	if len(rep.Removed) != 1 || rep.Removed[0] != "BenchmarkGone" {
+		t.Errorf("Removed = %v", rep.Removed)
+	}
+}
+
+func TestCompareSkipsMissingAfterColumn(t *testing.T) {
+	old := &File{Benchmarks: []Record{
+		{Name: "BenchmarkOnlyBefore", Before: &Columns{NsOp: 100}},
+		{Name: "BenchmarkBoth", After: &Columns{NsOp: 100}},
+	}}
+	cur := traj(map[string]float64{"BenchmarkOnlyBefore": 500, "BenchmarkBoth": 100})
+	rep := compareFiles(old, cur, 0.20)
+	if len(rep.Rows) != 1 || rep.Rows[0].Name != "BenchmarkBoth" {
+		t.Fatalf("rows = %+v, want just BenchmarkBoth", rep.Rows)
+	}
+	// A record with no baseline After column counts as newly measured.
+	if len(rep.Added) != 1 || rep.Added[0] != "BenchmarkOnlyBefore" {
+		t.Errorf("Added = %v", rep.Added)
+	}
+	if len(rep.regressions()) != 0 {
+		t.Errorf("no regressions expected: %+v", rep.regressions())
+	}
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -col after -merge before.json -o BENCH_PR4.json
+//	benchjson -compare old.json new.json   # exits 1 on >20% ns/op regression
 package main
 
 import (
@@ -47,7 +48,31 @@ func main() {
 	col := flag.String("col", "after", `which column the piped bench output fills: "before" or "after"`)
 	merge := flag.String("merge", "", "existing trajectory JSON to merge with (its other column is preserved)")
 	out := flag.String("o", "", "output file (default stdout)")
+	doCompare := flag.Bool("compare", false, "compare two trajectory files' after columns: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0.20, "fractional ns/op slowdown treated as a regression in -compare mode")
 	flag.Parse()
+	if *doCompare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		oldF, err := readFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		newF, err := readFile(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		rep := compareFiles(oldF, newF, *threshold)
+		fmt.Print(rep.render(*threshold))
+		if len(rep.regressions()) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if *col != "before" && *col != "after" {
 		fmt.Fprintf(os.Stderr, "benchjson: -col must be before or after, got %q\n", *col)
 		os.Exit(2)

@@ -72,6 +72,7 @@ func main() {
 			fail("histogram %s: buckets sum to %d, count says %d", key, n, h.Count)
 		}
 	}
+	checkBatch(m)
 	if len(e.Spans) == 0 {
 		fail("no spans recorded")
 	}
@@ -80,6 +81,34 @@ func main() {
 	}
 	fmt.Printf("ok: %d counters, %d float counters, %d histograms, %d root spans\n",
 		len(m.Counters), len(m.FloatCounters), len(m.Histograms), len(e.Spans))
+}
+
+// checkBatch validates the batch executor's counter family when any of it
+// is present (non-batch runs record none of these, which is fine). The
+// shared-scan executor publishes all three families together, so a partial
+// set means a wiring bug.
+func checkBatch(m obs.Snapshot) {
+	_, dedupOK := m.Counters["batch_jobs_deduped_total"]
+	_, savedOK := m.Counters["batch_scan_bytes_saved_total"]
+	fanin, faninOK := m.Histograms["batch_shared_scan_fanin"]
+	if !dedupOK && !savedOK && !faninOK {
+		return
+	}
+	if !dedupOK || !savedOK || !faninOK {
+		fail("partial batch counter family: deduped=%v saved=%v fanin=%v",
+			dedupOK, savedOK, faninOK)
+	}
+	if m.Counters["batch_jobs_deduped_total"] < 0 {
+		fail("batch_jobs_deduped_total negative")
+	}
+	if m.Counters["batch_scan_bytes_saved_total"] < 0 {
+		fail("batch_scan_bytes_saved_total negative")
+	}
+	// Every shared scan has at least 2 consumers; the fan-in histogram's
+	// observations must be consistent with that.
+	if fanin.Count > 0 && fanin.Sum < 2*float64(fanin.Count) {
+		fail("batch_shared_scan_fanin: sum %g < 2x count %d", fanin.Sum, fanin.Count)
+	}
 }
 
 func checkSpan(sp obs.SpanExport) {

@@ -199,6 +199,25 @@ func (p Params) JobCost(s JobSpec) Breakdown {
 	return b
 }
 
+// ScanSeconds is the read component of Cm alone: the time to scan bytes
+// from HDFS at the calibrated read rate. It is the unit of account for
+// MRShare-style shared scans, where one physical scan feeds n consumers.
+func (p Params) ScanSeconds(bytes int64) float64 {
+	return float64(bytes) / p.ReadRate
+}
+
+// SharedScanSavings is the simulated seconds an n-consumer shared scan
+// saves over n independent scans of the same input: the scan is paid once
+// instead of n times, so the saving is (n-1) scans. Per-consumer map CPU,
+// combine, shuffle, reduce, and write costs are unaffected — MRShare's
+// grouping only amortizes Cm's read term.
+func (p Params) SharedScanSavings(bytes int64, consumers int) float64 {
+	if consumers <= 1 {
+		return 0
+	}
+	return float64(consumers-1) * p.ScanSeconds(bytes)
+}
+
 // Stats are simple cardinality statistics used to estimate job volumes.
 type Stats struct {
 	Rows  int64

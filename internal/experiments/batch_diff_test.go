@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"opportune/internal/fault"
+	"opportune/internal/obs"
+	"opportune/internal/session"
+	"opportune/internal/workload"
+)
+
+// seqRef runs the whole workload one query at a time (the oracle) and
+// returns result fingerprints, per-query metrics, and the counter snapshot.
+func seqRef(t *testing.T, plan *fault.Plan) (map[string]uint64, []*session.Metrics, obs.Snapshot) {
+	t.Helper()
+	cfg := QuickConfig()
+	cfg.Obs = obs.NewRegistry()
+	cfg.Faults = plan
+	s, err := newSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := make(map[string]uint64)
+	var ms []*session.Metrics
+	for _, q := range workload.AllQueries() {
+		m, err := run(s, q, session.ModeOriginal)
+		if err != nil {
+			t.Fatalf("sequential %s: %v", q.Name, err)
+		}
+		ms = append(ms, m)
+		fps[q.Name] = resultFP(t, s, m.ResultName)
+	}
+	return fps, ms, cfg.Obs.Snapshot()
+}
+
+// batchRun executes the whole workload as one RunBatch call in parity
+// accounting at the given parallelism.
+func batchRun(t *testing.T, plan *fault.Plan, workers, reduceTasks int) (map[string]uint64, []*session.Metrics, obs.Snapshot, session.BatchStats) {
+	t.Helper()
+	cfg := QuickConfig()
+	cfg.Workers = workers
+	cfg.ReduceTasks = reduceTasks
+	cfg.Obs = obs.NewRegistry()
+	cfg.Faults = plan
+	s, err := newSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := workload.AllQueries()
+	batch, err := workload.Batch(queries, session.ModeOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunBatch(batch, session.BatchOptions{Accounting: session.BatchParity})
+	if err != nil {
+		t.Fatalf("workers=%d R=%d: %v", workers, reduceTasks, err)
+	}
+	fps := make(map[string]uint64)
+	for i, q := range queries {
+		fps[q.Name] = resultFP(t, s, res.PerQuery[i].ResultName)
+	}
+	return fps, res.PerQuery, cfg.Obs.Snapshot(), res.Stats
+}
+
+func resultFP(t *testing.T, s *session.Session, name string) uint64 {
+	t.Helper()
+	ds, ok := s.Store.Meta(name)
+	if !ok {
+		t.Fatalf("result %q not in store", name)
+	}
+	return ds.Relation().Fingerprint()
+}
+
+// TestBatchParityDifferential is the batch executor's differential oracle:
+// running the entire workload as one shared-scan batch must produce
+// byte-identical result relations, identical per-query Metrics, and an
+// identical deterministic counter snapshot vs one-query-at-a-time
+// execution — across Workers ∈ {1,4,8} × ReduceTasks ∈ {1,3}, both
+// fault-free and under the scripted chaos plan.
+func TestBatchParityDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full workload 14 times")
+	}
+	grid := []struct{ w, r int }{{1, 1}, {1, 3}, {4, 1}, {4, 3}, {8, 1}, {8, 3}}
+	for _, tc := range []struct {
+		name string
+		plan *fault.Plan
+	}{{"fault-free", nil}, {"chaos", chaosPlan()}} {
+		t.Run(tc.name, func(t *testing.T) {
+			refFPs, refMs, refSnap := seqRef(t, tc.plan)
+			for _, g := range grid {
+				fps, ms, snap, stats := batchRun(t, tc.plan, g.w, g.r)
+				if !reflect.DeepEqual(fps, refFPs) {
+					t.Errorf("workers=%d R=%d: batch results differ from sequential", g.w, g.r)
+				}
+				for i := range refMs {
+					if !reflect.DeepEqual(ms[i], refMs[i]) {
+						t.Errorf("workers=%d R=%d: query %d metrics differ:\n batch %+v\n seq   %+v",
+							g.w, g.r, i, ms[i], refMs[i])
+					}
+				}
+				if !reflect.DeepEqual(snap.Counters, refSnap.Counters) {
+					t.Errorf("workers=%d R=%d: counters differ:\n batch %v\n seq   %v",
+						g.w, g.r, snap.Counters, refSnap.Counters)
+				}
+				if !reflect.DeepEqual(snap.FloatCounters, refSnap.FloatCounters) {
+					t.Errorf("workers=%d R=%d: float counters differ:\n batch %v\n seq   %v",
+						g.w, g.r, snap.FloatCounters, refSnap.FloatCounters)
+				}
+				// Parity held *while* the batch actually restructured work.
+				if stats.JobsDeduped == 0 {
+					t.Errorf("workers=%d R=%d: batch deduped nothing", g.w, g.r)
+				}
+				if stats.SharedScans == 0 {
+					t.Errorf("workers=%d R=%d: batch shared no scans", g.w, g.r)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchParityQuick is the always-on slice of the differential: one
+// analyst's four query versions, batch vs sequential, full snapshot
+// equality.
+func TestBatchParityQuick(t *testing.T) {
+	var queries []workload.Query
+	for v := 1; v <= 4; v++ {
+		queries = append(queries, workload.QueryFor(1, v))
+	}
+
+	cfgA := QuickConfig()
+	cfgA.Obs = obs.NewRegistry()
+	sa, err := newSession(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refMs []*session.Metrics
+	refFPs := make(map[string]uint64)
+	for _, q := range queries {
+		m, err := run(sa, q, session.ModeOriginal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refMs = append(refMs, m)
+		refFPs[q.Name] = resultFP(t, sa, m.ResultName)
+	}
+
+	cfgB := QuickConfig()
+	cfgB.Workers = 4
+	cfgB.ReduceTasks = 3
+	cfgB.Obs = obs.NewRegistry()
+	sb, err := newSession(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := workload.Batch(queries, session.ModeOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sb.RunBatch(batch, session.BatchOptions{Accounting: session.BatchParity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		if got := resultFP(t, sb, res.PerQuery[i].ResultName); got != refFPs[q.Name] {
+			t.Errorf("%s: batch result differs from sequential", q.Name)
+		}
+		if !reflect.DeepEqual(res.PerQuery[i], refMs[i]) {
+			t.Errorf("%s metrics differ:\n batch %+v\n seq   %+v", q.Name, res.PerQuery[i], refMs[i])
+		}
+	}
+	snapA, snapB := cfgA.Obs.Snapshot(), cfgB.Obs.Snapshot()
+	if !reflect.DeepEqual(snapB.Counters, snapA.Counters) {
+		t.Errorf("counters differ:\n batch %v\n seq   %v", snapB.Counters, snapA.Counters)
+	}
+	if !reflect.DeepEqual(snapB.FloatCounters, snapA.FloatCounters) {
+		t.Errorf("float counters differ:\n batch %v\n seq   %v", snapB.FloatCounters, snapA.FloatCounters)
+	}
+}
+
+// TestBatchParityRejectsRewriteModes: parity accounting is only defined
+// for ModeOriginal (rewrite modes would plan against a different view
+// catalog than sequential execution builds).
+func TestBatchParityRejectsRewriteModes(t *testing.T) {
+	s, err := newSession(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := workload.Batch([]workload.Query{workload.QueryFor(1, 1)}, session.ModeBFR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunBatch(batch, session.BatchOptions{Accounting: session.BatchParity}); err == nil {
+		t.Fatal("parity batch accepted a rewrite mode")
+	}
+}
+
+// TestBatchDedupExecutesSharedJobOnce is the dedup property test: two
+// query versions sharing subexpressions must execute each shared job
+// exactly once, the shared views must be visible to both pipelines, and
+// the results must match sequential execution.
+func TestBatchDedupExecutesSharedJobOnce(t *testing.T) {
+	queries := []workload.Query{workload.QueryFor(1, 1), workload.QueryFor(1, 2)}
+
+	// Sequential oracle for results and for the per-query job counts.
+	sa, err := newSession(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFPs := make(map[string]uint64)
+	submitted := 0
+	for _, q := range queries {
+		m, err := run(sa, q, session.ModeOriginal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		submitted += m.Jobs
+		refFPs[q.Name] = resultFP(t, sa, m.ResultName)
+	}
+
+	cfg := QuickConfig()
+	cfg.Obs = obs.NewRegistry()
+	sb, err := newSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := workload.Batch(queries, session.ModeOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sb.RunBatch(batch, session.BatchOptions{}) // physical accounting
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.JobsSubmitted != submitted {
+		t.Errorf("JobsSubmitted = %d, want %d", st.JobsSubmitted, submitted)
+	}
+	if st.JobsDeduped == 0 {
+		t.Fatal("consecutive query versions share subexpressions, but nothing deduped")
+	}
+	if st.JobsExecuted != st.JobsSubmitted-st.JobsDeduped {
+		t.Errorf("JobsExecuted = %d, want %d", st.JobsExecuted, st.JobsSubmitted-st.JobsDeduped)
+	}
+	snap := cfg.Obs.Snapshot()
+	// mr_jobs_total counts physical executions: each deduped job ran once.
+	if got := snap.Counters["mr_jobs_total"]; got != int64(st.JobsExecuted) {
+		t.Errorf("mr_jobs_total = %d, want %d physical executions", got, st.JobsExecuted)
+	}
+	if got := snap.Counters["batch_jobs_deduped_total"]; got != int64(st.JobsDeduped) {
+		t.Errorf("batch_jobs_deduped_total = %d, want %d", got, st.JobsDeduped)
+	}
+	if snap.Counters["batch_scan_bytes_saved_total"] <= 0 {
+		t.Error("dedup saved no scan bytes")
+	}
+	// Both pipelines' results are byte-identical to sequential execution,
+	// and the shared materializations are visible as opportunistic views.
+	for i, q := range queries {
+		if got := resultFP(t, sb, res.PerQuery[i].ResultName); got != refFPs[q.Name] {
+			t.Errorf("%s: batch result differs from sequential", q.Name)
+		}
+	}
+	views := 0
+	for _, v := range sb.Cat.Views() {
+		if sb.Store.Has(v.Name) {
+			views++
+		}
+	}
+	if views == 0 {
+		t.Error("no opportunistic views retained by the batch")
+	}
+	// Physical accounting is cheaper than attributed accounting: that is
+	// the whole point of sharing.
+	if st.SimSeconds >= st.AttributedSimSeconds {
+		t.Errorf("physical %g >= attributed %g sim-seconds", st.SimSeconds, st.AttributedSimSeconds)
+	}
+}
+
+// TestBatchThroughputExperiment: batched execution of queries sharing base
+// logs and subexpressions must beat sequential execution by the sharing
+// margin the PR promises (>=1.3x simulated), with a physically smaller job
+// count.
+func TestBatchThroughputExperiment(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.BatchSize = 4
+	r, err := RunBatchThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Queries != 8 || r.BatchSize != 4 {
+		t.Fatalf("unexpected shape: %+v", r)
+	}
+	if r.JobsExecuted >= r.JobsSubmitted {
+		t.Errorf("batching executed %d of %d submitted jobs — nothing shared", r.JobsExecuted, r.JobsSubmitted)
+	}
+	if r.SharedScans == 0 || r.ScanBytesSaved <= 0 {
+		t.Errorf("no shared scans: %+v", r)
+	}
+	if r.SimSpeedup < 1.3 {
+		t.Errorf("sim speedup = %.3fx, want >= 1.3x", r.SimSpeedup)
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
+	}
+}

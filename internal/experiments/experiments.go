@@ -51,6 +51,10 @@ type Config struct {
 	// DisableSpeculation turns off speculative re-execution of straggling
 	// tasks (the speculation-benefit experiment flips this).
 	DisableSpeculation bool
+
+	// BatchSize groups workload queries into shared-scan batches of this
+	// many queries for the batch-throughput experiment (0 = 8).
+	BatchSize int
 }
 
 // DefaultConfig is the full-size harness configuration.

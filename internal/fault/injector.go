@@ -112,6 +112,24 @@ func (in *Injector) ReadError(name string) error {
 	return nil
 }
 
+// PendingReadFaults reports how many scripted read errors are still armed.
+// The batch executor serializes execution while this is nonzero so the
+// read-error budget is consumed in the exact dataset-read order sequential
+// execution would produce; once it reaches zero, reads can no longer fault
+// and inter-job parallelism is safe.
+func (in *Injector) PendingReadFaults() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, r := range in.readsRemaining {
+		n += r
+	}
+	return n
+}
+
 func (in *Injector) count(k Kind) {
 	in.mu.Lock()
 	in.fired[k]++

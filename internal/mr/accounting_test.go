@@ -200,13 +200,19 @@ func TestFaultObsCounters(t *testing.T) {
 			t.Errorf("%s = %d, want %d", k, got, want)
 		}
 	}
+	// Summed in FaultWaste.Total()'s field order: float addition is not
+	// associative, so a map-order sum can differ in the last ulp.
 	var itemized float64
-	for comp, want := range map[string]float64{
-		"retry":       res.Faults.TaskRetrySeconds,
-		"backoff":     res.Faults.BackoffSeconds,
-		"straggler":   res.Faults.StragglerSeconds,
-		"speculation": res.Faults.SpeculationSeconds,
+	for _, cw := range []struct {
+		comp string
+		want float64
+	}{
+		{"retry", res.Faults.TaskRetrySeconds},
+		{"backoff", res.Faults.BackoffSeconds},
+		{"straggler", res.Faults.StragglerSeconds},
+		{"speculation", res.Faults.SpeculationSeconds},
 	} {
+		comp, want := cw.comp, cw.want
 		k := "mr_fault_waste_sim_seconds_total{component=" + comp + "}"
 		got, ok := snap.FloatCounters[k]
 		if !ok {

@@ -238,24 +238,53 @@ func New(store *storage.Store, params cost.Params) *Engine {
 // from its durable inputs up to MaxAttempts times, with failed attempts'
 // simulated time charged to the result.
 func (e *Engine) Run(job *Job) (*data.Relation, *Result, error) {
-	attempts := e.MaxAttempts
-	if attempts < 1 {
-		attempts = 1
-	}
 	var start time.Time
 	if e.Obs != nil {
 		start = time.Now()
 	}
 	root := e.Obs.StartSpan(job.Name, "job")
-	var wasted float64
-	var retriedIn, retriedShuf int64
+	rel, res, err := e.retryLoop(job, root, retryState{}, func(res *Result, sp *obs.Span, prior float64) (*data.Relation, error) {
+		return e.runAttempt(job, res, sp, prior)
+	})
+	root.AddSim(res.SimSeconds)
+	root.End()
+	e.record(res, err, start)
+	return rel, res, err
+}
+
+// retryState seeds the job-level retry loop with recovery accounting that
+// already happened before the loop started. RunSharedScan uses it to charge
+// a shared split phase's read retries to the primary consumer exactly as a
+// standalone Run would have.
+type retryState struct {
+	// attemptsUsed is how many failed attempts were already consumed; the
+	// loop's first attempt is numbered attemptsUsed+1 and the MaxAttempts
+	// budget covers the total.
+	attemptsUsed int
+	wasted       float64 // simulated seconds of those failed attempts
+	retriedIn    int64
+	recovered    string
+}
+
+// retryLoop is the job-level retry engine behind Run: it executes attempts
+// via exec until one succeeds (or the budget/deadline is exhausted) and
+// folds failed attempts' partial work into the final Result. Keeping this
+// in one place is what guarantees a shared-scan consumer's accounting is
+// bit-identical to a standalone run — both paths price retries here.
+func (e *Engine) retryLoop(job *Job, root *obs.Span, st retryState, exec func(res *Result, sp *obs.Span, prior float64) (*data.Relation, error)) (*data.Relation, *Result, error) {
+	attempts := e.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	wasted := st.wasted
+	retriedIn, retriedShuf := st.retriedIn, int64(0)
 	var fw FaultWaste
-	var recovered string
+	recovered := st.recovered
 	var taskRetries, stragglers, specs, specWins int
-	for attempt := 1; ; attempt++ {
+	for attempt := st.attemptsUsed + 1; ; attempt++ {
 		res := &Result{Job: job.Name}
 		asp := root.Child("attempt")
-		rel, err := e.runAttempt(job, res, asp, wasted+fw.Total())
+		rel, err := exec(res, asp, wasted+fw.Total())
 		deadlined := err != nil && errors.Is(err, ErrDeadlineExceeded)
 		var attemptCost float64
 		if err != nil {
@@ -263,17 +292,7 @@ func (e *Engine) Run(job *Job) (*data.Relation, *Result, error) {
 			// moved before dying: a panic in reduce wastes the full map
 			// and shuffle work, not just the map-side read (the partial
 			// volumes in res stop at the phase that panicked).
-			attemptCost = e.Params.JobCost(cost.JobSpec{
-				InputBytes:   res.InputBytes,
-				InputRows:    res.InputRows,
-				MapFns:       job.MapCost,
-				CombineFns:   job.CombineCost,
-				CombineRows:  res.CombineRows,
-				ShuffleBytes: res.ShuffleBytes,
-				ShuffleRows:  res.ShuffleRows,
-				ReduceFns:    job.ReduceCost,
-				OutputBytes:  res.OutputBytes,
-			}).Total()
+			attemptCost = e.PartialCost(job, res)
 		}
 		if err != nil && !deadlined && attempt < attempts {
 			asp.AddSim(attemptCost + res.Faults.Total())
@@ -313,11 +332,26 @@ func (e *Engine) Run(job *Job) (*data.Relation, *Result, error) {
 		res.RetriedInputBytes = retriedIn
 		res.RetriedShuffleBytes = retriedShuf
 		res.SimSeconds = res.Breakdown.Total() + res.WastedSeconds
-		root.AddSim(res.SimSeconds)
-		root.End()
-		e.record(res, err, start)
 		return rel, res, err
 	}
+}
+
+// PartialCost prices the volumes one dead attempt consumed before failing —
+// the same charge Run puts into WastedSeconds per recovered failure. The
+// session's batch executor uses it to replay sequential-equivalent retry
+// accounting for jobs it did not physically re-execute.
+func (e *Engine) PartialCost(job *Job, res *Result) float64 {
+	return e.Params.JobCost(cost.JobSpec{
+		InputBytes:   res.InputBytes,
+		InputRows:    res.InputRows,
+		MapFns:       job.MapCost,
+		CombineFns:   job.CombineCost,
+		CombineRows:  res.CombineRows,
+		ShuffleBytes: res.ShuffleBytes,
+		ShuffleRows:  res.ShuffleRows,
+		ReduceFns:    job.ReduceCost,
+		OutputBytes:  res.OutputBytes,
+	}).Total()
 }
 
 // runAttempt is one execution attempt; user-code panics become errors (the
@@ -345,9 +379,21 @@ func (e *Engine) fnsSim(fns []cost.LocalFn, rows int64) float64 {
 }
 
 // record publishes one finished job's counters to the metrics registry.
-// Counter values are deterministic (volumes, simulated seconds, attempt
-// counts); real wall-clock goes only into the histogram.
 func (e *Engine) record(res *Result, err error, start time.Time) {
+	if e.Obs == nil {
+		return
+	}
+	e.RecordJob(res, err, time.Since(start).Seconds())
+}
+
+// RecordJob publishes one finished job's counters to the metrics registry.
+// Counter values are deterministic (volumes, simulated seconds, attempt
+// counts); real wall-clock (wallSeconds) goes only into the histogram. It
+// is exported for the session's batch executor, which detaches Obs during
+// parallel execution and replays job records afterwards in sequential job
+// order, keeping float-counter summation order — and therefore every byte
+// of the snapshot — identical to one-query-at-a-time execution.
+func (e *Engine) RecordJob(res *Result, err error, wallSeconds float64) {
 	reg := e.Obs
 	if reg == nil {
 		return
@@ -395,7 +441,7 @@ func (e *Engine) record(res *Result, err error, start time.Time) {
 	}{{"cm", b.Cm}, {"cs", b.Cs}, {"ct", b.Ct}, {"cr", b.Cr}, {"cw", b.Cw}} {
 		reg.FloatCounter("mr_breakdown_seconds_total", "component", c.component).Add(c.seconds)
 	}
-	reg.Histogram("mr_job_wall_seconds", nil).Observe(time.Since(start).Seconds())
+	reg.Histogram("mr_job_wall_seconds", nil).Observe(wallSeconds)
 }
 
 // keyed is one shuffle record: a partition key and its row.
@@ -495,20 +541,28 @@ func runMapTask(job *Job, sp mapSplit, t *mapTaskOut) {
 	g.release()
 }
 
-func (e *Engine) execute(job *Job, res *Result, asp *obs.Span, prior float64) (*data.Relation, error) {
+// validateJob checks the static requirements execution relies on.
+func validateJob(job *Job) error {
 	if job.Map == nil && job.MapFactory == nil {
-		return nil, fmt.Errorf("mr: job %q has no map function", job.Name)
+		return fmt.Errorf("mr: job %q has no map function", job.Name)
 	}
 	if job.Output == "" {
-		return nil, fmt.Errorf("mr: job %q has no output name", job.Name)
+		return fmt.Errorf("mr: job %q has no output name", job.Name)
 	}
 	// A map-only job materializes the mapper's emissions directly, so the
 	// two schemas must agree on width — otherwise every emitted row would
 	// be malformed under OutputSchema yet only the reduce path validated it.
 	if job.Reduce == nil && job.MapOutSchema != nil && job.OutputSchema != nil &&
 		job.MapOutSchema.Len() != job.OutputSchema.Len() {
-		return nil, fmt.Errorf("mr: map-only job %q emits width %d (schema %s) but materializes schema %s",
+		return fmt.Errorf("mr: map-only job %q emits width %d (schema %s) but materializes schema %s",
 			job.Name, job.MapOutSchema.Len(), job.MapOutSchema, job.OutputSchema)
+	}
+	return nil
+}
+
+func (e *Engine) execute(job *Job, res *Result, asp *obs.Span, prior float64) (*data.Relation, error) {
+	if err := validateJob(job); err != nil {
+		return nil, err
 	}
 
 	// Split phase: read every input and cut it into map tasks.
@@ -519,6 +573,15 @@ func (e *Engine) execute(job *Job, res *Result, asp *obs.Span, prior float64) (*
 	if err != nil {
 		return nil, err
 	}
+	return e.executeFromSplits(job, res, splits, asp, prior)
+}
+
+// executeFromSplits runs the map→shuffle→reduce→materialize pipeline over
+// already-read input splits. res must carry the input volumes the splits
+// represent (splitInputs fills them; RunSharedScan copies them from the
+// shared read). Splits are read-only here, so shared-scan consumers can
+// replay one split set serially without re-reading the store.
+func (e *Engine) executeFromSplits(job *Job, res *Result, splits []mapSplit, asp *obs.Span, prior float64) (*data.Relation, error) {
 	accrued := float64(res.InputBytes) / e.Params.ReadRate
 	if err := e.deadlineCheck(job, res, prior, accrued); err != nil {
 		return nil, err

@@ -167,6 +167,12 @@ var DefSecondsBuckets = []float64{
 	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10,
 }
 
+// DefFaninBuckets are the default histogram buckets for small fan-in
+// counts, e.g. consumers per shared scan in the batch executor.
+var DefFaninBuckets = []float64{
+	1, 2, 3, 4, 6, 8, 12, 16, 24, 32,
+}
+
 // Histogram accumulates observations into fixed upper-bound buckets (plus
 // an implicit +Inf bucket). Wall-clock measurements live here, never in
 // counters, so counter snapshots stay deterministic.

@@ -1,0 +1,780 @@
+// Batch execution: MRShare-style shared-scan processing of a query batch
+// (paper §6 positions opportunistic views inside exactly this kind of
+// shared-workload executor).
+//
+// RunBatch compiles every query up front, then restructures the combined
+// job DAG three ways before anything executes:
+//
+//  1. Cross-query job dedup — jobs with the same output, input list, and
+//     producing-subplan fingerprint are the same computation; the first
+//     occurrence executes, later ones become "ghosts" that reuse its
+//     materialization (the opportunistic view is shared, not recomputed).
+//  2. Shared scans — remaining jobs reading the identical input list merge
+//     into one meta-job that scans the inputs once and feeds every
+//     consumer's map/combine/shuffle/reduce pipeline (MRShare grouping:
+//     the read term of Cm is paid once, per-consumer costs separately).
+//  3. Inter-job parallelism — the deduped unit DAG is executed with
+//     dependency-ordered parallelism across queries, not one query at a
+//     time.
+//
+// Accounting comes in two modes. BatchPhysical (the default) charges what
+// physically ran: a shared scan's bytes and seconds are counted once, and
+// dedup ghosts are not re-counted. BatchParity replays standalone-
+// equivalent accounting so per-query Metrics and the full deterministic
+// counter snapshot are byte-identical to sequential Run — it exists so the
+// differential tests can prove the restructured execution computes exactly
+// the same thing, including under injected fault plans.
+package session
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"opportune/internal/mr"
+	"opportune/internal/obs"
+	"opportune/internal/optimizer"
+	"opportune/internal/plan"
+)
+
+// BatchAccounting selects how RunBatch attributes cost and metrics.
+type BatchAccounting uint8
+
+const (
+	// BatchPhysical counts what physically executed: shared scans once,
+	// deduped jobs once. This is the mode that shows the sharing win.
+	BatchPhysical BatchAccounting = iota
+	// BatchParity replays standalone-equivalent accounting: per-query
+	// Metrics and all deterministic counters match sequential Run exactly.
+	// Supported for ModeOriginal queries only (rewrite modes would plan
+	// against a different view catalog than sequential execution builds).
+	BatchParity
+)
+
+// String names the accounting mode.
+func (a BatchAccounting) String() string {
+	if a == BatchParity {
+		return "parity"
+	}
+	return "physical"
+}
+
+// BatchQuery is one query of a batch.
+type BatchQuery struct {
+	Plan       *plan.Node
+	ResultName string
+	Mode       Mode
+}
+
+// BatchOptions configures RunBatch.
+type BatchOptions struct {
+	Accounting BatchAccounting
+	// Parallel bounds how many independent units execute concurrently;
+	// <=0 means runtime.GOMAXPROCS(0).
+	Parallel int
+}
+
+// BatchStats summarizes what the batch restructuring did.
+type BatchStats struct {
+	Queries       int
+	JobsSubmitted int // jobs across all compiled queries
+	JobsExecuted  int // physical pipeline executions after dedup
+	JobsDeduped   int // jobs satisfied by another query's execution
+
+	SharedScans         int // meta-jobs that scanned for >1 consumer
+	SharedScanConsumers int // consumers across those meta-jobs
+	ScanBytesSaved      int64
+
+	// SimSeconds is the physical simulated cost of the batch (shared scans
+	// once, ghosts free); AttributedSimSeconds is the standalone-equivalent
+	// sum over all submitted jobs; SavedSimSeconds is their difference.
+	SimSeconds           float64
+	AttributedSimSeconds float64
+	SavedSimSeconds      float64
+
+	WallSeconds float64
+}
+
+// BatchResult is RunBatch's report: per-query metrics in input order plus
+// batch-level statistics.
+type BatchResult struct {
+	PerQuery []*Metrics
+	Stats    BatchStats
+}
+
+// batchConsumer is one compiled job of one query — the unit of attribution.
+// rank is its flattened sequential position: executing consumers strictly
+// in rank order is, by construction, exactly what Run-in-a-loop would do.
+type batchConsumer struct {
+	rank   int
+	qi, ji int
+	job    *mr.Job
+	jn     *optimizer.JobNode
+
+	unit *batchUnit     // physical unit executing this job (nil for ghosts)
+	dup  *batchConsumer // representative this job deduped onto
+
+	res     *mr.Result // standalone-equivalent attributed result
+	wall    float64
+	physSim float64 // physically-charged simulated seconds (0 for ghosts)
+
+	// Ghost read-replay artifacts (parity mode): dedup ghosts and shared-
+	// scan secondaries re-read their inputs so storage counters and the
+	// read-fault budget drain exactly as sequential execution would.
+	ghostDone  bool
+	gAttempts  int
+	gWasted    float64
+	gRetried   int64
+	gRecovered string
+}
+
+// batchUnit is one physical execution: a singleton job or a shared-scan
+// meta-job covering several consumers (rank order, consumers[0] primary).
+type batchUnit struct {
+	rank      int
+	consumers []*batchConsumer
+	deps      map[*batchUnit]struct{}
+
+	shared *mr.SharedScanResult
+	err    error
+	done   bool
+}
+
+// plannedQuery carries one query's upfront compilation.
+type plannedQuery struct {
+	m      *Metrics
+	chosen *plan.Node
+	w      *optimizer.Work
+	jobs   []*mr.Job
+}
+
+// RunBatch executes a batch of queries as one restructured job DAG: shared
+// subexpressions execute once, same-input jobs share scans, and independent
+// units run in parallel. Results are materialized under each query's
+// ResultName and all job outputs are retained as opportunistic views,
+// exactly as per-query Run does. RunBatch must not run concurrently with
+// Run or another RunBatch on the same session: it detaches the engine's
+// metrics registry during parallel execution and replays job records in
+// deterministic order afterwards.
+func (s *Session) RunBatch(queries []BatchQuery, opts BatchOptions) (*BatchResult, error) {
+	start := time.Now()
+	out := &BatchResult{PerQuery: make([]*Metrics, len(queries))}
+	if len(queries) == 0 {
+		return out, nil
+	}
+	parity := opts.Accounting == BatchParity
+	if parity {
+		for _, q := range queries {
+			if q.Mode != ModeOriginal {
+				return nil, fmt.Errorf("session: batch parity accounting supports ModeOriginal only (query %q is %s)",
+					q.ResultName, q.Mode)
+			}
+		}
+	}
+
+	plans, err := s.planBatch(queries, parity)
+	if err != nil {
+		return nil, err
+	}
+
+	perQuery, consumers := buildConsumers(plans)
+	units := buildUnits(consumers)
+
+	// Pin everything the batch touches (deduplicated, so the union pin
+	// itself registers no contention): no query's input or intermediate may
+	// be evicted while another query still needs it.
+	pinSet := make(map[string]bool)
+	for _, p := range plans {
+		if p.jobs == nil {
+			continue
+		}
+		for _, n := range pinList(p.chosen, p.w) {
+			pinSet[n] = true
+		}
+	}
+	pinned := make([]string, 0, len(pinSet))
+	for n := range pinSet {
+		pinned = append(pinned, n)
+	}
+	sort.Strings(pinned)
+	s.Store.Pin(pinned)
+
+	// Execute with the engine's registry detached: job records are replayed
+	// in sequential job order during finalization, which keeps float-counter
+	// summation order — and so every byte of the snapshot — deterministic.
+	savedObs := s.Eng.Obs
+	s.Eng.Obs = nil
+	execErr := s.executeBatch(consumers, units, opts.Parallel, parity)
+	s.Eng.Obs = savedObs
+	s.Store.Unpin(pinned)
+	if execErr != nil {
+		return nil, execErr
+	}
+
+	if err := s.finalizeBatch(queries, plans, perQuery, out, parity); err != nil {
+		return nil, err
+	}
+	s.Store.EnforceBudget()
+
+	s.batchStats(&out.Stats, queries, consumers, units, parity)
+	out.Stats.WallSeconds = time.Since(start).Seconds()
+	return out, nil
+}
+
+// planBatch compiles every query up front. In parity mode the optimizer's
+// counters are detached here: planning is replayed per query during
+// finalization, when the catalog holds exactly the views and statistics
+// sequential planning would have seen, so estimate-cache counters match.
+func (s *Session) planBatch(queries []BatchQuery, parity bool) ([]plannedQuery, error) {
+	savedOptObs := s.Opt.Obs
+	if parity {
+		s.Opt.Obs = nil
+		defer func() { s.Opt.Obs = savedOptObs }()
+	}
+	plans := make([]plannedQuery, len(queries))
+	for qi, q := range queries {
+		m, chosen, w, jobs, err := s.planQuery(q.Plan, q.ResultName, q.Mode)
+		if err != nil {
+			s.Obs.Counter("session_query_failures_total", "mode", q.Mode.String()).Inc()
+			return nil, fmt.Errorf("session: batch query %d (%s): %w", qi, q.ResultName, err)
+		}
+		plans[qi] = plannedQuery{m: m, chosen: chosen, w: w, jobs: jobs}
+	}
+	return plans, nil
+}
+
+// buildConsumers flattens the compiled queries into rank-ordered consumers
+// and marks cross-query duplicates: same output, same input list, and same
+// producing-subplan fingerprint means the same computation, so later
+// occurrences dedup onto the first. Sinks never collide (each query has a
+// distinct result name).
+func buildConsumers(plans []plannedQuery) ([][]*batchConsumer, []*batchConsumer) {
+	perQuery := make([][]*batchConsumer, len(plans))
+	var consumers []*batchConsumer
+	for qi, p := range plans {
+		for ji, job := range p.jobs {
+			c := &batchConsumer{
+				rank: len(consumers),
+				qi:   qi, ji: ji,
+				job: job,
+				jn:  p.w.Nodes[ji],
+			}
+			perQuery[qi] = append(perQuery[qi], c)
+			consumers = append(consumers, c)
+		}
+	}
+	reps := make(map[string]*batchConsumer)
+	for _, c := range consumers {
+		key := c.job.Output + "\x00" + c.jn.PlanFP
+		for _, in := range c.job.Inputs {
+			key += "\x00" + in
+		}
+		if rep, ok := reps[key]; ok {
+			c.dup = rep
+			continue
+		}
+		reps[key] = c
+	}
+	return perQuery, consumers
+}
+
+// buildUnits groups the physical (non-ghost) consumers into execution
+// units — shared-scan meta-jobs for identical input lists, singletons
+// otherwise — and wires the unit dependency DAG from input/output names.
+func buildUnits(consumers []*batchConsumer) []*batchUnit {
+	inputsKey := func(job *mr.Job) string {
+		k := ""
+		for _, in := range job.Inputs {
+			k += in + "\x00"
+		}
+		return k
+	}
+	byInputs := make(map[string][]*batchConsumer)
+	for _, c := range consumers {
+		if c.dup != nil {
+			continue
+		}
+		k := inputsKey(c.job)
+		byInputs[k] = append(byInputs[k], c)
+	}
+	var units []*batchUnit
+	for _, c := range consumers {
+		if c.dup != nil || c.unit != nil {
+			continue
+		}
+		// Greedily take every still-unassigned group member, skipping
+		// output-name collisions: two distinct jobs materializing the same
+		// name must keep their sequential write order, so the later one
+		// forms its own unit and the writer chain below orders them.
+		var members []*batchConsumer
+		outs := make(map[string]bool)
+		for _, m := range byInputs[inputsKey(c.job)] {
+			if m.unit != nil || outs[m.job.Output] {
+				continue
+			}
+			outs[m.job.Output] = true
+			members = append(members, m)
+		}
+		u := &batchUnit{rank: members[0].rank, consumers: members, deps: make(map[*batchUnit]struct{})}
+		for _, m := range members {
+			m.unit = u
+		}
+		units = append(units, u)
+	}
+
+	// producers[name] lists every consumer materializing name, rank order.
+	producers := make(map[string][]*batchConsumer)
+	for _, c := range consumers {
+		producers[c.job.Output] = append(producers[c.job.Output], c)
+	}
+	physUnit := func(c *batchConsumer) *batchUnit {
+		if c.dup != nil {
+			return c.dup.unit
+		}
+		return c.unit
+	}
+	// Each consumer depends on the last producer of each of its inputs with
+	// a lower rank — exactly the dataset version sequential execution would
+	// read. Base datasets have no producer and impose no edge.
+	for _, u := range units {
+		for _, m := range u.consumers {
+			for _, in := range m.job.Inputs {
+				var last *batchConsumer
+				for _, p := range producers[in] {
+					if p.rank >= m.rank {
+						break
+					}
+					last = p
+				}
+				if last == nil {
+					continue
+				}
+				if pu := physUnit(last); pu != nil && pu != u {
+					u.deps[pu] = struct{}{}
+				}
+			}
+		}
+	}
+	// Writer chains: distinct physical units materializing the same name
+	// run in rank order, so the final stored version is sequential's.
+	for _, ps := range producers {
+		var prev *batchUnit
+		for _, p := range ps {
+			u := physUnit(p)
+			if u == nil {
+				continue
+			}
+			if prev != nil && u != prev {
+				u.deps[prev] = struct{}{}
+			}
+			prev = u
+		}
+	}
+	return units
+}
+
+// executeBatch runs the unit DAG. While scripted read faults are still
+// armed, items (physical units and, in parity mode, ghost read replays)
+// are processed strictly in rank order so the read-error budget drains in
+// the exact order sequential execution would produce; once no read can
+// fault anymore, the remaining units run with dependency-ordered
+// parallelism.
+func (s *Session) executeBatch(consumers []*batchConsumer, units []*batchUnit, parallel int, parity bool) error {
+	type item struct {
+		rank int
+		unit *batchUnit
+		c    *batchConsumer // ghost read replay (parity)
+	}
+	var items []item
+	for _, u := range units {
+		items = append(items, item{rank: u.rank, unit: u})
+	}
+	if parity {
+		for _, c := range consumers {
+			if c.dup != nil || (c.unit != nil && c != c.unit.consumers[0]) {
+				items = append(items, item{rank: c.rank, c: c})
+			}
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].rank < items[j].rank })
+
+	idx := 0
+	for idx < len(items) && s.Eng.Faults.PendingReadFaults() > 0 {
+		it := items[idx]
+		idx++
+		if it.unit != nil {
+			s.runUnit(it.unit)
+			it.unit.done = true
+			if it.unit.err != nil {
+				return it.unit.err
+			}
+		} else if err := s.replayGhostReads(it.c); err != nil {
+			return err
+		}
+	}
+	var rest []*batchUnit
+	for _, it := range items[idx:] {
+		if it.unit != nil {
+			rest = append(rest, it.unit)
+		}
+		// Ghost replays left over run during finalization: with the fault
+		// budget drained their reads cannot fail, only count.
+	}
+	return runUnitsParallel(rest, parallel, s.runUnit)
+}
+
+// runUnit executes one unit: a plain engine run for singletons, a shared-
+// scan meta-job otherwise. The engine registry is detached here, so no
+// metrics are recorded yet.
+func (s *Session) runUnit(u *batchUnit) {
+	t0 := time.Now()
+	if len(u.consumers) == 1 {
+		c := u.consumers[0]
+		_, res, err := s.Eng.Run(c.job)
+		c.res = res
+		c.wall = time.Since(t0).Seconds()
+		u.err = err
+		return
+	}
+	jobs := make([]*mr.Job, len(u.consumers))
+	for i, c := range u.consumers {
+		jobs[i] = c.job
+	}
+	_, ssr, err := s.Eng.RunSharedScan(jobs)
+	if err != nil {
+		u.err = err
+		return
+	}
+	u.shared = ssr
+	wall := time.Since(t0).Seconds() / float64(len(u.consumers))
+	for i, c := range u.consumers {
+		c.res = ssr.Results[i]
+		c.wall = wall
+	}
+}
+
+// runUnitsParallel executes units whose read phases can no longer fault,
+// level by level: every unit whose dependencies are satisfied runs
+// concurrently (bounded by parallel), then the next level. A dependency
+// cycle — only possible from pathological same-output plans — falls back
+// to sequential rank order, which is always safe.
+func runUnitsParallel(rest []*batchUnit, parallel int, run func(*batchUnit)) error {
+	if len(rest) == 0 {
+		return nil
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	remaining := rest
+	for len(remaining) > 0 {
+		var ready, blocked []*batchUnit
+		for _, u := range remaining {
+			ok := true
+			for d := range u.deps {
+				if !d.done {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, u)
+			} else {
+				blocked = append(blocked, u)
+			}
+		}
+		if len(ready) == 0 {
+			sort.Slice(remaining, func(i, j int) bool { return remaining[i].rank < remaining[j].rank })
+			for _, u := range remaining {
+				run(u)
+				u.done = true
+				if u.err != nil {
+					return u.err
+				}
+			}
+			return nil
+		}
+		sort.Slice(ready, func(i, j int) bool { return ready[i].rank < ready[j].rank })
+		sem := make(chan struct{}, parallel)
+		var wg sync.WaitGroup
+		for _, u := range ready {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(u *batchUnit) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				run(u)
+			}(u)
+		}
+		wg.Wait()
+		for _, u := range ready {
+			u.done = true
+			if u.err != nil {
+				return u.err
+			}
+		}
+		remaining = blocked
+	}
+	return nil
+}
+
+// replayGhostReads re-reads a ghost consumer's inputs with the standalone
+// retry budget, reproducing the storage read counters and read-fault
+// retries its standalone run would have caused. Failed attempts are priced
+// with the engine's own partial-cost formula.
+func (s *Session) replayGhostReads(c *batchConsumer) error {
+	if c.ghostDone {
+		return nil
+	}
+	attempts := s.Eng.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		var bytes, rows int64
+		var ferr error
+		for _, name := range c.job.Inputs {
+			rel, err := s.Store.Read(name)
+			if err != nil {
+				ferr = fmt.Errorf("mr: job %q: %w", c.job.Name, err)
+				break
+			}
+			bytes += rel.EncodedSize()
+			rows += int64(rel.Len())
+		}
+		if ferr == nil {
+			c.gAttempts = attempt
+			c.ghostDone = true
+			return nil
+		}
+		if attempt >= attempts {
+			return ferr
+		}
+		c.gWasted += s.Eng.PartialCost(c.job, &mr.Result{InputBytes: bytes, InputRows: rows})
+		c.gRetried += bytes
+		c.gRecovered = ferr.Error()
+	}
+}
+
+// physicalResult is the physically-charged view of a consumer's result:
+// shared-scan secondaries drop the scan they did not perform (bytes to
+// zero, Cm minus one scan); primaries and singletons are already physical.
+func (s *Session) physicalResult(c *batchConsumer) *mr.Result {
+	if c.unit == nil || len(c.unit.consumers) == 1 || c == c.unit.consumers[0] {
+		return c.res
+	}
+	r := *c.res
+	r.Breakdown.Cm -= s.Eng.Params.ScanSeconds(r.InputBytes)
+	r.InputBytes = 0
+	r.SimSeconds = r.Breakdown.Total() + r.WastedSeconds
+	return &r
+}
+
+// finalizeBatch replays, per query in input order, everything sequential
+// execution interleaves with running jobs: parity planning, ghost
+// accounting, job records, pinning, view retention and statistics, and the
+// session-level metrics — all serially, so every counter is deterministic
+// and (in parity mode) byte-identical to sequential Run.
+func (s *Session) finalizeBatch(queries []BatchQuery, plans []plannedQuery, perQuery [][]*batchConsumer, out *BatchResult, parity bool) error {
+	for qi, q := range queries {
+		p := plans[qi]
+		m := p.m
+		qsp := s.Obs.StartSpan(q.ResultName, "query")
+		psp := qsp.Child("plan")
+		if parity {
+			// Ghost planning replay: re-derive the estimates with counters
+			// attached, against the catalog state sequential planning would
+			// see at this point (all prior queries' views retained).
+			s.planMu.Lock()
+			s.Opt.ClearEstimates()
+			_, err := s.Opt.Compile(q.Plan)
+			s.planMu.Unlock()
+			if err != nil {
+				qsp.End()
+				return fmt.Errorf("session: batch replay compile %q: %w", q.ResultName, err)
+			}
+		}
+		psp.End()
+
+		if p.jobs != nil {
+			esp := qsp.Child("execute")
+			var exec float64
+			var moved int64
+			for _, c := range perQuery[qi] {
+				if err := s.finalizeConsumer(c, parity); err != nil {
+					esp.End()
+					qsp.End()
+					return err
+				}
+				exec += c.res.SimSeconds
+				moved += c.res.DataMovedBytes()
+			}
+			m.ExecSeconds = exec
+			m.Jobs = len(p.jobs)
+			m.DataMovedBytes = moved
+			esp.AddSim(m.ExecSeconds)
+			esp.End()
+
+			if parity {
+				// Pin replay: sequential pins each query's list (duplicates
+				// included) around execution; replaying it reproduces the
+				// pin-contention counter exactly.
+				names := pinList(p.chosen, p.w)
+				s.Store.Pin(names)
+				s.Store.Unpin(names)
+			}
+			s.creditRewrite(m, p.chosen)
+
+			sec, err := s.retainViews(p.w, q.ResultName)
+			if err != nil {
+				qsp.End()
+				return err
+			}
+			m.StatsSeconds = sec
+			if m.StatsSeconds > 0 {
+				ssp := qsp.Child("stats")
+				ssp.AddSim(m.StatsSeconds)
+				ssp.End()
+			}
+		}
+		qsp.AddSim(m.ExecSeconds + m.StatsSeconds)
+		qsp.End()
+		s.record(m)
+		out.PerQuery[qi] = m
+	}
+	return nil
+}
+
+// finalizeConsumer settles one job's attributed result and replays its
+// record. Parity mode synthesizes standalone-equivalent results for ghosts
+// (dedup reuse and shared-scan secondaries) and records every consumer;
+// physical mode records physical executions only, with shared-scan
+// secondaries discounted.
+func (s *Session) finalizeConsumer(c *batchConsumer, parity bool) error {
+	secondary := c.unit != nil && len(c.unit.consumers) > 1 && c != c.unit.consumers[0]
+	if c.dup != nil {
+		// Deduped job: attribute the representative's execution.
+		if !parity {
+			c.res = c.dup.res
+			return nil
+		}
+		if err := s.replayGhostReads(c); err != nil {
+			return err
+		}
+		res := *c.dup.res
+		res.Job = c.job.Name
+		res.Attempts = c.gAttempts
+		res.RetriedInputBytes = c.gRetried
+		res.RetriedShuffleBytes = 0
+		res.WastedSeconds = c.gWasted + res.Faults.Total()
+		res.SimSeconds = res.Breakdown.Total() + res.WastedSeconds
+		if res.TaskRetries == 0 {
+			// The representative's recovered error was its own read fault;
+			// this job's standalone run would have seen its own (or none).
+			// Task-level errors re-fire identically and are kept.
+			res.RecoveredError = c.gRecovered
+		}
+		c.res = &res
+		// Write replay: the standalone run would have re-materialized the
+		// (identical) output; re-putting the stored relation reproduces the
+		// write counters and retention bookkeeping.
+		if ds, ok := s.Store.Meta(c.job.Output); ok {
+			s.Store.Put(c.job.Output, c.job.OutputKind, ds.Relation())
+		}
+		s.Eng.RecordJob(c.res, nil, c.wall)
+		return nil
+	}
+
+	if parity && secondary {
+		if err := s.replayGhostReads(c); err != nil {
+			return err
+		}
+		c.physSim = s.physicalResult(c).SimSeconds
+		if c.gAttempts > 1 {
+			// Overlay the replayed read retries onto the shared-scan
+			// secondary, whose own result saw the scan succeed first try.
+			res := c.res
+			pipeWaste := res.WastedSeconds - res.Faults.Total()
+			res.Attempts += c.gAttempts - 1
+			res.RetriedInputBytes += c.gRetried
+			res.WastedSeconds = (c.gWasted + pipeWaste) + res.Faults.Total()
+			res.SimSeconds = res.Breakdown.Total() + res.WastedSeconds
+			if res.RecoveredError == "" {
+				res.RecoveredError = c.gRecovered
+			}
+		}
+		s.Eng.RecordJob(c.res, nil, c.wall)
+		return nil
+	}
+
+	if parity {
+		c.physSim = c.res.SimSeconds
+		s.Eng.RecordJob(c.res, nil, c.wall)
+		return nil
+	}
+	pr := s.physicalResult(c)
+	c.physSim = pr.SimSeconds
+	s.Eng.RecordJob(pr, nil, c.wall)
+	return nil
+}
+
+// creditRewrite credits the views a successful rewrite read with the cost
+// it saved — shared with the sequential path's benefit accounting.
+func (s *Session) creditRewrite(m *Metrics, chosen *plan.Node) {
+	if m.Rewrite == nil || !m.Rewrite.Improved {
+		return
+	}
+	saved := m.Rewrite.OriginalCost - m.Rewrite.Cost
+	if saved <= 0 {
+		return
+	}
+	plan.Walk(chosen, func(n *plan.Node) {
+		if n.Kind == plan.KindScan {
+			if t, ok := s.Cat.Table(n.Dataset); ok && t.IsView {
+				s.Store.AddBenefit(n.Dataset, saved)
+			}
+		}
+	})
+}
+
+// batchStats fills the batch-level summary and publishes the batch_*
+// metrics. The metrics are physical-mode only: parity mode's contract is
+// that the counter snapshot is byte-identical to sequential execution,
+// which has no batch counters.
+func (s *Session) batchStats(st *BatchStats, queries []BatchQuery, consumers []*batchConsumer, units []*batchUnit, parity bool) {
+	st.Queries = len(queries)
+	st.JobsSubmitted = len(consumers)
+	for _, c := range consumers {
+		st.AttributedSimSeconds += c.res.SimSeconds
+		if c.dup != nil {
+			st.JobsDeduped++
+			st.ScanBytesSaved += c.dup.res.InputBytes
+		} else {
+			st.JobsExecuted++
+			st.SimSeconds += c.physSim
+		}
+	}
+	for _, u := range units {
+		if u.shared != nil {
+			st.SharedScans++
+			st.SharedScanConsumers += len(u.consumers)
+			st.ScanBytesSaved += u.shared.SavedBytes
+		}
+	}
+	st.SavedSimSeconds = st.AttributedSimSeconds - st.SimSeconds
+
+	if parity || s.Obs == nil {
+		return
+	}
+	// Zero-valued Adds still create the counters, keeping the metric key
+	// set stable whether or not this batch found anything to share.
+	s.Obs.Counter("batch_jobs_deduped_total").Add(int64(st.JobsDeduped))
+	s.Obs.Counter("batch_scan_bytes_saved_total").Add(st.ScanBytesSaved)
+	h := s.Obs.Histogram("batch_shared_scan_fanin", obs.DefFaninBuckets)
+	for _, u := range units {
+		if u.shared != nil {
+			h.Observe(float64(len(u.consumers)))
+		}
+	}
+}

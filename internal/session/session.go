@@ -260,15 +260,7 @@ func (s *Session) executePlan(m *Metrics, chosen *plan.Node, w *optimizer.Work, 
 	// Pin the plan's input datasets and its own intermediate outputs
 	// against capacity eviction for the run: a job's materialization must
 	// not evict a view a later job of the same plan reads.
-	var inputs []string
-	plan.Walk(chosen, func(n *plan.Node) {
-		if n.Kind == plan.KindScan {
-			inputs = append(inputs, n.Dataset)
-		}
-	})
-	for _, jn := range w.Nodes {
-		inputs = append(inputs, jn.ViewName)
-	}
+	inputs := pinList(chosen, w)
 	s.Store.Pin(inputs)
 	_, agg, err := s.Eng.RunSequence(jobs)
 	s.Store.Unpin(inputs)
@@ -278,24 +270,44 @@ func (s *Session) executePlan(m *Metrics, chosen *plan.Node, w *optimizer.Work, 
 	}
 	// Credit the views a successful rewrite read with the cost it saved —
 	// the signal the cost-benefit reclamation policy ranks on (§10).
-	if m.Rewrite != nil && m.Rewrite.Improved {
-		saved := m.Rewrite.OriginalCost - m.Rewrite.Cost
-		if saved > 0 {
-			plan.Walk(chosen, func(n *plan.Node) {
-				if n.Kind == plan.KindScan {
-					if t, ok := s.Cat.Table(n.Dataset); ok && t.IsView {
-						s.Store.AddBenefit(n.Dataset, saved)
-					}
-				}
-			})
-		}
-	}
+	s.creditRewrite(m, chosen)
 	m.ExecSeconds = agg.SimSeconds
 	m.Jobs = agg.Jobs
 	m.DataMovedBytes = agg.DataMovedBytes()
 
 	// Retain job outputs as opportunistic views: register metadata and
 	// collect statistics with the lightweight sampling job (§2.1).
+	sec, err := s.retainViews(w, resultName)
+	if err != nil {
+		return nil, err
+	}
+	m.StatsSeconds += sec
+	return m, nil
+}
+
+// pinList is the set of dataset names one plan's execution pins against
+// capacity eviction: every scanned input plus every job materialization.
+// Names may repeat; Pin/Unpin are count-based per call site.
+func pinList(chosen *plan.Node, w *optimizer.Work) []string {
+	var inputs []string
+	plan.Walk(chosen, func(n *plan.Node) {
+		if n.Kind == plan.KindScan {
+			inputs = append(inputs, n.Dataset)
+		}
+	})
+	for _, jn := range w.Nodes {
+		inputs = append(inputs, jn.ViewName)
+	}
+	return inputs
+}
+
+// retainViews registers every new materialization of an executed plan as an
+// opportunistic view and samples its statistics, in node order; the sink is
+// retained under resultName. Returns the simulated seconds the sampling
+// jobs cost. Both the sequential and the batch executor finalize queries
+// through this one helper so retention behavior cannot drift between them.
+func (s *Session) retainViews(w *optimizer.Work, resultName string) (float64, error) {
+	var total float64
 	for i, jn := range w.Nodes {
 		name := jn.ViewName
 		if jn == w.Sink() {
@@ -312,12 +324,12 @@ func (s *Session) executePlan(m *Metrics, chosen *plan.Node, w *optimizer.Work, 
 		s.Cat.RegisterView(name, jn.OutCols, jn.Ann, cost.Stats{}, jn.PlanFP)
 		sec, err := s.Cat.CollectStats(s.Eng, name, s.statsSeed.Add(1)+int64(i))
 		if err != nil {
-			return nil, err
+			return total, err
 		}
-		m.StatsSeconds += sec
+		total += sec
 	}
 	s.Cat.SyncWithStore(s.Store)
-	return m, nil
+	return total, nil
 }
 
 // DropViews clears all opportunistic views from store and catalog

@@ -17,6 +17,21 @@ func NewSession(sc Scale) (*session.Session, error) {
 	return s, nil
 }
 
+// Batch parses workload queries into entries for Session.RunBatch, all
+// under the given mode. Result tables keep their workload names, so batch
+// and sequential execution materialize the same datasets.
+func Batch(qs []Query, mode session.Mode) ([]session.BatchQuery, error) {
+	out := make([]session.BatchQuery, 0, len(qs))
+	for _, q := range qs {
+		st, err := hiveql.ParseOne(q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s: %w", q.Name, err)
+		}
+		out = append(out, session.BatchQuery{Plan: st.Plan, ResultName: st.Table, Mode: mode})
+	}
+	return out, nil
+}
+
 // Exec parses and runs one workload query under the given mode.
 func Exec(s *session.Session, q Query, mode session.Mode) (*session.Metrics, error) {
 	st, err := hiveql.ParseOne(q.SQL)
