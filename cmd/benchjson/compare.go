@@ -14,6 +14,14 @@ type comparison struct {
 	NewNs      float64
 	Delta      float64 // fractional ns/op change, e.g. 0.25 = 25% slower
 	Regression bool
+
+	// Allocation gating: a benchmark that got no slower can still regress
+	// by allocating more per op (GC pressure the ns/op of a microbenchmark
+	// under-reports). Gated only when the baseline recorded allocations.
+	OldAllocs        float64
+	NewAllocs        float64
+	AllocsDelta      float64
+	AllocsRegression bool
 }
 
 // compareReport is the outcome of comparing two trajectory files.
@@ -21,24 +29,43 @@ type compareReport struct {
 	Rows    []comparison
 	Added   []string // benchmarks only in the new file
 	Removed []string // benchmarks only in the old file
+	// Suspect lists benchmarks whose baseline entry exists but carries a
+	// non-positive ns/op — a corrupt or hand-edited measurement. These are
+	// reported (and fail the comparison) instead of being silently
+	// reclassified as newly added, which would waive the regression gate.
+	Suspect []string
 }
 
-// regressions lists the rows whose slowdown exceeded the threshold.
+// regressions lists the rows that failed either gate.
 func (r compareReport) regressions() []comparison {
 	var out []comparison
 	for _, c := range r.Rows {
-		if c.Regression {
+		if c.Regression || c.AllocsRegression {
 			out = append(out, c)
 		}
 	}
 	return out
 }
 
+// failed reports whether the comparison should gate a build: a regression
+// on either metric, or a suspect baseline that prevented comparing at all.
+func (r compareReport) failed() bool {
+	return len(r.regressions()) > 0 || len(r.Suspect) > 0
+}
+
+// allocRegressionFloor is the absolute allocs/op increase an allocation
+// regression must also exceed: going from 1 to 2 allocs doubles the
+// fraction but is noise, while +8 allocs on a hot path is structural.
+const allocRegressionFloor = 8
+
 // compareFiles diffs the After columns of two trajectory files. A
 // benchmark regresses when its new ns/op exceeds old ns/op by more than
-// threshold (fractional: 0.2 = 20%). Benchmarks present in only one file
-// are reported but never fail the comparison — new benchmarks have no
-// baseline and removed ones no measurement.
+// threshold (fractional: 0.2 = 20%), or when its allocs/op grew by more
+// than the same fraction AND by more than allocRegressionFloor absolute.
+// Benchmarks present in only one file are reported but never fail the
+// comparison — new benchmarks have no baseline and removed ones no
+// measurement. A baseline entry with ns/op <= 0 is reported as suspect and
+// fails the comparison rather than counting as "added".
 func compareFiles(old, cur *File, threshold float64) compareReport {
 	oldBy := make(map[string]*Columns)
 	for i := range old.Benchmarks {
@@ -54,18 +81,30 @@ func compareFiles(old, cur *File, threshold float64) compareReport {
 		}
 		seen[b.Name] = true
 		prior, ok := oldBy[b.Name]
-		if !ok || prior.NsOp <= 0 {
+		if !ok {
 			rep.Added = append(rep.Added, b.Name)
 			continue
 		}
+		if prior.NsOp <= 0 {
+			rep.Suspect = append(rep.Suspect, b.Name)
+			continue
+		}
 		delta := b.After.NsOp/prior.NsOp - 1
-		rep.Rows = append(rep.Rows, comparison{
+		c := comparison{
 			Name:       b.Name,
 			OldNs:      prior.NsOp,
 			NewNs:      b.After.NsOp,
 			Delta:      delta,
 			Regression: delta > threshold,
-		})
+			OldAllocs:  prior.AllocsOp,
+			NewAllocs:  b.After.AllocsOp,
+		}
+		if prior.AllocsOp > 0 {
+			c.AllocsDelta = b.After.AllocsOp/prior.AllocsOp - 1
+			c.AllocsRegression = c.AllocsDelta > threshold &&
+				b.After.AllocsOp-prior.AllocsOp > allocRegressionFloor
+		}
+		rep.Rows = append(rep.Rows, c)
 	}
 	for name := range oldBy {
 		if !seen[name] {
@@ -75,6 +114,7 @@ func compareFiles(old, cur *File, threshold float64) compareReport {
 	sort.Slice(rep.Rows, func(i, j int) bool { return rep.Rows[i].Delta > rep.Rows[j].Delta })
 	sort.Strings(rep.Added)
 	sort.Strings(rep.Removed)
+	sort.Strings(rep.Suspect)
 	return rep
 }
 
@@ -87,6 +127,9 @@ func (r compareReport) render(threshold float64) string {
 		if c.Regression {
 			mark = "  REGRESSION"
 		}
+		if c.AllocsRegression {
+			mark += fmt.Sprintf("  ALLOCS-REGRESSION (%.0f -> %.0f allocs/op)", c.OldAllocs, c.NewAllocs)
+		}
 		fmt.Fprintf(&sb, "%-50s %14.1f %14.1f %8.1f%%%s\n", c.Name, c.OldNs, c.NewNs, 100*c.Delta, mark)
 	}
 	for _, n := range r.Added {
@@ -95,8 +138,14 @@ func (r compareReport) render(threshold float64) string {
 	for _, n := range r.Removed {
 		fmt.Fprintf(&sb, "%-50s %14s %14s %9s\n", n, "removed", "-", "-")
 	}
+	for _, n := range r.Suspect {
+		fmt.Fprintf(&sb, "%-50s %14s %14s %9s  SUSPECT BASELINE\n", n, "<=0", "?", "-")
+	}
 	if reg := r.regressions(); len(reg) > 0 {
-		fmt.Fprintf(&sb, "\n%d benchmark(s) regressed more than %.0f%% ns/op\n", len(reg), 100*threshold)
+		fmt.Fprintf(&sb, "\n%d benchmark(s) regressed more than %.0f%% (ns/op or allocs/op)\n", len(reg), 100*threshold)
+	}
+	if len(r.Suspect) > 0 {
+		fmt.Fprintf(&sb, "\n%d suspect baseline(s): old file records ns/op <= 0 — regenerate the baseline\n", len(r.Suspect))
 	}
 	return sb.String()
 }

@@ -67,3 +67,59 @@ func TestCompareSkipsMissingAfterColumn(t *testing.T) {
 		t.Errorf("no regressions expected: %+v", rep.regressions())
 	}
 }
+
+func TestCompareFlagsSuspectBaselines(t *testing.T) {
+	old := traj(map[string]float64{"BenchmarkA": 100, "BenchmarkBad": 0, "BenchmarkNeg": -5})
+	cur := traj(map[string]float64{"BenchmarkA": 100, "BenchmarkBad": 120, "BenchmarkNeg": 120})
+	rep := compareFiles(old, cur, 0.20)
+	if len(rep.Suspect) != 2 || rep.Suspect[0] != "BenchmarkBad" || rep.Suspect[1] != "BenchmarkNeg" {
+		t.Fatalf("Suspect = %v, want [BenchmarkBad BenchmarkNeg]", rep.Suspect)
+	}
+	if len(rep.Added) != 0 {
+		t.Errorf("suspect baselines misclassified as added: %v", rep.Added)
+	}
+	if !rep.failed() {
+		t.Error("suspect baseline must fail the comparison")
+	}
+	out := rep.render(0.20)
+	if !strings.Contains(out, "SUSPECT BASELINE") || !strings.Contains(out, "2 suspect baseline(s)") {
+		t.Errorf("render missing suspect callout:\n%s", out)
+	}
+}
+
+func allocTraj(entries map[string][2]float64) *File {
+	f := &File{}
+	for name, v := range entries {
+		f.Benchmarks = append(f.Benchmarks,
+			Record{Name: name, After: &Columns{NsOp: v[0], AllocsOp: v[1]}})
+	}
+	return f
+}
+
+func TestCompareGatesAllocRegressions(t *testing.T) {
+	old := allocTraj(map[string][2]float64{
+		"BenchmarkHot":   {100, 100}, // +50% and +50 allocs → regression
+		"BenchmarkTiny":  {100, 2},   // 2 → 4: +100% but under the absolute floor
+		"BenchmarkNoMem": {100, 0},   // baseline never measured allocs → ungated
+	})
+	cur := allocTraj(map[string][2]float64{
+		"BenchmarkHot":   {100, 150},
+		"BenchmarkTiny":  {100, 4},
+		"BenchmarkNoMem": {100, 500},
+	})
+	rep := compareFiles(old, cur, 0.20)
+	reg := rep.regressions()
+	if len(reg) != 1 || reg[0].Name != "BenchmarkHot" || !reg[0].AllocsRegression {
+		t.Fatalf("regressions = %+v, want just BenchmarkHot on allocs", reg)
+	}
+	if reg[0].Regression {
+		t.Error("ns/op flagged without a slowdown")
+	}
+	if !rep.failed() {
+		t.Error("alloc regression must fail the comparison")
+	}
+	out := rep.render(0.20)
+	if !strings.Contains(out, "ALLOCS-REGRESSION (100 -> 150") {
+		t.Errorf("render missing allocs callout:\n%s", out)
+	}
+}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -col after -merge before.json -o BENCH_PR4.json
-//	benchjson -compare old.json new.json   # exits 1 on >20% ns/op regression
+//	benchjson -compare old.json new.json   # exits 1 on >20% ns/op or allocs/op regression, or a suspect baseline
 package main
 
 import (
@@ -68,7 +68,7 @@ func main() {
 		}
 		rep := compareFiles(oldF, newF, *threshold)
 		fmt.Print(rep.render(*threshold))
-		if len(rep.regressions()) > 0 {
+		if rep.failed() {
 			os.Exit(1)
 		}
 		return

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|fig7|fig8|table1|fig9|fig10|fig11|fig12|table2|ablation|reclamation|jsens|similarity|footprint|batch] [-quick] [-tweets N] [-workers N] [-batch N] [-metrics out.json] [-faults plan.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	benchrunner [-exp all|fig7|fig8|table1|fig9|fig10|fig11|fig12|table2|ablation|reclamation|jsens|similarity|footprint|batch|ingest] [-quick] [-tweets N] [-workers N] [-batch N] [-metrics out.json] [-faults plan.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -115,6 +115,7 @@ func main() {
 		{"similarity", func() (interface{ Render() string }, error) { return experiments.Similarity(cfg) }},
 		{"footprint", func() (interface{ Render() string }, error) { return experiments.Footprint(cfg) }},
 		{"batch", func() (interface{ Render() string }, error) { return experiments.RunBatchThroughput(cfg) }},
+		{"ingest", func() (interface{ Render() string }, error) { return experiments.RunIngest(cfg) }},
 	}
 
 	ran := 0

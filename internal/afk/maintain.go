@@ -1,0 +1,144 @@
+package afk
+
+import "fmt"
+
+// This file implements the annotation-level half of incremental view
+// maintenance classification (ROADMAP item 2). Under append-only ingest a
+// view is a candidate for delta maintenance when its (A, F, K) annotation
+// proves that new base rows can only *add* output rows or *fold into*
+// existing groups — never retract or rewrite rows already emitted:
+//
+//   - lineage must trace to exactly one base dataset (the appended table):
+//     joins see cross products of old and new rows, which a single-side
+//     delta run cannot produce;
+//   - every aggregate attribute must be distributive (count/sum/min/max),
+//     so per-group partial states merge associatively; AVG and any
+//     black-box aggregate UDF are not mergeable from finalized outputs;
+//   - no filter or derived attribute may consume an aggregate (a filter
+//     over a group total can retract a group when its total crosses the
+//     threshold; a per-tuple UDF over a group value would need recomputing
+//     for every touched group);
+//   - no LIMIT taint: which rows survive a LIMIT depends on execution
+//     order, so "append then merge" and "recompute" legitimately disagree.
+//
+// The plan-level half (operator-chain shape, UDF explode flags) lives in
+// the session, which holds the producing plans; both gates must pass.
+
+// DistributiveAggs names the aggregate UDFs whose per-group outputs merge
+// associatively with their own partials. These are the "agg_"+AggFunc
+// signatures minted by plan annotation for relational aggregates.
+var DistributiveAggs = map[string]bool{
+	"agg_count": true,
+	"agg_sum":   true,
+	"agg_min":   true,
+	"agg_max":   true,
+}
+
+// Verdict is the result of a maintainability classification.
+type Verdict struct {
+	OK     bool
+	Reason string // populated when !OK: why the view must be invalidated
+}
+
+func reject(format string, args ...any) Verdict {
+	return Verdict{Reason: fmt.Sprintf(format, args...)}
+}
+
+// Maintainable classifies a view annotation for incremental maintenance
+// under appends to the given base table. OK means the annotation admits
+// delta maintenance; the caller must still verify the producing plan's
+// shape (it may use plan constructs the annotation cannot see).
+func Maintainable(ann Annotation, table string) Verdict {
+	if ann.Limited {
+		return reject("LIMIT taint: surviving rows depend on execution order")
+	}
+
+	// Single-source lineage: every signature reachable from A and K must
+	// bottom out in the appended table and nothing else.
+	bases := make(map[string]bool)
+	var aggViolation string
+	var walk func(s *Sig, insideAgg bool)
+	walk = func(s *Sig, insideAgg bool) {
+		if s == nil || aggViolation != "" {
+			return
+		}
+		if s.IsBase() {
+			bases[s.Dataset] = true
+			return
+		}
+		if s.Agg {
+			if insideAgg {
+				aggViolation = fmt.Sprintf("nested aggregate %s", s.UDF)
+				return
+			}
+			if !DistributiveAggs[s.UDF] {
+				aggViolation = fmt.Sprintf("non-distributive aggregate %s", s.UDF)
+				return
+			}
+			insideAgg = true
+		}
+		for _, in := range s.Inputs {
+			walk(in, insideAgg)
+		}
+		for _, k := range s.GroupBy {
+			walk(k, insideAgg)
+		}
+	}
+	for _, at := range ann.Attrs() {
+		walk(at.Sig, false)
+	}
+	for _, k := range ann.K.Sigs() {
+		walk(k, false)
+	}
+	if aggViolation != "" {
+		return reject("%s", aggViolation)
+	}
+	if len(bases) != 1 || !bases[table] {
+		if len(bases) > 1 {
+			return reject("multi-source lineage (join): %d base datasets", len(bases))
+		}
+		return reject("lineage does not trace to %q alone", table)
+	}
+
+	// Filters must precede aggregation: a predicate over an aggregate
+	// signature can retract an already-emitted group when its total moves.
+	for _, p := range ann.F.Preds() {
+		for _, id := range p.Attrs() {
+			if s, ok := Lookup(id); ok && sigContainsAgg(s) {
+				return reject("filter over aggregate %s", s.UDF)
+			}
+		}
+	}
+
+	// Per-tuple derived attributes over aggregates (the dual of the filter
+	// rule): recomputable only by touching every group.
+	for _, at := range ann.Attrs() {
+		s := at.Sig
+		if s.IsBase() || s.Agg {
+			continue
+		}
+		for _, in := range s.Inputs {
+			if sigContainsAgg(in) {
+				return reject("derived attribute %s consumes aggregate", s.UDF)
+			}
+		}
+	}
+	return Verdict{OK: true}
+}
+
+// sigContainsAgg reports whether the signature or any dependency is an
+// aggregate.
+func sigContainsAgg(s *Sig) bool {
+	if s == nil {
+		return false
+	}
+	if s.Agg {
+		return true
+	}
+	for _, in := range s.Inputs {
+		if sigContainsAgg(in) {
+			return true
+		}
+	}
+	return false
+}

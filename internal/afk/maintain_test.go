@@ -1,0 +1,81 @@
+package afk
+
+import (
+	"strings"
+	"testing"
+
+	"opportune/internal/expr"
+	"opportune/internal/value"
+)
+
+func baseAnn() Annotation {
+	return NewBase("logs", []string{"id", "user", "text"}, "id")
+}
+
+// aggAnn models GroupAgg(logs, keys=[user], f(text) AS out) the way plan
+// annotation mints it: an "agg_"+func signature grouped by the key sigs.
+func aggAnn(fn string) Annotation {
+	b := baseAnn()
+	keys := []*Sig{b.MustSig("user")}
+	s := AggSig("agg_"+fn, "", []*Sig{b.MustSig("text")}, "", keys)
+	return b.GroupBy([]string{"user"}, []Attr{{Name: "out", Sig: s}})
+}
+
+func TestMaintainableAccepts(t *testing.T) {
+	cases := map[string]Annotation{
+		"base scan":       baseAnn(),
+		"projection":      baseAnn().Project("user", "text"),
+		"filtered":        baseAnn().WithFilter(expr.NewCmp("user", expr.Gt, value.NewInt(2))),
+		"count":           aggAnn("count"),
+		"sum":             aggAnn("sum"),
+		"min":             aggAnn("min"),
+		"max":             aggAnn("max"),
+		"filter then agg": baseAnn().WithFilter(expr.NewCmp("user", expr.Gt, value.NewInt(1))).GroupBy([]string{"user"}, nil),
+	}
+	for name, ann := range cases {
+		if v := Maintainable(ann, "logs"); !v.OK {
+			t.Errorf("%s rejected: %s", name, v.Reason)
+		}
+	}
+}
+
+func TestMaintainableRejects(t *testing.T) {
+	b := baseAnn()
+	other := NewBase("users", []string{"uid", "name"}, "uid")
+
+	aggOut := aggAnn("sum")
+
+	// a derived attribute consuming an aggregate output
+	derived := aggOut.WithAttr("d", DerivedSig("scale", "", []*Sig{aggOut.MustSig("out")}))
+
+	// an aggregate over an aggregate (re-aggregation of a grouped view)
+	inner := aggOut.MustSig("out")
+	nested := aggOut.GroupBy([]string{"user"},
+		[]Attr{{Name: "n2", Sig: AggSig("agg_sum", "", []*Sig{inner}, "", []*Sig{aggOut.MustSig("user")})}})
+
+	cases := []struct {
+		name   string
+		ann    Annotation
+		table  string
+		reason string
+	}{
+		{"limit taint", b.WithLimited(), "logs", "LIMIT"},
+		{"avg", aggAnn("avg"), "logs", "non-distributive"},
+		{"black-box agg UDF", aggAnn("SKETCH"), "logs", "non-distributive"},
+		{"join", Join(b, other, "user", "uid"), "logs", "multi-source"},
+		{"wrong table", b, "users", "lineage"},
+		{"filter over aggregate", aggOut.WithFilter(expr.NewCmp("out", expr.Gt, value.NewFloat(1))), "logs", "filter over aggregate"},
+		{"derived over aggregate", derived, "logs", "consumes aggregate"},
+		{"nested aggregate", nested, "logs", "nested aggregate"},
+	}
+	for _, c := range cases {
+		v := Maintainable(c.ann, c.table)
+		if v.OK {
+			t.Errorf("%s accepted, want rejection", c.name)
+			continue
+		}
+		if !strings.Contains(v.Reason, c.reason) {
+			t.Errorf("%s: reason %q does not mention %q", c.name, v.Reason, c.reason)
+		}
+	}
+}

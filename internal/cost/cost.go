@@ -218,6 +218,30 @@ func (p Params) SharedScanSavings(bytes int64, consumers int) float64 {
 	return float64(consumers-1) * p.ScanSeconds(bytes)
 }
 
+// MaintenanceSpec describes one incremental view-maintenance step: the
+// delta pipeline has already been costed as an ordinary job (JobCost over
+// the appended rows only); this covers the merge that folds the delta
+// output into the stored view.
+type MaintenanceSpec struct {
+	ViewBytes   int64 // current stored view, read as merge input
+	DeltaBytes  int64 // delta pipeline output, read as merge input
+	MergedBytes int64 // refreshed view, written back
+	MergedRows  int64 // rows touched by the key-merge
+}
+
+// MaintenanceCost models the merge step of incremental maintenance: both
+// merge inputs are scanned (Cm), each output row pays the grouping CPU
+// baseline for the key comparison/fold (Cr), and the refreshed view is
+// rewritten in full (Cw). No shuffle — the merge is a local sorted-run
+// merge, which is what makes maintenance cheaper than recomputation.
+func (p Params) MaintenanceCost(s MaintenanceSpec) Breakdown {
+	var b Breakdown
+	b.Cm = float64(s.ViewBytes+s.DeltaBytes) / p.ReadRate
+	b.Cr = float64(s.MergedRows) * p.CPUBaseline[OpGroup]
+	b.Cw = float64(s.MergedBytes) / p.WriteRate
+	return b
+}
+
 // Stats are simple cardinality statistics used to estimate job volumes.
 type Stats struct {
 	Rows  int64

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunIngest(t *testing.T) {
+	r, err := RunIngest(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Views != 4 || r.Batches != 3 {
+		t.Fatalf("shape = %+v", r)
+	}
+	// The merge-by-key aggregate and the map-only projection must be
+	// maintained on every batch; the recompute arm maintains nothing.
+	if want := 2 * r.Batches; r.Maintained != want {
+		t.Errorf("Maintained = %d, want %d (ing_activity + ing_replies per batch)", r.Maintained, want)
+	}
+	if r.Invalidated == 0 {
+		t.Error("the join view should be invalidated every batch")
+	}
+	if r.FullInvalidated <= r.Invalidated {
+		t.Errorf("recompute arm invalidated %d <= incremental arm %d", r.FullInvalidated, r.Invalidated)
+	}
+	// The ISSUE's acceptance bar: incremental maintenance strictly cheaper.
+	if r.IncSimSeconds >= r.FullSimSeconds {
+		t.Errorf("incremental %f sim-s not below full recompute %f", r.IncSimSeconds, r.FullSimSeconds)
+	}
+	if r.IncMaintainSeconds <= 0 || r.IncMaintainSeconds >= r.IncSimSeconds {
+		t.Errorf("maintain seconds %f outside (0, %f)", r.IncMaintainSeconds, r.IncSimSeconds)
+	}
+	out := r.Render()
+	for _, want := range []string{"incremental", "recompute", "sim speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -153,6 +153,16 @@ func (c *Catalog) DropView(name string) {
 	}
 }
 
+// DropTable removes a base-table entry (e.g. the temporary delta table of
+// incremental view maintenance). Views are untouched — use DropView.
+func (c *Catalog) DropTable(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.tables[name]; ok && !t.IsView {
+		delete(c.tables, name)
+	}
+}
+
 // dropCanonLocked unindexes a view's annotation fingerprint (only if it is
 // still the indexed one; another view may share the annotation).
 func (c *Catalog) dropCanonLocked(t *TableInfo) {

@@ -1,0 +1,96 @@
+package mr
+
+import (
+	"fmt"
+
+	"opportune/internal/data"
+)
+
+// This file provides the merge primitives for incremental view maintenance:
+// folding the output of a delta job (the view's pipeline run over only the
+// appended base rows) into the stored view. Both entry points return a new
+// relation — the stored input is never mutated, since concurrently running
+// plans may hold a reference to it via Store.Read.
+
+// MergeAppend merges a map-only view delta: appended base rows can only
+// append output rows, in scan order, so the refreshed view is the stored
+// rows followed by the delta rows — exactly what a full recompute over the
+// grown base produces.
+func MergeAppend(stored, delta *data.Relation) (*data.Relation, error) {
+	if !stored.Schema().Equal(delta.Schema()) {
+		return nil, fmt.Errorf("mr: merge-append schema mismatch: %v vs %v",
+			stored.Schema(), delta.Schema())
+	}
+	out := data.NewRelation(stored.Schema())
+	out.Grow(stored.Len() + delta.Len())
+	out.AppendAll(stored)
+	out.AppendAll(delta)
+	return out, nil
+}
+
+// MergeByKey merges a grouped view delta. Both inputs must share a schema
+// whose first nKeys columns are the grouping keys, with rows sorted by the
+// encoded key (the order every reduce emits — see mergeRuns). Rows with
+// matching keys are folded by merge(old, delta); unmatched rows pass
+// through. The output preserves global key order, which is byte-identical
+// to the row order a full recompute would emit.
+func MergeByKey(stored, delta *data.Relation, nKeys int, merge func(old, delta data.Row) data.Row) (*data.Relation, error) {
+	if !stored.Schema().Equal(delta.Schema()) {
+		return nil, fmt.Errorf("mr: merge-by-key schema mismatch: %v vs %v",
+			stored.Schema(), delta.Schema())
+	}
+	if nKeys <= 0 || nKeys > stored.Schema().Len() {
+		return nil, fmt.Errorf("mr: merge-by-key nKeys %d out of range for %v",
+			nKeys, stored.Schema())
+	}
+	keyIdxs := make([]int, nKeys)
+	for i := range keyIdxs {
+		keyIdxs[i] = i
+	}
+	out := data.NewRelation(stored.Schema())
+	out.Grow(stored.Len() + delta.Len())
+
+	na, nb := stored.Len(), delta.Len()
+	var ea, eb data.KeyEncoder
+	i, j := 0, 0
+	var ka, kb string
+	if i < na {
+		ka = ea.Key(stored.Row(i), keyIdxs)
+	}
+	if j < nb {
+		kb = eb.Key(delta.Row(j), keyIdxs)
+	}
+	for i < na && j < nb {
+		switch {
+		case ka < kb:
+			out.Append(stored.Row(i))
+			i++
+			if i < na {
+				ka = ea.Key(stored.Row(i), keyIdxs)
+			}
+		case ka > kb:
+			out.Append(delta.Row(j))
+			j++
+			if j < nb {
+				kb = eb.Key(delta.Row(j), keyIdxs)
+			}
+		default:
+			out.Append(merge(stored.Row(i), delta.Row(j)))
+			i++
+			j++
+			if i < na {
+				ka = ea.Key(stored.Row(i), keyIdxs)
+			}
+			if j < nb {
+				kb = eb.Key(delta.Row(j), keyIdxs)
+			}
+		}
+	}
+	for ; i < na; i++ {
+		out.Append(stored.Row(i))
+	}
+	for ; j < nb; j++ {
+		out.Append(delta.Row(j))
+	}
+	return out, nil
+}

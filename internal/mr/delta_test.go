@@ -1,0 +1,125 @@
+package mr
+
+import (
+	"fmt"
+	"testing"
+
+	"opportune/internal/data"
+	"opportune/internal/value"
+)
+
+func kvRel(pairs ...[2]int64) *data.Relation {
+	r := data.NewRelation(data.NewSchema("k", "v"))
+	for _, p := range pairs {
+		r.Append(data.Row{value.NewInt(p[0]), value.NewInt(p[1])})
+	}
+	return r
+}
+
+func TestMergeAppend(t *testing.T) {
+	stored := kvRel([2]int64{1, 10}, [2]int64{2, 20})
+	delta := kvRel([2]int64{3, 30})
+	out, err := MergeAppend(stored, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := kvRel([2]int64{1, 10}, [2]int64{2, 20}, [2]int64{3, 30})
+	if out.Fingerprint() != want.Fingerprint() {
+		t.Error("merged relation differs from stored++delta")
+	}
+	if stored.Len() != 2 {
+		t.Error("stored input mutated")
+	}
+	// schema mismatch
+	bad := data.NewRelation(data.NewSchema("x"))
+	if _, err := MergeAppend(stored, bad); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+func TestMergeByKey(t *testing.T) {
+	sum := func(old, delta data.Row) data.Row {
+		out := old.Clone()
+		out[1] = value.NewInt(old[1].Int() + delta[1].Int())
+		return out
+	}
+	// interleaved keys: 1,3,5 stored; 2,3,6 delta → 3 folds, rest pass through
+	var enc data.KeyEncoder
+	mk := func(ks ...int64) *data.Relation {
+		r := data.NewRelation(data.NewSchema("k", "v"))
+		for _, k := range ks {
+			r.Append(data.Row{value.NewInt(k), value.NewInt(k * 100)})
+		}
+		return r
+	}
+	stored, delta := mk(1, 3, 5), mk(2, 3, 6)
+	out, err := MergeByKey(stored, delta, 1, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 5 {
+		t.Fatalf("len = %d, want 5", out.Len())
+	}
+	wantVals := map[int64]int64{1: 100, 2: 200, 3: 600, 5: 500, 6: 600}
+	prev := ""
+	for _, row := range out.Rows() {
+		k, v := row[0].Int(), row[1].Int()
+		if wantVals[k] != v {
+			t.Errorf("key %d: v = %d, want %d", k, v, wantVals[k])
+		}
+		key := enc.Key(row, []int{0})
+		if key < prev {
+			t.Errorf("output not in global encoded-key order at key %d", k)
+		}
+		prev = key
+	}
+	if stored.Row(1)[1].Int() != 300 {
+		t.Error("stored input mutated by merge")
+	}
+
+	// empty delta and empty stored both degenerate to a copy
+	for _, c := range [][2]*data.Relation{{stored, mk()}, {mk(), delta}} {
+		out, err := MergeByKey(c[0], c[1], 1, sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Len() != c[0].Len()+c[1].Len() {
+			t.Errorf("degenerate merge len = %d", out.Len())
+		}
+	}
+
+	// errors
+	if _, err := MergeByKey(stored, data.NewRelation(data.NewSchema("x")), 1, sum); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+	if _, err := MergeByKey(stored, delta, 0, sum); err == nil {
+		t.Error("nKeys=0 accepted")
+	}
+	if _, err := MergeByKey(stored, delta, 3, sum); err == nil {
+		t.Error("nKeys beyond schema accepted")
+	}
+}
+
+func BenchmarkMergeByKey(b *testing.B) {
+	const n = 10000
+	stored := data.NewRelation(data.NewSchema("k", "v"))
+	for i := 0; i < n; i++ {
+		stored.Append(data.Row{value.NewStr(fmt.Sprintf("user-%06d", i)), value.NewInt(int64(i))})
+	}
+	delta := data.NewRelation(data.NewSchema("k", "v"))
+	for i := 0; i < n; i += 10 { // 10% of groups touched
+		delta.Append(data.Row{value.NewStr(fmt.Sprintf("user-%06d", i)), value.NewInt(1)})
+	}
+	sum := func(old, d data.Row) data.Row {
+		out := old.Clone()
+		out[1] = value.NewInt(old[1].Int() + d[1].Int())
+		return out
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MergeByKey(stored, delta, 1, sum); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -148,6 +148,7 @@ type plannedQuery struct {
 	chosen *plan.Node
 	w      *optimizer.Work
 	jobs   []*mr.Job
+	epoch  int64
 }
 
 // RunBatch executes a batch of queries as one restructured job DAG: shared
@@ -157,8 +158,11 @@ type plannedQuery struct {
 // exactly as per-query Run does. RunBatch must not run concurrently with
 // Run or another RunBatch on the same session: it detaches the engine's
 // metrics registry during parallel execution and replays job records in
-// deterministic order afterwards.
+// deterministic order afterwards. Concurrent AppendRows calls are safe:
+// both serialize on the session's batch lock.
 func (s *Session) RunBatch(queries []BatchQuery, opts BatchOptions) (*BatchResult, error) {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
 	start := time.Now()
 	out := &BatchResult{PerQuery: make([]*Metrics, len(queries))}
 	if len(queries) == 0 {
@@ -235,12 +239,12 @@ func (s *Session) planBatch(queries []BatchQuery, parity bool) ([]plannedQuery, 
 	}
 	plans := make([]plannedQuery, len(queries))
 	for qi, q := range queries {
-		m, chosen, w, jobs, err := s.planQuery(q.Plan, q.ResultName, q.Mode)
+		m, chosen, w, jobs, epoch, err := s.planQuery(q.Plan, q.ResultName, q.Mode)
 		if err != nil {
 			s.Obs.Counter("session_query_failures_total", "mode", q.Mode.String()).Inc()
 			return nil, fmt.Errorf("session: batch query %d (%s): %w", qi, q.ResultName, err)
 		}
-		plans[qi] = plannedQuery{m: m, chosen: chosen, w: w, jobs: jobs}
+		plans[qi] = plannedQuery{m: m, chosen: chosen, w: w, jobs: jobs, epoch: epoch}
 	}
 	return plans, nil
 }
@@ -626,7 +630,7 @@ func (s *Session) finalizeBatch(queries []BatchQuery, plans []plannedQuery, perQ
 			}
 			s.creditRewrite(m, p.chosen)
 
-			sec, err := s.retainViews(p.w, q.ResultName)
+			sec, err := s.retainViews(p.w, q.ResultName, p.epoch)
 			if err != nil {
 				qsp.End()
 				return err

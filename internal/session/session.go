@@ -9,9 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"opportune/internal/afk"
 	"opportune/internal/cost"
-	"opportune/internal/data"
 	"opportune/internal/expr"
 	"opportune/internal/fault"
 	"opportune/internal/meta"
@@ -66,11 +64,34 @@ type Session struct {
 	Rew   *rewrite.Rewriter
 	Eval  *expr.Evaluator
 
+	// DisableMaintenance forces AppendRows to invalidate every dependent
+	// view instead of maintaining eligible ones incrementally (the full-
+	// recompute arm of the ingest experiment).
+	DisableMaintenance bool
+
 	// planMu serializes compile/rewrite/executable-build; the optimizer's
 	// per-query estimate cache and the rewriter's counters are not
 	// thread-safe, and queries must be estimated one at a time anyway so
 	// each sees a consistent statistics snapshot.
 	planMu sync.Mutex
+
+	// batchMu serializes RunBatch and AppendRows against each other: both
+	// temporarily repurpose shared engine state (RunBatch detaches the
+	// engine registry; AppendRows runs maintenance jobs and mutates the
+	// catalog wholesale). Lock order is batchMu before planMu.
+	batchMu sync.Mutex
+
+	// ingestEpoch counts AppendRows calls. planQuery snapshots it and
+	// retainViews discards materialization metadata planned under an older
+	// epoch — a plan raced an append and may describe pre-append contents.
+	ingestEpoch atomic.Int64
+
+	// viewMu guards viewPlans: producing logical plans per retained view,
+	// captured at registration so AppendRows can re-run a view's pipeline
+	// over an appended delta. Views without a captured plan (e.g. restored
+	// from persistence) always fall back to invalidation.
+	viewMu    sync.Mutex
+	viewPlans map[string]*plan.Node
 
 	statsSeed atomic.Int64
 
@@ -108,12 +129,13 @@ func New(params cost.Params) *Session {
 	eval := expr.NewEvaluator()
 	opt := optimizer.New(cat, params, eval)
 	return &Session{
-		Store: st,
-		Cat:   cat,
-		Eng:   mr.New(st, params),
-		Opt:   opt,
-		Rew:   rewrite.NewRewriter(cat, opt),
-		Eval:  eval,
+		Store:     st,
+		Cat:       cat,
+		Eng:       mr.New(st, params),
+		Opt:       opt,
+		Rew:       rewrite.NewRewriter(cat, opt),
+		Eval:      eval,
+		viewPlans: make(map[string]*plan.Node),
 	}
 }
 
@@ -141,10 +163,26 @@ func (m Metrics) TotalSeconds() float64 {
 // Run compiles, (optionally) rewrites, and executes a query plan,
 // materializing the result under resultName and retaining all job outputs
 // as opportunistic views. Run is safe for concurrent use; see Session.
+//
+// A concurrent AppendRows can invalidate a view between planning and
+// execution; such a run fails pin-time input validation and is replanned
+// against the post-append catalog (bounded retries).
 func (s *Session) Run(q *plan.Node, resultName string, mode Mode) (*Metrics, error) {
+	const maxReplans = 3
+	for attempt := 0; ; attempt++ {
+		m, err := s.runOnce(q, resultName, mode)
+		if err == errStaleInputs && attempt < maxReplans {
+			s.Obs.Counter("session_stale_plan_retries_total", "mode", mode.String()).Inc()
+			continue
+		}
+		return m, err
+	}
+}
+
+func (s *Session) runOnce(q *plan.Node, resultName string, mode Mode) (*Metrics, error) {
 	qsp := s.Obs.StartSpan(resultName, "query")
 	psp := qsp.Child("plan")
-	m, chosen, w, jobs, err := s.planQuery(q, resultName, mode)
+	m, chosen, w, jobs, epoch, err := s.planQuery(q, resultName, mode)
 	psp.End()
 	if err != nil {
 		s.Obs.Counter("session_query_failures_total", "mode", mode.String()).Inc()
@@ -153,11 +191,15 @@ func (s *Session) Run(q *plan.Node, resultName string, mode Mode) (*Metrics, err
 	}
 	if jobs != nil {
 		esp := qsp.Child("execute")
-		m, err = s.executePlan(m, chosen, w, jobs, resultName)
+		m, err = s.executePlan(m, chosen, w, jobs, resultName, epoch)
 		if err == nil {
 			esp.AddSim(m.ExecSeconds)
 		}
 		esp.End()
+		if err == errStaleInputs {
+			qsp.End()
+			return nil, err
+		}
 		if err != nil {
 			s.Obs.Counter("session_query_failures_total", "mode", mode.String()).Inc()
 			qsp.End()
@@ -201,18 +243,25 @@ func (s *Session) record(m *Metrics) {
 	}
 }
 
+// errStaleInputs signals that a planned input vanished (a concurrent
+// AppendRows invalidated it) between planning and pinning; the query is
+// replanned against the current catalog.
+var errStaleInputs = fmt.Errorf("session: planned input invalidated concurrently")
+
 // planQuery compiles and (optionally) rewrites one query under planMu. A
 // nil jobs return means the chosen plan is a bare scan of an existing
-// materialization and nothing needs to execute.
-func (s *Session) planQuery(q *plan.Node, resultName string, mode Mode) (*Metrics, *plan.Node, *optimizer.Work, []*mr.Job, error) {
+// materialization and nothing needs to execute. The returned epoch is the
+// ingest epoch the plan was derived under.
+func (s *Session) planQuery(q *plan.Node, resultName string, mode Mode) (*Metrics, *plan.Node, *optimizer.Work, []*mr.Job, int64, error) {
 	s.planMu.Lock()
 	defer s.planMu.Unlock()
+	epoch := s.ingestEpoch.Load()
 	// Estimates are cached per query so every plan for the same logical
 	// output costs identically; statistics change between queries.
 	s.Opt.ClearEstimates()
 	w, err := s.Opt.Compile(q)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, epoch, err
 	}
 	m := &Metrics{Mode: mode, ResultName: resultName}
 
@@ -239,29 +288,39 @@ func (s *Session) planQuery(q *plan.Node, resultName string, mode Mode) (*Metric
 
 	if chosen.Kind == plan.KindScan {
 		m.ResultName = chosen.Dataset
-		return m, chosen, w, nil, nil
+		return m, chosen, w, nil, epoch, nil
 	}
 	if chosen != q {
 		if w, err = s.Opt.Compile(chosen); err != nil {
-			return nil, nil, nil, nil, fmt.Errorf("session: rewritten plan failed to compile: %w", err)
+			return nil, nil, nil, nil, epoch, fmt.Errorf("session: rewritten plan failed to compile: %w", err)
 		}
 	}
 	jobs, err := s.Opt.Executable(w, resultName)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, epoch, err
 	}
-	return m, chosen, w, jobs, nil
+	return m, chosen, w, jobs, epoch, nil
 }
 
 // executePlan runs the compiled jobs and retains their outputs as views.
 // It runs outside planMu: execution is the expensive phase, and the store
 // and catalog are themselves safe for concurrent use.
-func (s *Session) executePlan(m *Metrics, chosen *plan.Node, w *optimizer.Work, jobs []*mr.Job, resultName string) (*Metrics, error) {
+func (s *Session) executePlan(m *Metrics, chosen *plan.Node, w *optimizer.Work, jobs []*mr.Job, resultName string, epoch int64) (*Metrics, error) {
 	// Pin the plan's input datasets and its own intermediate outputs
 	// against capacity eviction for the run: a job's materialization must
 	// not evict a view a later job of the same plan reads.
 	inputs := pinList(chosen, w)
 	s.Store.Pin(inputs)
+	// Validate under the pin that every scanned input still exists: a
+	// concurrent append may have invalidated a view this plan was built
+	// around. Inputs that exist now are held by the pin (deletion defers)
+	// for the whole run.
+	for _, in := range scanList(chosen) {
+		if !s.Store.Has(in) {
+			s.Store.Unpin(inputs)
+			return nil, errStaleInputs
+		}
+	}
 	_, agg, err := s.Eng.RunSequence(jobs)
 	s.Store.Unpin(inputs)
 	s.Store.EnforceBudget()
@@ -277,7 +336,7 @@ func (s *Session) executePlan(m *Metrics, chosen *plan.Node, w *optimizer.Work, 
 
 	// Retain job outputs as opportunistic views: register metadata and
 	// collect statistics with the lightweight sampling job (§2.1).
-	sec, err := s.retainViews(w, resultName)
+	sec, err := s.retainViews(w, resultName, epoch)
 	if err != nil {
 		return nil, err
 	}
@@ -289,15 +348,21 @@ func (s *Session) executePlan(m *Metrics, chosen *plan.Node, w *optimizer.Work, 
 // capacity eviction: every scanned input plus every job materialization.
 // Names may repeat; Pin/Unpin are count-based per call site.
 func pinList(chosen *plan.Node, w *optimizer.Work) []string {
+	inputs := scanList(chosen)
+	for _, jn := range w.Nodes {
+		inputs = append(inputs, jn.ViewName)
+	}
+	return inputs
+}
+
+// scanList is the stored datasets a plan reads.
+func scanList(chosen *plan.Node) []string {
 	var inputs []string
 	plan.Walk(chosen, func(n *plan.Node) {
 		if n.Kind == plan.KindScan {
 			inputs = append(inputs, n.Dataset)
 		}
 	})
-	for _, jn := range w.Nodes {
-		inputs = append(inputs, jn.ViewName)
-	}
 	return inputs
 }
 
@@ -306,7 +371,23 @@ func pinList(chosen *plan.Node, w *optimizer.Work) []string {
 // retained under resultName. Returns the simulated seconds the sampling
 // jobs cost. Both the sequential and the batch executor finalize queries
 // through this one helper so retention behavior cannot drift between them.
-func (s *Session) retainViews(w *optimizer.Work, resultName string) (float64, error) {
+//
+// epoch is the ingest epoch the plan was derived under. When an AppendRows
+// intervened between planning and retention, the materializations may
+// describe pre-append base contents; registering them would resurrect
+// exactly the staleness AppendRows just cleaned up, so they are discarded
+// instead (the caller's result dataset stays readable but unregistered).
+func (s *Session) retainViews(w *optimizer.Work, resultName string, epoch int64) (float64, error) {
+	if epoch != s.ingestEpoch.Load() {
+		for _, jn := range w.Nodes {
+			if jn != w.Sink() {
+				s.Store.Delete(jn.ViewName)
+			}
+		}
+		s.Obs.Counter("session_stale_retention_discarded_total").Inc()
+		s.Cat.SyncWithStore(s.Store)
+		return 0, nil
+	}
 	var total float64
 	for i, jn := range w.Nodes {
 		name := jn.ViewName
@@ -322,6 +403,7 @@ func (s *Session) retainViews(w *optimizer.Work, resultName string) (float64, er
 			continue // evicted by the reclamation policy
 		}
 		s.Cat.RegisterView(name, jn.OutCols, jn.Ann, cost.Stats{}, jn.PlanFP)
+		s.setViewPlan(name, jn.Logical)
 		sec, err := s.Cat.CollectStats(s.Eng, name, s.statsSeed.Add(1)+int64(i))
 		if err != nil {
 			return total, err
@@ -332,79 +414,34 @@ func (s *Session) retainViews(w *optimizer.Work, resultName string) (float64, er
 	return total, nil
 }
 
+// setViewPlan captures the producing logical plan of a retained view (used
+// by AppendRows to run the view's pipeline over an appended delta).
+func (s *Session) setViewPlan(name string, pl *plan.Node) {
+	c := pl.Clone()
+	s.viewMu.Lock()
+	s.viewPlans[name] = c
+	s.viewMu.Unlock()
+}
+
+// viewPlan returns the captured producing plan of a view, or nil.
+func (s *Session) viewPlan(name string) *plan.Node {
+	s.viewMu.Lock()
+	defer s.viewMu.Unlock()
+	return s.viewPlans[name]
+}
+
+func (s *Session) dropViewPlan(name string) {
+	s.viewMu.Lock()
+	delete(s.viewPlans, name)
+	s.viewMu.Unlock()
+}
+
 // DropViews clears all opportunistic views from store and catalog
 // (experiments do this between phases).
 func (s *Session) DropViews() {
 	s.Store.DropViews()
 	s.Cat.DropViews()
-}
-
-// AppendRows adds new records to a base log and invalidates every view
-// derived from it — the attribute signatures in each view's annotation
-// record provenance, so staleness is decided exactly, not by guesswork.
-// Returns the names of the views dropped.
-func (s *Session) AppendRows(table string, rows []data.Row) ([]string, error) {
-	info, ok := s.Cat.Table(table)
-	if !ok || info.IsView {
-		return nil, fmt.Errorf("session: %q is not a base table", table)
-	}
-	ds, ok := s.Store.Meta(table)
-	if !ok {
-		return nil, fmt.Errorf("session: %q not in store", table)
-	}
-	// Copy-on-write: concurrent Runs may be scanning the current relation,
-	// so the stored rows are never mutated in place. The re-put installs
-	// the grown copy and updates size/eviction bookkeeping.
-	old := ds.Relation()
-	rel := data.NewRelation(old.Schema())
-	rel.AppendAll(old)
-	for _, r := range rows {
-		rel.Append(r)
-	}
-	s.Store.Put(table, storage.Base, rel)
-	s.Cat.RegisterBase(table, info.Cols, info.KeyCol,
-		cost.Stats{Rows: int64(rel.Len()), Bytes: rel.EncodedSize()}, info.Distinct)
-
-	var dropped []string
-	for _, v := range s.Cat.Views() {
-		if annDependsOn(v.Ann, table) {
-			s.Store.Delete(v.Name)
-			s.Cat.DropView(v.Name)
-			dropped = append(dropped, v.Name)
-		}
-	}
-	return dropped, nil
-}
-
-// annDependsOn reports whether any signature in the annotation derives
-// (transitively) from the named dataset.
-func annDependsOn(ann afk.Annotation, dataset string) bool {
-	var depends func(s *afk.Sig) bool
-	depends = func(s *afk.Sig) bool {
-		if s.IsBase() {
-			return s.Dataset == dataset
-		}
-		for _, in := range s.Inputs {
-			if depends(in) {
-				return true
-			}
-		}
-		for _, k := range s.GroupBy {
-			if depends(k) {
-				return true
-			}
-		}
-		return false
-	}
-	for _, at := range ann.Attrs() {
-		if depends(at.Sig) {
-			return true
-		}
-	}
-	for _, k := range ann.K.Sigs() {
-		if depends(k) {
-			return true
-		}
-	}
-	return false
+	s.viewMu.Lock()
+	s.viewPlans = make(map[string]*plan.Node)
+	s.viewMu.Unlock()
 }

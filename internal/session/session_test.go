@@ -163,7 +163,7 @@ func TestEvictionKeepsCatalogConsistent(t *testing.T) {
 	}
 }
 
-func TestAppendRowsInvalidatesDerivedViews(t *testing.T) {
+func TestAppendRowsMaintainsAndInvalidatesDerivedViews(t *testing.T) {
 	s := demo(t, 100)
 	if _, err := s.Run(q(), "res", ModeOriginal); err != nil {
 		t.Fatal(err)
@@ -178,56 +178,89 @@ func TestAppendRowsInvalidatesDerivedViews(t *testing.T) {
 	if _, err := s.Run(p2, "other_agg", ModeOriginal); err != nil {
 		t.Fatal(err)
 	}
-	logViews := 0
+	// identify the distributive aggregate view over "logs" (not the Filter sink)
+	aggView := ""
 	for _, v := range s.Cat.Views() {
-		_ = v
-		logViews++
+		if v.Name != "res" && annDependsOn(v.Ann, "logs") {
+			aggView = v.Name
+		}
 	}
-	if logViews < 3 {
-		t.Fatalf("setup: %d views", logViews)
+	if aggView == "" {
+		t.Fatal("setup: no aggregate view over logs")
 	}
 
-	dropped, err := s.AppendRows("logs", []data.Row{
+	delta := []data.Row{
 		{value.NewInt(1000), value.NewInt(1), value.NewStr("wine wine wine")},
-	})
+	}
+	rep, err := s.AppendRows("logs", delta)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(dropped) == 0 {
-		t.Fatal("no views invalidated")
+	// the GroupAgg(Apply(Scan)) view is distributive → maintained in place;
+	// the Filter-over-aggregate sink "res" cannot be → invalidated.
+	if len(rep.Maintained) != 1 || rep.Maintained[0] != aggView {
+		t.Fatalf("maintained = %v, want [%s]", rep.Maintained, aggView)
 	}
-	// the view over "other" must survive; every logs-derived view must go
-	for _, v := range s.Cat.Views() {
-		if annDependsOn(v.Ann, "logs") {
-			t.Errorf("stale view %s survived", v.Name)
-		}
+	if len(rep.Invalidated) != 1 || rep.Invalidated[0] != "res" {
+		t.Fatalf("invalidated = %v, want [res]", rep.Invalidated)
+	}
+	if rep.Reasons["res"] == "" {
+		t.Error("no reason recorded for invalidated sink")
+	}
+	if rep.MaintainSeconds <= 0 {
+		t.Error("maintenance charged no simulated time")
+	}
+	if _, ok := s.Cat.Table(aggView); !ok || !s.Store.Has(aggView) {
+		t.Error("maintained view missing from catalog or store")
+	}
+	if _, ok := s.Cat.Table("res"); ok {
+		t.Error("invalidated sink still in catalog")
 	}
 	if _, ok := s.Cat.Table("other_agg"); !ok {
 		t.Error("unrelated view invalidated")
+	}
+	if s.Store.Has("~delta~logs") {
+		t.Error("temporary delta table leaked")
 	}
 	// base stats refreshed
 	info, _ := s.Cat.Table("logs")
 	if info.Stats.Rows != 101 {
 		t.Errorf("rows = %d, want 101", info.Stats.Rows)
 	}
-	// fresh query over the appended data sees the new record and matches a
+	// differential oracle: the maintained view must be byte-identical to a
+	// clean session that appended first and then computed the view from scratch
+	ref := demo(t, 100)
+	if _, err := ref.AppendRows("logs", delta); err != nil {
+		t.Fatal(err)
+	}
+	mref, err := ref.Run(q(), "ref", ModeOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Store.Read(aggView)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Store.Read(aggView) // same annotation → same view name
+	if err != nil {
+		t.Fatalf("reference session lacks %s: %v", aggView, err)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Error("maintained view diverged from full recompute")
+	}
+	gi, _ := s.Cat.Table(aggView)
+	wi, _ := ref.Cat.Table(aggView)
+	if gi.Ann.Canon() != wi.Ann.Canon() {
+		t.Error("maintained view annotation diverged from full recompute")
+	}
+	// fresh query over the appended data sees the new record and matches the
 	// clean system's result
 	m, err := s.Run(q(), "res2", ModeBFR)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := demo(t, 100)
-	if _, err := ref.AppendRows("logs", []data.Row{
-		{value.NewInt(1000), value.NewInt(1), value.NewStr("wine wine wine")},
-	}); err != nil {
-		t.Fatal(err)
-	}
-	mr2, err := ref.Run(q(), "ref", ModeOriginal)
-	if err != nil {
-		t.Fatal(err)
-	}
 	a, _ := s.Store.Read(m.ResultName)
-	b, _ := ref.Store.Read(mr2.ResultName)
+	b, _ := ref.Store.Read(mref.ResultName)
 	if a.Fingerprint() != b.Fingerprint() {
 		t.Error("post-append result diverged from clean recompute")
 	}
@@ -237,5 +270,62 @@ func TestAppendRowsInvalidatesDerivedViews(t *testing.T) {
 	}
 	if _, err := s.AppendRows("missing", nil); err == nil {
 		t.Error("append to missing table accepted")
+	}
+}
+
+func TestAppendRowsDisableMaintenanceFallsBack(t *testing.T) {
+	s := demo(t, 80)
+	s.DisableMaintenance = true
+	if _, err := s.Run(q(), "res", ModeOriginal); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.AppendRows("logs", []data.Row{
+		{value.NewInt(2000), value.NewInt(2), value.NewStr("wine")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Maintained) != 0 {
+		t.Errorf("maintained %v with maintenance disabled", rep.Maintained)
+	}
+	if len(rep.Invalidated) != 2 {
+		t.Errorf("invalidated = %v, want both derived views", rep.Invalidated)
+	}
+	for _, v := range s.Cat.Views() {
+		if annDependsOn(v.Ann, "logs") {
+			t.Errorf("stale view %s survived", v.Name)
+		}
+	}
+}
+
+func TestAppendRowsReestimatesDistincts(t *testing.T) {
+	s := demo(t, 50) // users 0..4 → 5 distinct
+	if _, err := s.Run(q(), "res", ModeOriginal); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := s.Cat.Table("logs")
+	if before.Distinct["user"] != 5 {
+		t.Fatalf("setup distinct = %d", before.Distinct["user"])
+	}
+	// append rows introducing 40 new user values
+	var rows []data.Row
+	for i := 0; i < 200; i++ {
+		rows = append(rows, data.Row{
+			value.NewInt(int64(5000 + i)), value.NewInt(int64(10 + i%40)), value.NewStr("wine"),
+		})
+	}
+	rep, err := s.AppendRows("logs", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StatsSeconds <= 0 {
+		t.Error("no stats-collection overhead charged on append")
+	}
+	after, _ := s.Cat.Table("logs")
+	if after.Stats.Rows != 250 {
+		t.Errorf("rows = %d, want 250", after.Stats.Rows)
+	}
+	if after.Distinct["user"] <= 5 {
+		t.Errorf("distinct(user) = %d not re-estimated after append", after.Distinct["user"])
 	}
 }

@@ -74,6 +74,11 @@ type Store struct {
 	datasets map[string]*Dataset
 	seq      int64
 	pinned   map[string]int // eviction-exempt datasets (inputs of running plans)
+	// doomed marks datasets whose deletion was requested while pinned: the
+	// data stays readable for the plans holding the pin and is removed when
+	// the last pin is released. A Put or Refresh under the same name clears
+	// the mark — fresh data supersedes the stale-data deletion intent.
+	doomed map[string]bool
 
 	counters Counters
 
@@ -143,6 +148,7 @@ func NewStore() *Store {
 	return &Store{
 		datasets: make(map[string]*Dataset),
 		pinned:   make(map[string]int),
+		doomed:   make(map[string]bool),
 		Policy:   PolicyLRU,
 	}
 }
@@ -161,17 +167,38 @@ func (s *Store) Pin(names []string) {
 	}
 }
 
-// Unpin releases a prior Pin.
+// Unpin releases a prior Pin. Releasing the last pin on a dataset whose
+// deletion was deferred (see Delete) removes it now.
 func (s *Store) Unpin(names []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	dropped := false
 	for _, n := range names {
 		if s.pinned[n] <= 1 {
 			delete(s.pinned, n)
+			if s.doomed[n] {
+				delete(s.doomed, n)
+				delete(s.datasets, n)
+				dropped = true
+			}
 		} else {
 			s.pinned[n]--
 		}
 	}
+	if dropped {
+		s.obsViewBytes.Set(float64(s.viewBytesLocked()))
+	}
+}
+
+// Pins returns a snapshot of the pin counts (tests and diagnostics).
+func (s *Store) Pins() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.pinned))
+	for n, c := range s.pinned {
+		out[n] = c
+	}
+	return out
 }
 
 // EnforceBudget evicts views down to the capacity budget (eviction
@@ -215,6 +242,7 @@ func (s *Store) Put(name string, kind Kind, rel *data.Relation) *Dataset {
 		d.Benefit = old.Benefit
 	}
 	s.datasets[name] = d
+	delete(s.doomed, name) // fresh contents supersede a deferred deletion
 	s.counters.BytesWritten += d.SizeBytes
 	s.counters.WriteOps++
 	s.obsWriteOps.Inc()
@@ -224,6 +252,41 @@ func (s *Store) Put(name string, kind Kind, rel *data.Relation) *Dataset {
 	}
 	s.obsViewBytes.Set(float64(s.viewBytesLocked()))
 	return d
+}
+
+// Refresh replaces the contents of an existing dataset in place, keeping its
+// kind and retention metadata (incremental view maintenance rewrites a view
+// under its established identity). The full new size is counted as written,
+// like any materialization. Errors if the dataset does not exist.
+func (s *Store) Refresh(name string, rel *data.Relation) (*Dataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: refresh of unknown dataset %q", name)
+	}
+	s.seq++
+	d := &Dataset{
+		Name:        name,
+		Kind:        old.Kind,
+		SizeBytes:   rel.EncodedSize(),
+		CreatedSeq:  old.CreatedSeq,
+		LastUsedSeq: s.seq,
+		UseCount:    old.UseCount,
+		Benefit:     old.Benefit,
+		rel:         rel,
+	}
+	s.datasets[name] = d
+	delete(s.doomed, name)
+	s.counters.BytesWritten += d.SizeBytes
+	s.counters.WriteOps++
+	s.obsWriteOps.Inc()
+	s.obsWriteBytes.Add(d.SizeBytes)
+	if d.Kind == View && s.ViewCapacityBytes > 0 {
+		s.evictLocked(name)
+	}
+	s.obsViewBytes.Set(float64(s.viewBytesLocked()))
+	return d, nil
 }
 
 // evictLocked removes views (never the just-written `keep` view, never base
@@ -325,27 +388,45 @@ func (s *Store) Sample(name string, frac float64, seed int64) (*data.Relation, e
 	return out, nil
 }
 
-// Delete removes a dataset.
-func (s *Store) Delete(name string) {
+// Delete removes a dataset. If the dataset is pinned by a running plan the
+// removal is deferred — the data stays readable and is dropped when the last
+// pin releases — and Delete returns false. Returns true when the dataset was
+// removed immediately (or did not exist).
+func (s *Store) Delete(name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.pinned[name] > 0 {
+		if _, ok := s.datasets[name]; ok {
+			s.doomed[name] = true
+			return false
+		}
+		return true
+	}
 	delete(s.datasets, name)
+	delete(s.doomed, name)
 	s.obsViewBytes.Set(float64(s.viewBytesLocked()))
+	return true
 }
 
-// DropViews removes every view, keeping base data. Returns the number
-// dropped. Experiments use this between workload phases (§8.3.1).
+// DropViews removes every view, keeping base data. Pinned views are deferred
+// like Delete. Returns the number dropped immediately. Experiments use this
+// between workload phases (§8.3.1).
 func (s *Store) DropViews() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
 	for name, d := range s.datasets {
 		if d.Kind == View {
+			if s.pinned[name] > 0 {
+				s.doomed[name] = true
+				continue
+			}
 			delete(s.datasets, name)
+			delete(s.doomed, name)
 			n++
 		}
 	}
-	s.obsViewBytes.Set(0)
+	s.obsViewBytes.Set(float64(s.viewBytesLocked()))
 	return n
 }
 

@@ -348,3 +348,124 @@ func TestEvictionDeterministicOnTies(t *testing.T) {
 		}
 	}
 }
+
+func TestDeleteDefersWhilePinned(t *testing.T) {
+	s := NewStore()
+	s.Put("v", View, rel(5))
+	s.Pin([]string{"v"})
+	s.Pin([]string{"v"}) // nested pin
+
+	if s.Delete("v") {
+		t.Error("Delete of a pinned dataset reported immediate removal")
+	}
+	if !s.Has("v") {
+		t.Fatal("pinned dataset removed under a running plan")
+	}
+	if _, err := s.Read("v"); err != nil {
+		t.Errorf("pinned dataset unreadable after deferred delete: %v", err)
+	}
+	s.Unpin([]string{"v"})
+	if !s.Has("v") {
+		t.Fatal("dataset removed before the last pin released")
+	}
+	s.Unpin([]string{"v"})
+	if s.Has("v") {
+		t.Error("deferred deletion not applied on last Unpin")
+	}
+	if len(s.Pins()) != 0 {
+		t.Errorf("pin bookkeeping leaked: %v", s.Pins())
+	}
+	// a fresh view under the same name must not inherit the doom mark
+	s.Put("v", View, rel(3))
+	s.Pin([]string{"v"})
+	s.Unpin([]string{"v"})
+	if !s.Has("v") {
+		t.Error("stale doom mark deleted a freshly written dataset")
+	}
+}
+
+func TestPutClearsDeferredDeletion(t *testing.T) {
+	s := NewStore()
+	s.Put("v", View, rel(5))
+	s.Pin([]string{"v"})
+	s.Delete("v")
+	// new contents arrive while still pinned: the deletion intent is stale
+	s.Put("v", View, rel(8))
+	s.Unpin([]string{"v"})
+	if !s.Has("v") {
+		t.Error("Unpin deleted a dataset refreshed after the deferred delete")
+	}
+}
+
+func TestDeleteUnpinnedAndMissing(t *testing.T) {
+	s := NewStore()
+	s.Put("v", View, rel(2))
+	if !s.Delete("v") {
+		t.Error("Delete of an unpinned dataset not immediate")
+	}
+	if !s.Delete("missing") {
+		t.Error("Delete of a missing dataset should report true")
+	}
+	// pinned name with no dataset behind it: nothing to defer
+	s.Pin([]string{"ghost"})
+	if !s.Delete("ghost") {
+		t.Error("Delete of a pinned but nonexistent dataset should report true")
+	}
+	s.Unpin([]string{"ghost"})
+}
+
+func TestDropViewsSparesPinned(t *testing.T) {
+	s := NewStore()
+	s.Put("base", Base, rel(4))
+	s.Put("v1", View, rel(4))
+	s.Put("v2", View, rel(4))
+	s.Pin([]string{"v1"})
+	if n := s.DropViews(); n != 1 {
+		t.Errorf("DropViews dropped %d immediately, want 1", n)
+	}
+	if !s.Has("v1") || s.Has("v2") || !s.Has("base") {
+		t.Error("DropViews removed the wrong datasets")
+	}
+	s.Unpin([]string{"v1"})
+	if s.Has("v1") {
+		t.Error("pinned view survived past its last pin after DropViews")
+	}
+}
+
+func TestRefresh(t *testing.T) {
+	s := NewStore()
+	s.Put("v", View, rel(5))
+	for i := 0; i < 3; i++ {
+		if _, err := s.Read("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.AddBenefit("v", 7)
+	before, _ := s.Meta("v")
+	cBefore := s.Counters()
+
+	d, err := s.Refresh("v", rel(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != View || d.CreatedSeq != before.CreatedSeq ||
+		d.UseCount != before.UseCount || d.Benefit != before.Benefit {
+		t.Errorf("Refresh lost retention metadata: %+v", d)
+	}
+	if d.LastUsedSeq <= before.LastUsedSeq {
+		t.Error("Refresh did not advance LastUsedSeq")
+	}
+	if d.SizeBytes != rel(9).EncodedSize() {
+		t.Errorf("SizeBytes = %d, want %d", d.SizeBytes, rel(9).EncodedSize())
+	}
+	c := s.Counters()
+	if c.BytesWritten-cBefore.BytesWritten != d.SizeBytes || c.WriteOps-cBefore.WriteOps != 1 {
+		t.Errorf("Refresh write not counted: %+v -> %+v", cBefore, c)
+	}
+	if s.ViewBytes() != d.SizeBytes {
+		t.Errorf("ViewBytes = %d, want %d", s.ViewBytes(), d.SizeBytes)
+	}
+	if _, err := s.Refresh("missing", rel(1)); err == nil {
+		t.Error("Refresh of a missing dataset accepted")
+	}
+}

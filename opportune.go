@@ -368,10 +368,26 @@ func (sys *System) Views() []ViewInfo {
 // DropViews discards every opportunistic view (base tables stay).
 func (sys *System) DropViews() { sys.s.DropViews() }
 
-// AppendRows adds records to a base table. Every opportunistic view derived
-// from that table (decided exactly via attribute-signature provenance) is
-// invalidated; the dropped view names are returned.
-func (sys *System) AppendRows(table string, rows [][]any) ([]string, error) {
+// AppendReport describes how one AppendRows affected the opportunistic
+// physical design: which dependent views (decided exactly via attribute-
+// signature provenance) were incrementally maintained from the appended
+// delta, which were invalidated and why, and the simulated maintenance
+// cost.
+type AppendReport struct {
+	Table string
+	Rows  int
+
+	Maintained  []string          // views refreshed in place from the delta
+	Invalidated []string          // views dropped
+	Reasons     map[string]string // view -> why it could not be maintained
+
+	SimSeconds float64 // simulated maintenance + statistics cost
+}
+
+// AppendRows adds records to a base table. Dependent opportunistic views
+// are maintained incrementally when their provenance admits it (single-
+// table lineage, distributive aggregates) and invalidated otherwise.
+func (sys *System) AppendRows(table string, rows [][]any) (*AppendReport, error) {
 	drows := make([]data.Row, len(rows))
 	for i, r := range rows {
 		vr, err := toValues(r)
@@ -380,7 +396,17 @@ func (sys *System) AppendRows(table string, rows [][]any) ([]string, error) {
 		}
 		drows[i] = data.Row(vr)
 	}
-	return sys.s.AppendRows(table, drows)
+	rep, err := sys.s.AppendRows(table, drows)
+	if err != nil {
+		return nil, err
+	}
+	return &AppendReport{
+		Table: rep.Table, Rows: rep.Rows,
+		Maintained:  rep.Maintained,
+		Invalidated: rep.Invalidated,
+		Reasons:     rep.Reasons,
+		SimSeconds:  rep.MaintainSeconds + rep.StatsSeconds,
+	}, nil
 }
 
 // Save persists the system — base logs, opportunistic views, and the

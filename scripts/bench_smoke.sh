@@ -11,4 +11,10 @@ go build -o "$tmp/metricscheck" ./cmd/metricscheck
 
 "$tmp/benchrunner" -quick -exp fig7 -metrics "$tmp/metrics.json" >"$tmp/bench.out"
 "$tmp/metricscheck" "$tmp/metrics.json"
+
+# The append-ingest scenario: incremental view maintenance vs full
+# recompute, with its built-in cross-arm byte-identity check.
+"$tmp/benchrunner" -quick -exp ingest -metrics "$tmp/ingest-metrics.json" >"$tmp/ingest.out"
+"$tmp/metricscheck" "$tmp/ingest-metrics.json"
+grep -q "sim speedup" "$tmp/ingest.out"
 echo "bench-smoke ok"
