@@ -244,6 +244,22 @@ func BenchmarkBatchThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceThroughput runs the always-on multi-tenant service
+// under closed-loop Zipfian load: micro-batched intake vs batch-size-1 on
+// the same per-worker query sequences. The custom metrics report the
+// batched arm's sustained qps and the two speedups.
+func BenchmarkServiceThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunService(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Batched.QPS, "qps")
+		b.ReportMetric(r.SimSpeedup, "sim-speedup-x")
+		b.ReportMetric(r.WallSpeedup, "wall-speedup-x")
+	}
+}
+
 // BenchmarkFootprint measures the §10 storage cost of retaining every view
 // of the whole workload.
 func BenchmarkFootprint(b *testing.B) {

@@ -48,9 +48,12 @@ func (r compareReport) regressions() []comparison {
 }
 
 // failed reports whether the comparison should gate a build: a regression
-// on either metric, or a suspect baseline that prevented comparing at all.
+// on either metric, a suspect baseline that prevented comparing at all, or
+// a baseline benchmark that vanished from the new run — a deleted (or
+// renamed, or silently skipped) benchmark would otherwise waive its own
+// regression gate forever.
 func (r compareReport) failed() bool {
-	return len(r.regressions()) > 0 || len(r.Suspect) > 0
+	return len(r.regressions()) > 0 || len(r.Suspect) > 0 || len(r.Removed) > 0
 }
 
 // allocRegressionFloor is the absolute allocs/op increase an allocation
@@ -62,10 +65,11 @@ const allocRegressionFloor = 8
 // benchmark regresses when its new ns/op exceeds old ns/op by more than
 // threshold (fractional: 0.2 = 20%), or when its allocs/op grew by more
 // than the same fraction AND by more than allocRegressionFloor absolute.
-// Benchmarks present in only one file are reported but never fail the
-// comparison — new benchmarks have no baseline and removed ones no
-// measurement. A baseline entry with ns/op <= 0 is reported as suspect and
-// fails the comparison rather than counting as "added".
+// Benchmarks present only in the new file are reported but never fail the
+// comparison (no baseline to regress against); benchmarks present only in
+// the baseline FAIL it — the measurement they were gating disappeared. A
+// baseline entry with ns/op <= 0 is reported as suspect and fails the
+// comparison rather than counting as "added".
 func compareFiles(old, cur *File, threshold float64) compareReport {
 	oldBy := make(map[string]*Columns)
 	for i := range old.Benchmarks {
@@ -136,7 +140,7 @@ func (r compareReport) render(threshold float64) string {
 		fmt.Fprintf(&sb, "%-50s %14s %14s %9s\n", n, "-", "new", "-")
 	}
 	for _, n := range r.Removed {
-		fmt.Fprintf(&sb, "%-50s %14s %14s %9s\n", n, "removed", "-", "-")
+		fmt.Fprintf(&sb, "%-50s %14s %14s %9s  REMOVED\n", n, "removed", "-", "-")
 	}
 	for _, n := range r.Suspect {
 		fmt.Fprintf(&sb, "%-50s %14s %14s %9s  SUSPECT BASELINE\n", n, "<=0", "?", "-")
@@ -146,6 +150,9 @@ func (r compareReport) render(threshold float64) string {
 	}
 	if len(r.Suspect) > 0 {
 		fmt.Fprintf(&sb, "\n%d suspect baseline(s): old file records ns/op <= 0 — regenerate the baseline\n", len(r.Suspect))
+	}
+	if len(r.Removed) > 0 {
+		fmt.Fprintf(&sb, "\n%d benchmark(s) in the baseline are missing from the new run — restore them or rebaseline\n", len(r.Removed))
 	}
 	return sb.String()
 }

@@ -34,7 +34,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 }
 
-func TestCompareIgnoresAddedAndRemoved(t *testing.T) {
+func TestCompareIgnoresAddedButFailsRemoved(t *testing.T) {
 	old := traj(map[string]float64{"BenchmarkA": 100, "BenchmarkGone": 50})
 	cur := traj(map[string]float64{"BenchmarkA": 100, "BenchmarkNew": 9999})
 	rep := compareFiles(old, cur, 0.20)
@@ -46,6 +46,21 @@ func TestCompareIgnoresAddedAndRemoved(t *testing.T) {
 	}
 	if len(rep.Removed) != 1 || rep.Removed[0] != "BenchmarkGone" {
 		t.Errorf("Removed = %v", rep.Removed)
+	}
+	// A benchmark that vanished from the new run fails the gate: deleting
+	// (or renaming, or skipping) a benchmark must not waive its regression
+	// check silently.
+	if !rep.failed() {
+		t.Error("removed baseline benchmark must fail the comparison")
+	}
+	out := rep.render(0.20)
+	if !strings.Contains(out, "REMOVED") || !strings.Contains(out, "missing from the new run") {
+		t.Errorf("render missing removed callout:\n%s", out)
+	}
+
+	// With nothing removed (and no regressions), the comparison passes.
+	if rep := compareFiles(traj(map[string]float64{"BenchmarkA": 100}), cur, 0.20); rep.failed() {
+		t.Errorf("comparison with additions only must pass: %+v", rep)
 	}
 }
 

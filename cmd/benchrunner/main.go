@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|fig7|fig8|table1|fig9|fig10|fig11|fig12|table2|ablation|reclamation|jsens|similarity|footprint|batch|ingest] [-quick] [-tweets N] [-workers N] [-batch N] [-metrics out.json] [-faults plan.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	benchrunner [-exp all|fig7|fig8|table1|fig9|fig10|fig11|fig12|table2|ablation|reclamation|jsens|similarity|footprint|batch|ingest|service] [-quick] [-tweets N] [-workers N] [-batch N] [-metrics out.json] [-faults plan.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -22,12 +22,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig7, fig8, table1, fig9, fig10, fig11, fig12, table2, ablation, reclamation, jsens, similarity, footprint, batch")
+	exp := flag.String("exp", "all", "experiment to run: all, fig7, fig8, table1, fig9, fig10, fig11, fig12, table2, ablation, reclamation, jsens, similarity, footprint, batch, ingest, service")
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	tweets := flag.Int("tweets", 0, "override tweet-log size (0 = scale default)")
 	workers := flag.Int("workers", 0, "MR engine worker-pool size (0 = GOMAXPROCS); affects wall-clock only, never results or simulated seconds")
 	metrics := flag.String("metrics", "", "write an observability export (metrics + spans, JSON) to this file")
-	batch := flag.Int("batch", 0, "batch size for the batch-throughput experiment (0 = default 8)")
+	batch := flag.Int("batch", 0, "batch size for the batch-throughput and service experiments (0 = default 8)")
+	tenants := flag.Int("tenants", 0, "simulated tenant population for the service experiment (0 = default 8)")
 	faults := flag.String("faults", "", "inject a scripted fault plan (JSON, see internal/fault); results stay identical, recovery cost lands in wasted sim-seconds")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC allocations in use) to this file on exit")
@@ -78,6 +79,7 @@ func main() {
 	}
 	cfg.Workers = *workers
 	cfg.BatchSize = *batch
+	cfg.Tenants = *tenants
 	var reg *obs.Registry
 	if *metrics != "" {
 		reg = obs.NewRegistry()
@@ -116,6 +118,7 @@ func main() {
 		{"footprint", func() (interface{ Render() string }, error) { return experiments.Footprint(cfg) }},
 		{"batch", func() (interface{ Render() string }, error) { return experiments.RunBatchThroughput(cfg) }},
 		{"ingest", func() (interface{ Render() string }, error) { return experiments.RunIngest(cfg) }},
+		{"service", func() (interface{ Render() string }, error) { return experiments.RunService(cfg) }},
 	}
 
 	ran := 0

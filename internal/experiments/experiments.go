@@ -53,8 +53,13 @@ type Config struct {
 	DisableSpeculation bool
 
 	// BatchSize groups workload queries into shared-scan batches of this
-	// many queries for the batch-throughput experiment (0 = 8).
+	// many queries for the batch-throughput experiment (0 = 8). The
+	// service experiment reuses it as the micro-batch size trigger.
 	BatchSize int
+
+	// Tenants sets the simulated tenant population for the service
+	// experiment (0 = 8). Tenant popularity is Zipfian.
+	Tenants int
 }
 
 // DefaultConfig is the full-size harness configuration.

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"opportune/internal/service"
+	"opportune/internal/session"
+	"opportune/internal/workload"
+)
+
+// ServiceArm reports one configuration of the multi-tenant service under
+// the identical closed-loop load.
+type ServiceArm struct {
+	BatchSize int
+
+	QPS         float64 // completed queries / wall seconds
+	P50, P99    float64 // end-to-end latency, wall seconds
+	WallSeconds float64
+
+	// Deterministic sharing accounting, summed over all micro-batches.
+	SimSeconds     float64 // physical simulated cost
+	SimQPS         float64 // queries / physical sim seconds
+	Batches        int64
+	JobsDeduped    int
+	SharedScans    int
+	ScanBytesSaved int64
+}
+
+// Service is the always-on service experiment: T Zipfian tenants drive a
+// skewed query mix through cmd/opportuned's pipeline in closed loop; the
+// batched arm and a batch-size-1 arm absorb the same per-worker query
+// sequences (same seed), so the throughput delta is pure micro-batching.
+type Service struct {
+	Tenants     int
+	LoadWorkers int
+	Queries     int
+
+	Batched ServiceArm
+	Single  ServiceArm
+
+	WallSpeedup float64 // Batched.QPS / Single.QPS
+	SimSpeedup  float64 // Single.SimSeconds / Batched.SimSeconds
+
+	TenantQueries map[string]int64 // per-tenant completions (batched arm)
+}
+
+// Render prints the comparison.
+func (r *Service) Render() string {
+	rows := [][]string{
+		{fmt.Sprint(r.Batched.BatchSize), f1(r.Batched.QPS), f3(r.Batched.P50), f3(r.Batched.P99),
+			f3(r.Batched.SimSeconds), fmt.Sprint(r.Batched.Batches),
+			fmt.Sprint(r.Batched.JobsDeduped), fmt.Sprint(r.Batched.SharedScans)},
+		{"1", f1(r.Single.QPS), f3(r.Single.P50), f3(r.Single.P99),
+			f3(r.Single.SimSeconds), fmt.Sprint(r.Single.Batches),
+			fmt.Sprint(r.Single.JobsDeduped), fmt.Sprint(r.Single.SharedScans)},
+	}
+	tenants := make([]string, 0, len(r.TenantQueries))
+	for t := range r.TenantQueries {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	var mix string
+	for i, t := range tenants {
+		if i > 0 {
+			mix += " "
+		}
+		mix += fmt.Sprintf("%s:%d", t, r.TenantQueries[t])
+	}
+	return fmt.Sprintf("Service throughput: %d tenants (Zipfian), %d closed-loop workers, %d queries\n%s\nwall speedup %.2fx, sim speedup %.2fx (micro-batching vs batch-size-1)\ntenant mix: %s\n",
+		r.Tenants, r.LoadWorkers, r.Queries,
+		table([]string{"batch", "qps", "p50_s", "p99_s", "sim_s", "batches", "deduped", "shared_scans"}, rows),
+		r.WallSpeedup, r.SimSpeedup, mix)
+}
+
+// serviceArm drives one service configuration with the deterministic
+// closed-loop load and reports throughput, latency, and sharing totals.
+func serviceArm(cfg Config, batchSize, tenants, workers, perWorker int,
+	tenantCounts map[string]int64) (*ServiceArm, error) {
+	s, err := newSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	svc := service.New(s, service.Config{
+		BatchSize: batchSize,
+		MaxWait:   20 * time.Millisecond,
+		Mode:      session.ModeOriginal,
+		Obs:       cfg.Obs,
+	})
+	queries := workload.AllQueries()
+
+	var mu sync.Mutex
+	var latencies []float64
+	var firstErr error
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker deterministic sequences: both arms see the same
+			// tenant and query draws, so the comparison is seed-for-seed.
+			rng := rand.New(rand.NewSource(int64(1000*w) + 7))
+			ztenant := rand.NewZipf(rng, 1.4, 1, uint64(tenants-1))
+			zquery := rand.NewZipf(rng, 1.3, 1, uint64(len(queries)-1))
+			for i := 0; i < perWorker; i++ {
+				tenant := fmt.Sprintf("tenant%d", ztenant.Uint64())
+				q := queries[zquery.Uint64()]
+				tk, err := svc.Submit(tenant, q.SQL)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				resp := tk.Wait()
+				mu.Lock()
+				if resp.Err != nil && firstErr == nil {
+					firstErr = resp.Err
+				}
+				latencies = append(latencies, resp.Wall.Seconds())
+				if tenantCounts != nil {
+					tenantCounts[tenant]++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	svc.Close()
+	wall := time.Since(start).Seconds()
+	if firstErr != nil {
+		return nil, fmt.Errorf("experiments: service: %w", firstErr)
+	}
+
+	totals := svc.BatchTotals()
+	arm := &ServiceArm{
+		BatchSize:      batchSize,
+		WallSeconds:    wall,
+		SimSeconds:     totals.SimSeconds,
+		Batches:        svc.Stats().Batches,
+		JobsDeduped:    totals.JobsDeduped,
+		SharedScans:    totals.SharedScans,
+		ScanBytesSaved: totals.ScanBytesSaved,
+	}
+	if wall > 0 {
+		arm.QPS = float64(len(latencies)) / wall
+	}
+	if totals.SimSeconds > 0 {
+		arm.SimQPS = float64(len(latencies)) / totals.SimSeconds
+	}
+	sort.Float64s(latencies)
+	if n := len(latencies); n > 0 {
+		arm.P50 = latencies[n/2]
+		arm.P99 = latencies[(n*99)/100]
+	}
+	return arm, nil
+}
+
+// RunService runs the experiment: micro-batching (cfg.BatchSize, default
+// 8) against batch-size-1, identical closed-loop Zipfian load.
+func RunService(cfg Config) (*Service, error) {
+	tenants := cfg.Tenants
+	if tenants <= 0 {
+		tenants = 8
+	}
+	batchSize := cfg.BatchSize
+	if batchSize <= 0 {
+		batchSize = 8
+	}
+	workers, perWorker := 2*batchSize, 25
+	if cfg.Quick {
+		workers, perWorker = batchSize, 8
+	}
+	out := &Service{
+		Tenants:       tenants,
+		LoadWorkers:   workers,
+		Queries:       workers * perWorker,
+		TenantQueries: make(map[string]int64),
+	}
+
+	batched, err := serviceArm(cfg, batchSize, tenants, workers, perWorker, out.TenantQueries)
+	if err != nil {
+		return nil, err
+	}
+	out.Batched = *batched
+
+	// The single arm reuses cfg minus the shared registry: wiring both
+	// arms into one registry would double-count the session counters.
+	single := cfg
+	single.Obs = nil
+	sArm, err := serviceArm(single, 1, tenants, workers, perWorker, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.Single = *sArm
+
+	if out.Single.QPS > 0 {
+		out.WallSpeedup = out.Batched.QPS / out.Single.QPS
+	}
+	if out.Batched.SimSeconds > 0 {
+		out.SimSpeedup = out.Single.SimSeconds / out.Batched.SimSeconds
+	}
+	return out, nil
+}

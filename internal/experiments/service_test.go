@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+// TestServiceExperiment: the always-on service under Zipfian multi-tenant
+// load must beat batch-size-1 by the micro-batching margin the PR
+// promises (>=1.5x deterministic sim throughput), report latency
+// percentiles, and spread completions across at least 4 tenants.
+func TestServiceExperiment(t *testing.T) {
+	cfg := QuickConfig()
+	r, err := RunService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tenants < 4 {
+		t.Fatalf("only %d tenants simulated, want >= 4", r.Tenants)
+	}
+	if r.Queries != r.LoadWorkers*8 {
+		t.Fatalf("unexpected shape: %+v", r)
+	}
+	if r.Batched.QPS <= 0 || r.Single.QPS <= 0 {
+		t.Errorf("missing qps: batched %.1f single %.1f", r.Batched.QPS, r.Single.QPS)
+	}
+	if r.Batched.P50 <= 0 || r.Batched.P99 < r.Batched.P50 {
+		t.Errorf("implausible latency percentiles: p50=%g p99=%g", r.Batched.P50, r.Batched.P99)
+	}
+	if r.SimSpeedup < 1.5 {
+		t.Errorf("sim speedup = %.3fx, want >= 1.5x", r.SimSpeedup)
+	}
+	if r.Batched.JobsDeduped == 0 && r.Batched.SharedScans == 0 {
+		t.Error("batched arm shared nothing")
+	}
+	var active int
+	for _, n := range r.TenantQueries {
+		if n > 0 {
+			active++
+		}
+	}
+	if active < 2 {
+		t.Errorf("Zipfian load hit only %d tenants", active)
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
+	}
+}

@@ -359,6 +359,9 @@ func (o *Optimizer) groupAggJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*m
 				a.merge(acc, r)
 			}
 		}
+		for _, a := range aggs {
+			a.foldSum(acc, rows)
+		}
 		return acc
 	}
 	job.Combine = func(_ string, rows []data.Row, emit func(data.Row)) {
@@ -452,6 +455,25 @@ func (a aggPhys) merge(acc, row data.Row) {
 			acc[a.off] = v
 		}
 	}
+}
+
+// foldSum replaces the float-sum partial at a.off with a Neumaier-
+// compensated fold over the whole group, overwriting the naive left fold
+// merge accumulated (COUNT/MIN/MAX partials and AVG's count column are
+// exact and keep merge's result). Combiner partials and the reducer's
+// final merge both pass through here, so the value finalize returns is
+// within 1 ulp of the exactly rounded group sum at any Workers x
+// ReduceTasks setting — and the group order the engine feeds is
+// deterministic, so the fold stays byte-identical across parallelism.
+func (a aggPhys) foldSum(acc data.Row, rows []data.Row) {
+	if a.fn != plan.AggSum && a.fn != plan.AggAvg {
+		return
+	}
+	var k value.Kahan
+	for _, r := range rows {
+		k.Add(r[a.off].Float())
+	}
+	acc[a.off] = value.NewFloat(k.Value())
 }
 
 // finalize converts the merged partial state into the output value.

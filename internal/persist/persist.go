@@ -23,6 +23,7 @@ import (
 	"opportune/internal/cost"
 	"opportune/internal/data"
 	"opportune/internal/expr"
+	"opportune/internal/plan"
 	"opportune/internal/session"
 	"opportune/internal/storage"
 	"opportune/internal/value"
@@ -75,6 +76,47 @@ type tableDTO struct {
 	Bytes    int64            `json:"bytes"`
 	Distinct map[string]int64 `json:"distinct,omitempty"`
 	Ann      annDTO           `json:"ann"`
+	// Plan is the view's producing logical plan, captured at retention
+	// time. Restoring it lets AppendRows maintain the view incrementally
+	// after Open instead of falling back to blanket invalidation. Absent
+	// for base tables and in catalogs written before plans were persisted
+	// (those views invalidate on append, the old behavior).
+	Plan *planDTO `json:"plan,omitempty"`
+}
+
+// aggDTO is one aggregate spec of a persisted GroupAgg node.
+type aggDTO struct {
+	Func string `json:"func"`
+	Col  string `json:"col,omitempty"`
+	As   string `json:"as,omitempty"`
+}
+
+// litDTO is a typed literal (UDF parameters reuse the predicate literal
+// encoding).
+type litDTO struct {
+	Kind int    `json:"kind"`
+	Val  string `json:"val"`
+}
+
+// planDTO serializes a plan.Node tree structurally; annotations and output
+// columns are recomputed by the optimizer on the next compile.
+type planDTO struct {
+	Kind      int       `json:"kind"`
+	Inputs    []planDTO `json:"inputs,omitempty"`
+	Dataset   string    `json:"dataset,omitempty"`
+	Cols      []string  `json:"cols,omitempty"`
+	As        []string  `json:"as,omitempty"`
+	Pred      *predDTO  `json:"pred,omitempty"`
+	LCol      string    `json:"lcol,omitempty"`
+	RCol      string    `json:"rcol,omitempty"`
+	Keys      []string  `json:"keys,omitempty"`
+	Aggs      []aggDTO  `json:"aggs,omitempty"`
+	UDFName   string    `json:"udfName,omitempty"`
+	UDFArgs   []string  `json:"udfArgs,omitempty"`
+	UDFParams []litDTO  `json:"udfParams,omitempty"`
+	SortCols  []string  `json:"sortCols,omitempty"`
+	SortDesc  []bool    `json:"sortDesc,omitempty"`
+	Limit     int64     `json:"limit,omitempty"`
 }
 
 type fdDTO struct {
@@ -212,6 +254,58 @@ func annFromDTO(d annDTO) (afk.Annotation, error) {
 	return ann, nil
 }
 
+func planToDTO(n *plan.Node) planDTO {
+	d := planDTO{Kind: int(n.Kind), Dataset: n.Dataset, Cols: n.Cols, As: n.As,
+		LCol: n.LCol, RCol: n.RCol, Keys: n.Keys, UDFName: n.UDFName,
+		UDFArgs: n.UDFArgs, SortCols: n.SortCols, SortDesc: n.SortDesc, Limit: n.Limit}
+	if n.Kind == plan.KindFilter {
+		pd := predToDTO(n.Pred)
+		d.Pred = &pd
+	}
+	for _, a := range n.Aggs {
+		d.Aggs = append(d.Aggs, aggDTO{Func: string(a.Func), Col: a.Col, As: a.As})
+	}
+	for _, v := range n.UDFParams {
+		k, s := litToDTO(v)
+		d.UDFParams = append(d.UDFParams, litDTO{Kind: k, Val: s})
+	}
+	for _, in := range n.Inputs {
+		d.Inputs = append(d.Inputs, planToDTO(in))
+	}
+	return d
+}
+
+func planFromDTO(d planDTO) (*plan.Node, error) {
+	n := &plan.Node{Kind: plan.Kind(d.Kind), Dataset: d.Dataset, Cols: d.Cols,
+		As: d.As, LCol: d.LCol, RCol: d.RCol, Keys: d.Keys, UDFName: d.UDFName,
+		UDFArgs: d.UDFArgs, SortCols: d.SortCols, SortDesc: d.SortDesc, Limit: d.Limit}
+	if d.Pred != nil {
+		p, err := predFromDTO(*d.Pred)
+		if err != nil {
+			return nil, err
+		}
+		n.Pred = p
+	}
+	for _, a := range d.Aggs {
+		n.Aggs = append(n.Aggs, plan.AggSpec{Func: plan.AggFunc(a.Func), Col: a.Col, As: a.As})
+	}
+	for _, p := range d.UDFParams {
+		v, err := litFromDTO(p.Kind, p.Val)
+		if err != nil {
+			return nil, err
+		}
+		n.UDFParams = append(n.UDFParams, v)
+	}
+	for _, in := range d.Inputs {
+		child, err := planFromDTO(in)
+		if err != nil {
+			return nil, err
+		}
+		n.Inputs = append(n.Inputs, child)
+	}
+	return n, nil
+}
+
 // Save writes the session's datasets and catalog under dir (created if
 // needed). UDF calibration scalars are saved by name.
 func Save(s *session.Session, dir string) error {
@@ -227,6 +321,7 @@ func Save(s *session.Session, dir string) error {
 	s.Cat.FDs.Each(func(from []string, to string) {
 		cat.FDs = append(cat.FDs, fdDTO{From: from, To: to})
 	})
+	plans := s.ViewPlans()
 	for _, kind := range []storage.Kind{storage.Base, storage.View} {
 		for _, name := range s.Store.List(kind) {
 			info, ok := s.Cat.Table(name)
@@ -234,12 +329,17 @@ func Save(s *session.Session, dir string) error {
 				continue // stored but never cataloged (scratch data)
 			}
 			ds, _ := s.Store.Meta(name)
-			cat.Tables = append(cat.Tables, tableDTO{
+			dto := tableDTO{
 				Name: name, Cols: info.Cols, KeyCol: info.KeyCol,
 				IsView: info.IsView, PlanFP: info.PlanFP,
 				Rows: info.Stats.Rows, Bytes: info.Stats.Bytes,
 				Distinct: info.Distinct, Ann: annToDTO(info.Ann),
-			})
+			}
+			if pl, ok := plans[name]; ok && info.IsView {
+				pd := planToDTO(pl)
+				dto.Plan = &pd
+			}
+			cat.Tables = append(cat.Tables, dto)
 			f, err := os.Create(filepath.Join(dir, "tables", name+".tbl"))
 			if err != nil {
 				return err
@@ -300,6 +400,13 @@ func Open(dir string, params cost.Params) (*session.Session, *Saved, error) {
 		if t.IsView {
 			info := s.Cat.RegisterView(t.Name, t.Cols, ann, stats, t.PlanFP)
 			info.Distinct = t.Distinct
+			if t.Plan != nil {
+				pl, err := planFromDTO(*t.Plan)
+				if err != nil {
+					return nil, nil, fmt.Errorf("persist: %s plan: %w", t.Name, err)
+				}
+				s.RestoreViewPlan(t.Name, pl)
+			}
 		} else {
 			// RegisterBase would rebuild a fresh base annotation (identical
 			// by construction) and reinstall key FDs; FDs are restored

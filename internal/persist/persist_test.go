@@ -3,6 +3,8 @@ package persist
 import (
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"testing"
 
 	"opportune/internal/session"
@@ -143,5 +145,101 @@ func TestSavedScalarsPartialApply(t *testing.T) {
 	applied := sv.ApplyScalars(s)
 	if len(applied) != 1 || applied[0] != "UDF_CLASSIFY_WINE" {
 		t.Errorf("applied = %v", applied)
+	}
+}
+
+// TestRestoredSessionMaintainsViews covers the restore-path maintenance
+// regression: a session restored from disk must keep maintaining its views
+// on AppendRows — byte-identical to the never-closed session — instead of
+// blanket-invalidating them because the producing plans were lost with the
+// process.
+func TestRestoredSessionMaintainsViews(t *testing.T) {
+	dir := t.TempDir()
+	sc := workload.SmallScale()
+	live, err := workload.NewSession(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range workload.IngestQueries() {
+		if _, err := workload.Exec(live, q, session.ModeOriginal); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Save(live, dir); err != nil {
+		t.Fatal(err)
+	}
+	restored, saved, err := Open(dir, workload.CostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range workload.UDFLibrary() {
+		if err := restored.Cat.UDFs.Register(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	saved.ApplyScalars(restored)
+
+	// Identical appends on both sides: the restored session must classify
+	// every view exactly as the live one does. Before plans were persisted
+	// it invalidated everything with "no captured producing plan".
+	for b := 0; b < 2; b++ {
+		batch := workload.AppendBatch(sc, b, 40)
+		repLive, err := live.AppendRows("twtr", batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repRest, err := restored.AppendRows("twtr", batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(repLive.Maintained) == 0 {
+			t.Fatal("fixture maintains nothing; the oracle is vacuous")
+		}
+		sort.Strings(repLive.Maintained)
+		sort.Strings(repRest.Maintained)
+		if !reflect.DeepEqual(repLive.Maintained, repRest.Maintained) {
+			t.Fatalf("batch %d: restored session maintained %v, live %v (reasons %v)",
+				b, repRest.Maintained, repLive.Maintained, repRest.Reasons)
+		}
+		sort.Strings(repLive.Invalidated)
+		sort.Strings(repRest.Invalidated)
+		if !reflect.DeepEqual(repLive.Invalidated, repRest.Invalidated) {
+			t.Fatalf("batch %d: invalidation sets differ: restored %v, live %v",
+				b, repRest.Invalidated, repLive.Invalidated)
+		}
+		if !reflect.DeepEqual(repLive.Reasons, repRest.Reasons) {
+			t.Errorf("batch %d: invalidation reasons differ: restored %v, live %v",
+				b, repRest.Reasons, repLive.Reasons)
+		}
+	}
+
+	// Byte-identity: every view surviving in the live session survives in
+	// the restored one with identical contents and annotation.
+	for _, v := range live.Cat.Views() {
+		if !live.Store.Has(v.Name) {
+			if restored.Store.Has(v.Name) {
+				t.Errorf("view %s invalidated live but kept after restore", v.Name)
+			}
+			continue
+		}
+		a, err := live.Store.Read(v.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.Store.Read(v.Name)
+		if err != nil {
+			t.Fatalf("view %s lost by the restored session: %v", v.Name, err)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("view %s: restored maintenance diverged from the live session", v.Name)
+		}
+		v2, ok := restored.Cat.Table(v.Name)
+		if !ok {
+			t.Errorf("view %s missing from restored catalog", v.Name)
+			continue
+		}
+		if v.Ann.Canon() != v2.Ann.Canon() {
+			t.Errorf("view %s: annotation diverged after restored maintenance", v.Name)
+		}
 	}
 }

@@ -1,0 +1,474 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"opportune/internal/obs"
+	"opportune/internal/session"
+	"opportune/internal/workload"
+)
+
+// newTestSession builds a small-scale session with the full workload
+// installed, instrumented with a fresh registry.
+func newTestSession(t *testing.T, workers, reduceTasks int) (*session.Session, *obs.Registry) {
+	t.Helper()
+	s, err := workload.NewSession(workload.SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if workers > 0 {
+		s.Eng.Workers = workers
+	}
+	if reduceTasks > 0 {
+		s.Eng.Params.ReduceTasks = reduceTasks
+	}
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+	return s, reg
+}
+
+func parityQueries() []workload.Query {
+	var qs []workload.Query
+	for a := 1; a <= 2; a++ {
+		for v := 1; v <= 4; v++ {
+			qs = append(qs, workload.QueryFor(a, v))
+		}
+	}
+	return qs
+}
+
+func fingerprint(t *testing.T, s *session.Session, name string) uint64 {
+	t.Helper()
+	ds, ok := s.Store.Meta(name)
+	if !ok {
+		t.Fatalf("result %q not in store", name)
+	}
+	return ds.Relation().Fingerprint()
+}
+
+// TestServiceParityWithSequentialRun is the service's end-to-end oracle:
+// a single tenant submitting queries in order through the full
+// intake→planner→executor pipeline (ModeOriginal, parity accounting) must
+// yield per-query Metrics, result relations, and a session counter
+// snapshot byte-identical to calling Session.Run in a loop — across
+// Workers ∈ {1,4} × ReduceTasks ∈ {1,3}. The partition into micro-batches
+// is irrelevant by construction: single-tenant FIFO intake plus an
+// in-order executor composes to sequential execution.
+func TestServiceParityWithSequentialRun(t *testing.T) {
+	queries := parityQueries()
+
+	// Sequential reference. Deterministic metrics and counters are
+	// invariant across the W×R grid (wall-clock parallelism only), so one
+	// reference arm suffices.
+	ref, refReg := newTestSession(t, 0, 0)
+	var refMs []*session.Metrics
+	refFPs := make(map[string]uint64)
+	for _, q := range queries {
+		m, err := workload.Exec(ref, q, session.ModeOriginal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refMs = append(refMs, m)
+		refFPs[q.Name] = fingerprint(t, ref, m.ResultName)
+	}
+	refSnap := refReg.Snapshot()
+
+	grid := []struct{ w, r int }{{1, 1}, {1, 3}, {4, 1}, {4, 3}}
+	for _, g := range grid {
+		t.Run(fmt.Sprintf("W%dR%d", g.w, g.r), func(t *testing.T) {
+			sess, sessReg := newTestSession(t, g.w, g.r)
+			svc := New(sess, Config{
+				BatchSize:  3, // uneven cuts: 3+3+2 across 8 queries
+				MaxWait:    10 * time.Second,
+				Accounting: session.BatchParity,
+				Obs:        obs.NewRegistry(), // service metrics stay off the session registry
+			})
+			tickets := make([]*Ticket, len(queries))
+			for i, q := range queries {
+				tk, err := svc.Submit("analyst", q.SQL)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tickets[i] = tk
+			}
+			svc.Close()
+			for i, tk := range tickets {
+				resp := tk.Wait()
+				if resp.Err != nil {
+					t.Fatalf("%s: %v", queries[i].Name, resp.Err)
+				}
+				if !reflect.DeepEqual(resp.Metrics, refMs[i]) {
+					t.Errorf("%s metrics differ:\n service %+v\n seq     %+v",
+						queries[i].Name, resp.Metrics, refMs[i])
+				}
+				if got := fingerprint(t, sess, resp.ResultName); got != refFPs[queries[i].Name] {
+					t.Errorf("%s: service result differs from sequential", queries[i].Name)
+				}
+			}
+			snap := sessReg.Snapshot()
+			if !reflect.DeepEqual(snap.Counters, refSnap.Counters) {
+				t.Errorf("session counters differ:\n service %v\n seq     %v",
+					snap.Counters, refSnap.Counters)
+			}
+			if !reflect.DeepEqual(snap.FloatCounters, refSnap.FloatCounters) {
+				t.Errorf("session float counters differ:\n service %v\n seq     %v",
+					snap.FloatCounters, refSnap.FloatCounters)
+			}
+		})
+	}
+}
+
+// TestServiceSizeTrigger: with a far-off timer, 4 submits at BatchSize=2
+// cut exactly two "size" batches and nothing else; the batch-size
+// histogram records exactly those two samples (no zero-size samples from
+// idle ticks, no drain batch after the queue empties).
+func TestServiceSizeTrigger(t *testing.T) {
+	sess, _ := newTestSession(t, 0, 0)
+	svcReg := obs.NewRegistry()
+	svc := New(sess, Config{BatchSize: 2, MaxWait: 10 * time.Second, Obs: svcReg})
+	q := workload.IngestQueries()[1] // map-only filter, cheap
+	var tickets []*Ticket
+	for i := 0; i < 4; i++ {
+		tk, err := svc.Submit("t1", q.SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for _, tk := range tickets {
+		if resp := tk.Wait(); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	svc.Close()
+	snap := svcReg.Snapshot()
+	if got := snap.Counters[`service_batches_total{trigger=size}`]; got != 2 {
+		t.Errorf("size batches = %d, want 2", got)
+	}
+	if got := snap.Counters[`service_batches_total{trigger=timer}`]; got != 0 {
+		t.Errorf("timer batches = %d, want 0", got)
+	}
+	if got := snap.Counters[`service_batches_total{trigger=drain}`]; got != 0 {
+		t.Errorf("drain batches = %d, want 0", got)
+	}
+	h := snap.Histograms["service_batch_size"]
+	if h.Count != 2 || h.Sum != 4 {
+		t.Errorf("batch-size histogram count=%d sum=%g, want 2 samples summing to 4", h.Count, h.Sum)
+	}
+	if snap.Histograms["service_admission_wait_seconds"].Count != 4 {
+		t.Errorf("admission-wait samples = %d, want 4", snap.Histograms["service_admission_wait_seconds"].Count)
+	}
+}
+
+// TestServiceTimerTrigger: a single query below BatchSize must still
+// execute once MaxWait elapses — and only then.
+func TestServiceTimerTrigger(t *testing.T) {
+	sess, _ := newTestSession(t, 0, 0)
+	svcReg := obs.NewRegistry()
+	svc := New(sess, Config{BatchSize: 100, MaxWait: 20 * time.Millisecond, Obs: svcReg})
+	tk, err := svc.Submit("t1", workload.IngestQueries()[1].SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := tk.Wait()
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if resp.AdmitWait < 20*time.Millisecond {
+		t.Errorf("admitted after %v, before the %v latency trigger", resp.AdmitWait, 20*time.Millisecond)
+	}
+	svc.Close()
+	snap := svcReg.Snapshot()
+	if got := snap.Counters[`service_batches_total{trigger=timer}`]; got != 1 {
+		t.Errorf("timer batches = %d, want 1", got)
+	}
+	if h := snap.Histograms["service_batch_size"]; h.Count != 1 || h.Sum != 1 {
+		t.Errorf("batch-size histogram count=%d sum=%g, want one size-1 sample", h.Count, h.Sum)
+	}
+}
+
+// TestServiceDrainTrigger: Close with pending work below both triggers
+// still executes everything, labeled "drain".
+func TestServiceDrainTrigger(t *testing.T) {
+	sess, _ := newTestSession(t, 0, 0)
+	svcReg := obs.NewRegistry()
+	svc := New(sess, Config{BatchSize: 100, MaxWait: 10 * time.Second, Obs: svcReg})
+	tk1, err := svc.Submit("t1", workload.IngestQueries()[1].SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk2, err := svc.Submit("t2", workload.IngestQueries()[0].SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	if resp := tk1.Wait(); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if resp := tk2.Wait(); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	snap := svcReg.Snapshot()
+	if got := snap.Counters[`service_batches_total{trigger=drain}`]; got != 1 {
+		t.Errorf("drain batches = %d, want 1", got)
+	}
+	if _, err := svc.Submit("t1", "CREATE TABLE x AS SELECT tweet_id FROM twtr"); err != ErrClosed {
+		t.Errorf("submit after close: err = %v, want ErrClosed", err)
+	}
+	if _, err := svc.Append("twtr", nil); err != ErrClosed {
+		t.Errorf("append after close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestServiceIdleCloseObservesNothing: an idle service whose timer could
+// have ticked many times must publish no batch counters and no histogram
+// samples — an empty flush tick is not a batch.
+func TestServiceIdleCloseObservesNothing(t *testing.T) {
+	sess, _ := newTestSession(t, 0, 0)
+	svcReg := obs.NewRegistry()
+	svc := New(sess, Config{BatchSize: 4, MaxWait: 5 * time.Millisecond, Obs: svcReg})
+	time.Sleep(40 * time.Millisecond)
+	svc.Close()
+	snap := svcReg.Snapshot()
+	for name, v := range snap.Counters {
+		if v != 0 {
+			t.Errorf("idle service published counter %s=%d", name, v)
+		}
+	}
+	if h := snap.Histograms["service_batch_size"]; h.Count != 0 {
+		t.Errorf("idle service published %d batch-size samples", h.Count)
+	}
+}
+
+// TestServiceParseErrorResolvesImmediately: a malformed query resolves
+// its own ticket with an error at the planning stage without sinking the
+// micro-batch it was cut with.
+func TestServiceParseErrorResolvesImmediately(t *testing.T) {
+	sess, _ := newTestSession(t, 0, 0)
+	svcReg := obs.NewRegistry()
+	svc := New(sess, Config{BatchSize: 2, MaxWait: 10 * time.Second, Obs: svcReg})
+	bad, err := svc.Submit("t1", "CREATE GIBBERISH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := svc.Submit("t1", workload.IngestQueries()[1].SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := bad.Wait(); resp.Err == nil {
+		t.Error("malformed query resolved without error")
+	}
+	if resp := good.Wait(); resp.Err != nil {
+		t.Errorf("well-formed batchmate failed: %v", resp.Err)
+	}
+	svc.Close()
+	if got := svcReg.Snapshot().Counters["service_parse_errors_total"]; got != 1 {
+		t.Errorf("parse errors = %d, want 1", got)
+	}
+}
+
+// TestServiceFairCut exercises the weighted round-robin cut directly: a
+// flooding tenant must not fill the batch before a trickling tenant's
+// lone request rides along, and per-pass shares follow the weights.
+func TestServiceFairCut(t *testing.T) {
+	mk := func(batchSize int, weights map[string]int) *Service {
+		s := &Service{
+			cfg:     Config{BatchSize: batchSize, Weights: weights}.withDefaults(),
+			tenants: make(map[string]*tenantQ),
+		}
+		return s
+	}
+	load := func(s *Service, tenant string, n int) {
+		w := s.cfg.Weights[tenant]
+		if w <= 0 {
+			w = 1
+		}
+		tq := &tenantQ{weight: w}
+		for i := 0; i < n; i++ {
+			tq.reqs = append(tq.reqs, &request{tenant: tenant})
+		}
+		s.tenants[tenant] = tq
+		s.order = append(s.order, tenant)
+		s.pending += n
+	}
+	count := func(reqs []*request) map[string]int {
+		out := map[string]int{}
+		for _, r := range reqs {
+			out[r.tenant]++
+		}
+		return out
+	}
+
+	// Hot tenant floods; cold tenant's single query still makes the cut.
+	s := mk(4, nil)
+	load(s, "cold", 1)
+	load(s, "hot", 100)
+	cut, trigger := s.cutLocked()
+	if trigger != "size" {
+		t.Errorf("trigger = %q, want size", trigger)
+	}
+	got := count(cut)
+	if got["cold"] != 1 || got["hot"] != 3 {
+		t.Errorf("cut = %v, want cold:1 hot:3", got)
+	}
+
+	// Weights shift the per-pass share 2:1.
+	s = mk(6, map[string]int{"a": 2, "b": 1})
+	load(s, "a", 100)
+	load(s, "b", 100)
+	cut, _ = s.cutLocked()
+	got = count(cut)
+	if got["a"] != 4 || got["b"] != 2 {
+		t.Errorf("weighted cut = %v, want a:4 b:2", got)
+	}
+
+	// Rotation: the tenant that led this cut doesn't lead the next one.
+	s = mk(2, nil)
+	load(s, "a", 10)
+	load(s, "b", 10)
+	first, _ := s.cutLocked()
+	second, _ := s.cutLocked()
+	if first[0].tenant == second[0].tenant {
+		t.Errorf("consecutive cuts both led by %q — rotation not advancing", first[0].tenant)
+	}
+}
+
+// TestServiceStress interleaves concurrent multi-tenant submission
+// (including malformed queries) with ingest appends under -race: every
+// ticket gets exactly one response, accounting balances, appends
+// maintain views, and Close leaves no dangling pins.
+func TestServiceStress(t *testing.T) {
+	sess, _ := newTestSession(t, 2, 0)
+	// Standing views so appends have something to maintain.
+	for _, q := range workload.IngestQueries() {
+		if _, err := workload.Exec(sess, q, session.ModeOriginal); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svcReg := obs.NewRegistry()
+	svc := New(sess, Config{BatchSize: 4, MaxWait: 2 * time.Millisecond, QueueCap: 8, Obs: svcReg})
+
+	const tenants, perTenant = 4, 8
+	sqls := []string{
+		workload.IngestQueries()[1].SQL,
+		workload.IngestQueries()[0].SQL,
+		"CREATE TABLE stress_geo AS SELECT tweet_id, lat, lon FROM twtr WHERE lat > 37.5",
+		"CREATE NONSENSE", // parse error: must resolve, not wedge the pipeline
+	}
+	var wg sync.WaitGroup
+	responses := make(chan Response, tenants*perTenant)
+	for g := 0; g < tenants; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			tenant := fmt.Sprintf("tenant%d", g)
+			for i := 0; i < perTenant; i++ {
+				tk, err := svc.Submit(tenant, sqls[rng.Intn(len(sqls))])
+				if err != nil {
+					t.Errorf("%s submit %d: %v", tenant, i, err)
+					return
+				}
+				responses <- tk.Wait()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sc := workload.SmallScale()
+		for e := 0; e < 4; e++ {
+			rep, err := svc.Append("twtr", workload.AppendBatch(sc, e, 25))
+			if err != nil {
+				t.Errorf("append %d: %v", e, err)
+				return
+			}
+			if len(rep.Maintained) == 0 {
+				t.Errorf("append %d maintained nothing", e)
+			}
+		}
+	}()
+	wg.Wait()
+	svc.Close()
+	close(responses)
+
+	var ok, failed int
+	for resp := range responses {
+		if resp.Err != nil {
+			failed++
+		} else {
+			ok++
+		}
+	}
+	if ok+failed != tenants*perTenant {
+		t.Fatalf("got %d responses for %d tickets", ok+failed, tenants*perTenant)
+	}
+	st := svc.Stats()
+	if st.Submitted != tenants*perTenant {
+		t.Errorf("Submitted = %d, want %d", st.Submitted, tenants*perTenant)
+	}
+	if st.Completed+st.ParseErrors != st.Submitted {
+		t.Errorf("Completed %d + ParseErrors %d != Submitted %d", st.Completed, st.ParseErrors, st.Submitted)
+	}
+	if int64(failed) != st.ParseErrors {
+		t.Errorf("%d error responses vs %d parse errors", failed, st.ParseErrors)
+	}
+	for name, n := range sess.Store.Pins() {
+		if n != 0 {
+			t.Errorf("dangling pin after Close: %s=%d", name, n)
+		}
+	}
+}
+
+// TestServiceHotPinning: with a view budget set, the executor keeps the
+// hottest views pinned between batches and releases every pin on Close.
+func TestServiceHotPinning(t *testing.T) {
+	sess, _ := newTestSession(t, 0, 0)
+	sess.Store.ViewCapacityBytes = 1 << 30
+	svcReg := obs.NewRegistry()
+	svc := New(sess, Config{
+		BatchSize: 2, MaxWait: 10 * time.Second,
+		HotPinFraction: 0.5, HotPinTop: 4, Obs: svcReg,
+	})
+	var tickets []*Ticket
+	for _, q := range parityQueries()[:4] {
+		tk, err := svc.Submit("t1", q.SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for _, tk := range tickets {
+		if resp := tk.Wait(); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	snap := svcReg.Snapshot()
+	if snap.Gauges["service_hot_pinned_bytes"] <= 0 {
+		t.Error("no bytes hot-pinned despite view budget")
+	}
+	if snap.Counters["service_hot_pin_changes_total"] == 0 {
+		t.Error("hot-pin set never changed")
+	}
+	pinned := 0
+	for _, n := range sess.Store.Pins() {
+		pinned += n
+	}
+	if pinned == 0 {
+		t.Error("no views pinned while service is live")
+	}
+	svc.Close()
+	for name, n := range sess.Store.Pins() {
+		if n != 0 {
+			t.Errorf("dangling pin after Close: %s=%d", name, n)
+		}
+	}
+	if svcReg.Snapshot().Gauges["service_hot_pinned_bytes"] != 0 {
+		t.Error("hot-pinned-bytes gauge not zeroed on Close")
+	}
+}

@@ -18,6 +18,10 @@
 // two-pointer merge preserves. One caveat is inherent: float-valued SUMs
 // can differ in final ULPs from a recompute because addition order differs;
 // integer-valued aggregates (COUNT, MIN/MAX, sums of integers) are exact.
+// Compensated (Kahan/Neumaier) summation in both the aggregate folds
+// (aggPhys.foldSum) and the merge below keeps that drift to at most one
+// rounding per append rather than one per input row — the fractional-SUM
+// differential oracle asserts a tight ULP bound over a whole append chain.
 package session
 
 import (
@@ -325,7 +329,15 @@ func mergeAggRows(aggs []plan.AggSpec, nKeys int) func(old, delta data.Row) data
 			case plan.AggCount:
 				out[ix] = value.NewInt(old[ix].Int() + delta[ix].Int())
 			case plan.AggSum:
-				out[ix] = value.NewFloat(old[ix].Float() + delta[ix].Float())
+				// Compensated two-term add: the merged sum is the exactly
+				// rounded value of old+delta, so each append contributes at
+				// most one rounding to the chain's drift from full recompute
+				// (the delta itself is Kahan-folded by aggPhys). The
+				// fractional-SUM oracle bounds the residual drift in ULPs.
+				var k value.Kahan
+				k.Add(old[ix].Float())
+				k.Add(delta[ix].Float())
+				out[ix] = value.NewFloat(k.Value())
 			case plan.AggMin, plan.AggMax:
 				v := delta[ix]
 				if v.IsNull() {

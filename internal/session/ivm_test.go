@@ -2,13 +2,16 @@ package session
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 
+	"opportune/internal/cost"
 	"opportune/internal/data"
 	"opportune/internal/expr"
 	"opportune/internal/obs"
 	"opportune/internal/plan"
+	"opportune/internal/storage"
 	"opportune/internal/value"
 )
 
@@ -237,5 +240,125 @@ func TestConcurrentAppendsWithRunsStress(t *testing.T) {
 	}
 	if a != b {
 		t.Error("post-stress query result diverged from clean recompute")
+	}
+}
+
+// fracRow builds one "ticks" row whose amt column is adversarial for naive
+// float summation: each group's scan-order sequence interleaves ±1e16
+// pairs with fractional values no float represents exactly, so a naive
+// left fold swings through magnitudes where the fractions fall below the
+// ULP and are destroyed, while the true sum (the huge terms cancel exactly
+// within every aligned block of 12 rows) stays small enough that the loss
+// is visible. Seed and append sizes must be multiples of 12 to keep the
+// per-group, per-batch cancellation exact.
+func fracRow(i int) data.Row {
+	var amt float64
+	switch (i / 3) % 4 {
+	case 0:
+		amt = 1e16
+	case 2:
+		amt = -1e16
+	case 1:
+		amt = 0.1 + float64(i%97)*0.3
+	default:
+		amt = -0.7 - float64(i%89)*1.9
+	}
+	return data.Row{value.NewInt(int64(i)), value.NewInt(int64(i % 3)), value.NewFloat(amt)}
+}
+
+// fracSession builds a session over a fractional-valued "ticks" base.
+func fracSession(t *testing.T, rows int) *Session {
+	t.Helper()
+	s := New(cost.DefaultParams())
+	rel := data.NewRelation(data.NewSchema("id", "user", "amt"))
+	for i := 0; i < rows; i++ {
+		rel.Append(fracRow(i))
+	}
+	s.Store.Put("ticks", storage.Base, rel)
+	s.Cat.RegisterBase("ticks", []string{"id", "user", "amt"}, "id",
+		cost.Stats{Rows: int64(rows), Bytes: rel.EncodedSize()}, map[string]int64{"user": 3})
+	return s
+}
+
+// ordKey maps a float64 onto a monotonically ordered integer line where
+// adjacent representable floats are 1 apart (the -0.0 and +0.0 keys
+// coincide), so key distance counts ULP steps.
+func ordKey(f float64) int64 {
+	b := int64(math.Float64bits(f))
+	if b < 0 {
+		b = math.MinInt64 - b
+	}
+	return b
+}
+
+func ulpDist(a, b float64) int64 {
+	d := ordKey(a) - ordKey(b)
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// TestMaintenanceFractionalSumULP extends the differential oracle to
+// fractional SUMs. Byte-identity cannot hold across an append chain — the
+// incremental path rounds once per merge — but with compensated (Kahan)
+// summation in both the aggregate folds and MergeByKey the maintained
+// value must stay within a few ULPs of a full recompute even on
+// mixed-magnitude, cancelling inputs. The naive left fold this replaces
+// drifts by orders of magnitude more on this data.
+func TestMaintenanceFractionalSumULP(t *testing.T) {
+	const seedRows, batchRows, batches, ulpBound = 60, 36, 6, 4
+
+	q := plan.GroupAgg(plan.Scan("ticks"), []string{"user"},
+		plan.AggSpec{Func: plan.AggSum, Col: "amt", As: "s"},
+		plan.AggSpec{Func: plan.AggCount, As: "n"})
+
+	inc := fracSession(t, seedRows)
+	if _, err := inc.Run(q, "vsum", ModeOriginal); err != nil {
+		t.Fatal(err)
+	}
+	ref := fracSession(t, seedRows)
+	next := seedRows
+	for b := 0; b < batches; b++ {
+		rows := make([]data.Row, batchRows)
+		for i := range rows {
+			rows[i] = fracRow(next + i)
+		}
+		next += batchRows
+		rep, err := inc.AppendRows("ticks", rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Maintained) != 1 {
+			t.Fatalf("batch %d: maintained %v (reasons %v), want vsum maintained", b, rep.Maintained, rep.Reasons)
+		}
+		if _, err := ref.AppendRows("ticks", rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ref.Run(q, "vsum", ModeOriginal); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := inc.Store.Read("vsum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Store.Read("vsum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("maintained view has %d groups, recompute %d", got.Len(), want.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		g, w := got.Row(i), want.Row(i)
+		if value.Compare(g[0], w[0]) != 0 || value.Compare(g[2], w[2]) != 0 {
+			t.Fatalf("row %d: key/count mismatch: got %v want %v", i, g, w)
+		}
+		if d := ulpDist(g[1].Float(), w[1].Float()); d > ulpBound {
+			t.Errorf("group %v: maintained SUM %v vs recompute %v drifted %d ULPs (bound %d)",
+				g[0], g[1].Float(), w[1].Float(), d, ulpBound)
+		}
 	}
 }

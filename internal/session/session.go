@@ -88,8 +88,9 @@ type Session struct {
 
 	// viewMu guards viewPlans: producing logical plans per retained view,
 	// captured at registration so AppendRows can re-run a view's pipeline
-	// over an appended delta. Views without a captured plan (e.g. restored
-	// from persistence) always fall back to invalidation.
+	// over an appended delta. Plans survive persistence (ViewPlans /
+	// RestoreViewPlan); a view without a captured plan always falls back
+	// to invalidation.
 	viewMu    sync.Mutex
 	viewPlans map[string]*plan.Node
 
@@ -434,6 +435,26 @@ func (s *Session) dropViewPlan(name string) {
 	s.viewMu.Lock()
 	delete(s.viewPlans, name)
 	s.viewMu.Unlock()
+}
+
+// ViewPlans returns a deep copy of every captured producing plan, keyed by
+// view name. Persistence snapshots these alongside the catalog so a
+// restored session can keep maintaining its views.
+func (s *Session) ViewPlans() map[string]*plan.Node {
+	s.viewMu.Lock()
+	defer s.viewMu.Unlock()
+	out := make(map[string]*plan.Node, len(s.viewPlans))
+	for name, pl := range s.viewPlans {
+		out[name] = pl.Clone()
+	}
+	return out
+}
+
+// RestoreViewPlan reinstalls a producing plan captured by an earlier
+// session (persist.Open calls this), making the view eligible for
+// incremental maintenance on AppendRows instead of blanket invalidation.
+func (s *Session) RestoreViewPlan(name string, pl *plan.Node) {
+	s.setViewPlan(name, pl)
 }
 
 // DropViews clears all opportunistic views from store and catalog

@@ -190,6 +190,38 @@ func (s *Store) Unpin(names []string) {
 	}
 }
 
+// RetentionInfo is a consistent snapshot of one view's retention signals
+// (the same numbers the reclamation policies rank by). The multi-tenant
+// service reads these to decide which shared views to keep pinned under
+// contention; Meta returns a live pointer whose fields mutate under the
+// store lock, so cross-goroutine readers use this snapshot instead.
+type RetentionInfo struct {
+	Name      string
+	SizeBytes int64
+	UseCount  int64
+	Benefit   float64
+	Pinned    bool
+}
+
+// ViewRetention snapshots retention metadata for every stored view.
+func (s *Store) ViewRetention() []RetentionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RetentionInfo, 0, len(s.datasets))
+	for name, d := range s.datasets {
+		if d.Kind != View || s.doomed[name] {
+			continue
+		}
+		out = append(out, RetentionInfo{
+			Name: name, SizeBytes: d.SizeBytes,
+			UseCount: d.UseCount, Benefit: d.Benefit,
+			Pinned: s.pinned[name] > 0,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Pins returns a snapshot of the pin counts (tests and diagnostics).
 func (s *Store) Pins() map[string]int {
 	s.mu.Lock()

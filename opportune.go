@@ -419,6 +419,8 @@ func (sys *System) Save(dir string) error {
 // Open restores a saved system. Re-register your UDF library afterwards:
 // saved calibration scalars are applied automatically to matching names on
 // the next RegisterMapUDF/RegisterAggUDF calls via ApplySavedCalibrations.
+// Restored views keep their producing plans, so AppendRows maintains them
+// incrementally exactly as the never-closed session would.
 func Open(dir string) (*System, error) {
 	s, saved, err := persist.Open(dir, cost.DefaultParams())
 	if err != nil {

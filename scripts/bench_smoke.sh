@@ -17,4 +17,10 @@ go build -o "$tmp/metricscheck" ./cmd/metricscheck
 "$tmp/benchrunner" -quick -exp ingest -metrics "$tmp/ingest-metrics.json" >"$tmp/ingest.out"
 "$tmp/metricscheck" "$tmp/ingest-metrics.json"
 grep -q "sim speedup" "$tmp/ingest.out"
+
+# The always-on multi-tenant service: Zipfian closed-loop load through the
+# micro-batching pipeline, vs batch-size-1 on the same seed.
+"$tmp/benchrunner" -quick -exp service -metrics "$tmp/service-metrics.json" >"$tmp/service.out"
+"$tmp/metricscheck" "$tmp/service-metrics.json"
+grep -q "wall speedup" "$tmp/service.out"
 echo "bench-smoke ok"
