@@ -73,6 +73,7 @@ func main() {
 		}
 	}
 	checkBatch(m)
+	checkPartition(m)
 	if len(e.Spans) == 0 {
 		fail("no spans recorded")
 	}
@@ -108,6 +109,41 @@ func checkBatch(m obs.Snapshot) {
 	// observations must be consistent with that.
 	if fanin.Count > 0 && fanin.Sum < 2*float64(fanin.Count) {
 		fail("batch_shared_scan_fanin: sum %g < 2x count %d", fanin.Sum, fanin.Count)
+	}
+}
+
+// checkPartition validates the partition-aware execution counter family.
+// The engine records all four names unconditionally (zeros included) the
+// moment any keyed job runs, so if one is present they all must be; and
+// the family must balance: every keyed job either took the partition-
+// preserving path or paid a shuffle, eliminated bytes cannot exceed the
+// bytes that entered grouping, and a run with no partition hits cannot
+// claim eliminated transfer.
+func checkPartition(m obs.Snapshot) {
+	keyed, keyedOK := m.Counters["mr_keyed_jobs_total"]
+	local, localOK := m.Counters["mr_partition_local_jobs_total"]
+	shuffled, shuffledOK := m.Counters["mr_partition_shuffle_jobs_total"]
+	elim, elimOK := m.Counters["mr_shuffle_bytes_eliminated_total"]
+	if !keyedOK && !localOK && !shuffledOK && !elimOK {
+		return // a run with no keyed jobs records none of the family
+	}
+	if !keyedOK || !localOK || !shuffledOK || !elimOK {
+		fail("partial partition counter family: keyed=%v local=%v shuffle=%v eliminated=%v",
+			keyedOK, localOK, shuffledOK, elimOK)
+	}
+	if keyed < 0 || local < 0 || shuffled < 0 || elim < 0 {
+		fail("negative partition counter (keyed=%d local=%d shuffle=%d eliminated=%d)",
+			keyed, local, shuffled, elim)
+	}
+	if local+shuffled != keyed {
+		fail("partition family does not balance: local %d + shuffle %d != keyed %d",
+			local, shuffled, keyed)
+	}
+	if total := m.Counters["mr_shuffle_bytes_total"]; elim > total {
+		fail("eliminated %d shuffle bytes exceeds the %d bytes that entered grouping", elim, total)
+	}
+	if local == 0 && elim > 0 {
+		fail("%d bytes eliminated with zero partition-local jobs", elim)
 	}
 }
 

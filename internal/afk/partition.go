@@ -1,0 +1,71 @@
+package afk
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Partitioning is the physical-layout property of a stored relation: its
+// rows are hash-distributed over Parts buckets by the ordered key columns
+// identified by Sigs (signature IDs, in key order — order matters, unlike
+// the (A,F,K) sets, because compatibility is a *prefix* relation). The zero
+// value means "layout unknown", the bottom of the property lattice.
+//
+// Identity by signature rather than column name makes the property survive
+// projections and renames: a view that renames user_id still routes its
+// rows by the same underlying attribute.
+type Partitioning struct {
+	Sigs  []string
+	Parts int
+}
+
+// IsPartitioned reports whether the layout is known (non-bottom).
+func (p Partitioning) IsPartitioned() bool { return len(p.Sigs) > 0 && p.Parts > 0 }
+
+// Clone deep-copies the property (the Sigs slice is shared state otherwise).
+func (p Partitioning) Clone() Partitioning {
+	if len(p.Sigs) == 0 {
+		return Partitioning{Parts: p.Parts}
+	}
+	return Partitioning{Sigs: append([]string(nil), p.Sigs...), Parts: p.Parts}
+}
+
+// Equal reports full equality: same ordered keys, same partition count.
+func (p Partitioning) Equal(o Partitioning) bool {
+	if p.Parts != o.Parts || len(p.Sigs) != len(o.Sigs) {
+		return false
+	}
+	for i, s := range p.Sigs {
+		if s != o.Sigs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Canon renders the property canonically ("" for the unknown layout).
+func (p Partitioning) Canon() string {
+	if !p.IsPartitioned() {
+		return ""
+	}
+	return fmt.Sprintf("part[%s]x%d", strings.Join(p.Sigs, ";"), p.Parts)
+}
+
+// PrefixMatch is the compatibility rule of the partitioning lattice: data
+// hash-distributed on p routes every group of the ordered shuffle key
+// keyIDs into exactly one partition iff p.Sigs is a non-empty prefix of
+// keyIDs. (Equal prefix columns ⇒ equal partition hash; the remaining key
+// columns only refine groups *within* a partition.) A relation partitioned
+// on a non-prefix subset, on extra columns, or with unknown layout does not
+// match — such a shuffle must still move data.
+func (p Partitioning) PrefixMatch(keyIDs []string) bool {
+	if !p.IsPartitioned() || len(p.Sigs) > len(keyIDs) {
+		return false
+	}
+	for i, s := range p.Sigs {
+		if s == "" || s != keyIDs[i] {
+			return false
+		}
+	}
+	return true
+}

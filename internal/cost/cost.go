@@ -86,6 +86,13 @@ type Params struct {
 	// SpeculationThreshold is the minimum observed slowdown factor that
 	// triggers a speculative copy; below it the straggler just runs slow.
 	SpeculationThreshold float64
+
+	// DefaultPartitions is the bucket count P used when a relation is
+	// declared hash-partitioned without an explicit count. It is a layout
+	// property, deliberately independent of ReduceTasks and the worker
+	// pool: partition identity must not change when the cluster is resized,
+	// or the shuffle-elimination match would silently rot.
+	DefaultPartitions int
 }
 
 // DefaultParams returns constants modeled after a small Hadoop-era cluster
@@ -110,6 +117,7 @@ func DefaultParams() Params {
 		TaskBackoffFactor:    2.0,
 		SpeculationLagFactor: 1.0,
 		SpeculationThreshold: 2.0,
+		DefaultPartitions:    32,
 	}
 }
 
@@ -156,9 +164,31 @@ type JobSpec struct {
 	ShuffleBytes int64 // bytes sorted+spilled+transferred (0 for map-only)
 	ShuffleRows  int64 // rows entering reduce
 
+	// LocalShuffleBytes is the portion of ShuffleBytes that is already
+	// co-located with its reducer because the input's partitioning prefix-
+	// matches the shuffle key: those bytes are still sorted and grouped
+	// (Cs, Cr unchanged) but never cross the network, so only the transfer
+	// term Ct is discounted.
+	LocalShuffleBytes int64
+
 	ReduceFns []LocalFn // reduce-side local functions (empty for map-only)
 
 	OutputBytes int64 // bytes materialized to HDFS
+}
+
+// TransferBytes is the portion of the shuffle that actually crosses the
+// network: ShuffleBytes minus the co-located LocalShuffleBytes, clamped to
+// [0, ShuffleBytes] so a stale or over-reported local count can never make
+// a job look better than shuffle-free.
+func (s JobSpec) TransferBytes() int64 {
+	local := s.LocalShuffleBytes
+	if local < 0 {
+		local = 0
+	}
+	if local > s.ShuffleBytes {
+		local = s.ShuffleBytes
+	}
+	return s.ShuffleBytes - local
 }
 
 // Breakdown is a job cost split into the model's five components (seconds).
@@ -191,7 +221,7 @@ func (p Params) JobCost(s JobSpec) Breakdown {
 		b.Cm += float64(s.CombineRows) * p.CPUSecondsPerTuple(lf)
 	}
 	b.Cs = float64(s.ShuffleBytes) * p.SortFactor
-	b.Ct = float64(s.ShuffleBytes) / p.ShuffleRate
+	b.Ct = float64(s.TransferBytes()) / p.ShuffleRate
 	for _, lf := range s.ReduceFns {
 		b.Cr += float64(s.ShuffleRows) * p.CPUSecondsPerTuple(lf)
 	}

@@ -222,6 +222,44 @@ func Key(r Row, idxs []int) string {
 	return e.Key(r, idxs)
 }
 
+// KeyPrefix returns the encoded prefix of key covering its first cols
+// column encodings, walking the self-delimiting value.AppendKey format
+// (kind tag, then a fixed payload — Int/Bool/Float 8 bytes, Null none — or
+// a 4-byte length-prefixed string). ok is false when the key is malformed
+// or holds fewer than cols columns; callers must then fall back to a full
+// shuffle rather than trust a truncated route.
+func KeyPrefix(key string, cols int) (string, bool) {
+	if cols <= 0 {
+		return "", false
+	}
+	pos := 0
+	for c := 0; c < cols; c++ {
+		if pos >= len(key) {
+			return "", false
+		}
+		kind := value.Kind(key[pos])
+		pos++
+		switch kind {
+		case value.Null:
+			// tag only
+		case value.Int, value.Bool, value.Float:
+			pos += 8
+		case value.Str:
+			if pos+4 > len(key) {
+				return "", false
+			}
+			n := int(uint32(key[pos]) | uint32(key[pos+1])<<8 | uint32(key[pos+2])<<16 | uint32(key[pos+3])<<24)
+			pos += 4 + n
+		default:
+			return "", false
+		}
+		if pos > len(key) {
+			return "", false
+		}
+	}
+	return key[:pos], true
+}
+
 // GroupBy partitions rows by the values of the named columns, returning a
 // map from group key to row indexes, plus the ordered list of keys (order of
 // first appearance, for determinism).

@@ -3,6 +3,8 @@ package data
 import (
 	"bytes"
 	"testing"
+
+	"opportune/internal/value"
 )
 
 // FuzzReadRelation asserts the binary decoder never panics on corrupt
@@ -33,6 +35,60 @@ func FuzzReadRelation(f *testing.F) {
 		}
 		if again.Fingerprint() != got.Fingerprint() {
 			t.Fatal("round trip diverged")
+		}
+	})
+}
+
+// FuzzKeyPrefix asserts the partition-router's key-prefix walker never
+// panics and never lies: on arbitrary (possibly malformed) encoded keys it
+// either refuses (ok=false, the caller's full-shuffle fallback) or returns
+// a literal prefix of the key that decodes column-stably — the exact bytes
+// any row with the same leading column values would produce, which is what
+// makes routing by prefix hash collision-free within a bucket.
+func FuzzKeyPrefix(f *testing.F) {
+	// Well-formed seeds straight from the encoder, plus truncations.
+	row := Row{value.NewInt(42), value.NewStr("wine"), value.NewFloat(1.5), value.NullV, value.NewBool(true)}
+	full := Key(row, []int{0, 1, 2, 3, 4})
+	f.Add(full, 2)
+	f.Add(full, 5)
+	f.Add(full[:len(full)-3], 5) // truncated tail
+	f.Add("", 1)
+	f.Add("\xff garbage", 1)
+	f.Fuzz(func(t *testing.T, key string, cols int) {
+		prefix, ok := KeyPrefix(key, cols)
+		if !ok {
+			if prefix != "" {
+				t.Fatalf("refused key yet returned prefix %q", prefix)
+			}
+			return
+		}
+		if cols <= 0 {
+			t.Fatalf("accepted cols=%d", cols)
+		}
+		if len(prefix) > len(key) || key[:len(prefix)] != prefix {
+			t.Fatalf("result %q is not a prefix of key %q", prefix, key)
+		}
+		// Deterministic and self-consistent: the prefix covers exactly its
+		// own cols columns, so re-walking it consumes the whole prefix.
+		again, ok2 := KeyPrefix(key, cols)
+		if !ok2 || again != prefix {
+			t.Fatal("KeyPrefix is not deterministic")
+		}
+		self, ok3 := KeyPrefix(prefix, cols)
+		if !ok3 || self != prefix {
+			t.Fatalf("prefix %q does not re-walk to itself", prefix)
+		}
+		// Monotone: every shorter column count succeeds and nests.
+		prev := ""
+		for c := 1; c <= cols; c++ {
+			p, okc := KeyPrefix(key, c)
+			if !okc {
+				t.Fatalf("cols=%d ok but cols=%d refused", cols, c)
+			}
+			if len(p) < len(prev) || p[:len(prev)] != prev {
+				t.Fatalf("prefix for cols=%d does not extend cols=%d", c, c-1)
+			}
+			prev = p
 		}
 	})
 }

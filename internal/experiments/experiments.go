@@ -52,6 +52,11 @@ type Config struct {
 	// tasks (the speculation-benefit experiment flips this).
 	DisableSpeculation bool
 
+	// DisablePartition turns off partition-aware planning in every session
+	// the experiment builds (the partition experiment flips it per arm
+	// itself; this knob is for ablations and chaos runs).
+	DisablePartition bool
+
 	// BatchSize groups workload queries into shared-scan batches of this
 	// many queries for the batch-throughput experiment (0 = 8). The
 	// service experiment reuses it as the micro-batch size trigger.
@@ -106,6 +111,7 @@ func newSession(c Config) (*session.Session, error) {
 		s.Instrument(c.Obs)
 	}
 	s.Eng.DisableSpeculation = c.DisableSpeculation
+	s.Opt.DisablePartitionAware = c.DisablePartition
 	if c.Faults != nil {
 		s.InjectFaults(fault.NewInjector(c.Faults))
 		s.Eng.MaxAttempts = 3

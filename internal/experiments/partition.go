@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"opportune/internal/obs"
+	"opportune/internal/session"
+	"opportune/internal/workload"
+)
+
+// Partition measures what partition-aware planning buys on a join/group-
+// heavy workload over hash-clustered logs. Both arms install the identical
+// physical design (workload.PartitionBases: twtr/fsq bucketed on user_id,
+// land on location_id) and run the identical queries; only the aware arm's
+// optimizer is allowed to notice the layout and compile shuffle-free jobs.
+// Results are proven byte-identical across arms, so the entire delta is
+// eliminated transfer.
+type Partition struct {
+	Parts   int // bucket count of the declared layouts
+	Queries int
+
+	AwareSimSeconds    float64 // exec + stats, aware arm
+	BaselineSimSeconds float64 // exec + stats, baseline arm
+	SpeedupPct         float64
+
+	ShuffleBytes    int64 // bytes entering grouping (identical across arms)
+	EliminatedBytes int64 // co-located portion, aware arm
+	KeyedJobs       int64 // jobs that shuffled at all, aware arm
+	Hits            int64 // jobs on the partition-preserving path
+	Misses          int64 // keyed jobs that paid a full shuffle
+}
+
+// Render prints the comparison.
+func (r *Partition) Render() string {
+	rows := [][]string{
+		{"aware", f3(r.AwareSimSeconds), gb(r.ShuffleBytes), gb(r.EliminatedBytes),
+			fmt.Sprint(r.Hits), fmt.Sprint(r.Misses)},
+		{"baseline", f3(r.BaselineSimSeconds), gb(r.ShuffleBytes), gb(0),
+			"0", fmt.Sprint(r.KeyedJobs)},
+	}
+	return fmt.Sprintf("Partition-aware planning: %d queries over logs hash-clustered into %d buckets\n%s\nsim improvement %.1f%% (results byte-identical across arms)\n",
+		r.Queries, r.Parts,
+		table([]string{"planner", "sim_s", "shuffle_gb", "eliminated_gb", "hits", "misses"}, rows),
+		r.SpeedupPct)
+}
+
+// RunPartition runs the experiment. It fails loudly if the arms diverge on
+// any result relation, if the aware arm eliminates nothing, or if awareness
+// does not strictly lower simulated time — those are the claims the
+// experiment exists to demonstrate.
+func RunPartition(cfg Config) (*Partition, error) {
+	queries := workload.PartitionQueries()
+	out := &Partition{Queries: len(queries)}
+
+	type arm struct {
+		s     *session.Session
+		reg   *obs.Registry
+		total float64
+		names map[string]string
+	}
+	arms := make([]*arm, 2)
+	for i := range arms {
+		s, err := newSession(cfg)
+		if err != nil {
+			return nil, err
+		}
+		a := &arm{s: s, reg: obs.NewRegistry(), names: make(map[string]string)}
+		// Each arm gets a private registry so the partition counter families
+		// can be compared between arms without cross-contamination.
+		s.Instrument(a.reg)
+		s.Opt.DisablePartitionAware = i == 1
+		workload.PartitionBases(s, s.Opt.Params.DefaultPartitions)
+		for _, q := range queries {
+			// ModeOriginal keeps the two arms on structurally identical
+			// plans, so the only difference is the execution path — the
+			// shuffle-volume equality below is then an exact oracle. (The
+			// rewriter's layout preference is exercised by the rewrite
+			// tests, not here.)
+			m, err := run(s, q, session.ModeOriginal)
+			if err != nil {
+				return nil, err
+			}
+			a.total += repSeconds(m)
+			a.names[q.Name] = m.ResultName
+		}
+		arms[i] = a
+	}
+	aware, base := arms[0], arms[1]
+	out.Parts = aware.s.Opt.Params.DefaultPartitions
+	out.AwareSimSeconds = aware.total
+	out.BaselineSimSeconds = base.total
+	out.SpeedupPct = pctImprove(out.BaselineSimSeconds, out.AwareSimSeconds)
+
+	ac, bc := aware.reg.Snapshot().Counters, base.reg.Snapshot().Counters
+	out.ShuffleBytes = ac["mr_shuffle_bytes_total"]
+	out.EliminatedBytes = ac["mr_shuffle_bytes_eliminated_total"]
+	out.KeyedJobs = ac["mr_keyed_jobs_total"]
+	out.Hits = ac["mr_partition_local_jobs_total"]
+	out.Misses = ac["mr_partition_shuffle_jobs_total"]
+
+	// The oracle half of the experiment: identical results, identical data
+	// entering grouping, and a strict win from eliminating transfer.
+	for _, q := range queries {
+		a, err := aware.s.Store.Read(aware.names[q.Name])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: partition: aware arm lost %s: %w", q.Name, err)
+		}
+		b, err := base.s.Store.Read(base.names[q.Name])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: partition: baseline arm lost %s: %w", q.Name, err)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			return nil, fmt.Errorf("experiments: partition: %s diverged between aware and baseline planning", q.Name)
+		}
+	}
+	if out.ShuffleBytes != bc["mr_shuffle_bytes_total"] {
+		return nil, fmt.Errorf("experiments: partition: arms shuffled different volumes (%d vs %d bytes) — the plans diverged",
+			out.ShuffleBytes, bc["mr_shuffle_bytes_total"])
+	}
+	if out.EliminatedBytes <= 0 {
+		return nil, fmt.Errorf("experiments: partition: aware arm eliminated no shuffle bytes")
+	}
+	if e := bc["mr_shuffle_bytes_eliminated_total"]; e != 0 {
+		return nil, fmt.Errorf("experiments: partition: baseline arm eliminated %d bytes with awareness disabled", e)
+	}
+	if out.AwareSimSeconds >= out.BaselineSimSeconds {
+		return nil, fmt.Errorf("experiments: partition: aware arm was not strictly faster (%.6f vs %.6f sim-s)",
+			out.AwareSimSeconds, out.BaselineSimSeconds)
+	}
+	return out, nil
+}

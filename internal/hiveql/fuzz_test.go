@@ -13,6 +13,13 @@ func FuzzParse(f *testing.F) {
 		"SELECT 'unterminated",
 		"((((((((",
 		"SELECT a FROM t WHERE a = NULL AND b != 'é' -- comment",
+		// Physical-design shapes around the partitioning property: Hive's
+		// CLUSTERED BY clause and hint-style layout pragmas. The parser may
+		// accept or reject them, but must do either cleanly.
+		"CREATE TABLE x CLUSTERED BY (user_id) INTO 32 BUCKETS AS SELECT user_id, COUNT(*) AS n FROM twtr GROUP BY user_id",
+		"CREATE TABLE y AS SELECT /*+ PARTITION(user_id, 32) */ user_id FROM twtr JOIN fsq ON user_id = fuser",
+		"CREATE TABLE z CLUSTERED BY (a, b,) INTO -1 BUCKETS AS SELECT a FROM t",
+		"SELECT a FROM t CLUSTERED BY (((a)) INTO 9999999999999999999 BUCKETS",
 	}
 	for _, s := range seeds {
 		f.Add(s)

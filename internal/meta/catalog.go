@@ -32,6 +32,11 @@ type TableInfo struct {
 	// Distinct holds (estimated) distinct-value counts per column, used by
 	// the optimizer's cardinality estimation.
 	Distinct map[string]int64
+	// Part is the relation's physical hash-layout property; the zero value
+	// means layout unknown. It is metadata about the *stored bytes*, so it
+	// is installed when the data is written (workload install, view
+	// retention) and must be dropped or re-declared whenever they change.
+	Part afk.Partitioning
 }
 
 // DistinctOf returns the distinct count hint for a column, or 0.
@@ -110,6 +115,25 @@ func (c *Catalog) RegisterView(name string, cols []string, ann afk.Annotation, s
 	c.tables[name] = info
 	c.byCanon[ann.Canon()] = info
 	return info
+}
+
+// SetPartitioning installs (or, with the zero value, clears) a dataset's
+// stored layout property copy-on-write, like CollectStats: published
+// TableInfo pointers escape to concurrent readers and are never mutated in
+// place.
+func (c *Catalog) SetPartitioning(name string, p afk.Partitioning) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur, ok := c.tables[name]
+	if !ok {
+		return
+	}
+	upd := *cur
+	upd.Part = p.Clone()
+	c.tables[name] = &upd
+	if canon := upd.Ann.Canon(); c.byCanon[canon] == cur {
+		c.byCanon[canon] = &upd
+	}
 }
 
 // Table looks a dataset up.

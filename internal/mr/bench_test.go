@@ -103,3 +103,27 @@ func BenchmarkKWayMerge(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPartitionLocalGroup is BenchmarkShuffleGroup on the partition-
+// preserving path: same job, input declared hash-clustered on the first
+// key column, so routing goes by decoded key prefix instead of a full
+// cross-partition shuffle. Tracked in the perf trajectory alongside
+// ShuffleGroup so the oracle-equal output stays cheap.
+func BenchmarkPartitionLocalGroup(b *testing.B) {
+	st, schema := benchInput(20000, 2000)
+	params := cost.DefaultParams()
+	params.ReduceTasks = 3
+	e := New(st, params)
+	e.Workers = 4
+	job := benchGroupJob(schema, 20000, 2000)
+	job.PartitionKeyCols = 1
+	job.PartitionParts = 32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, res, err := e.Run(job); err != nil {
+			b.Fatal(err)
+		} else if res.LocalShuffleBytes == 0 {
+			b.Fatal("partition-local path not taken")
+		}
+	}
+}

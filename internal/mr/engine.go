@@ -90,6 +90,33 @@ type Job struct {
 	EstShuffleRows int64
 	EstGroups      int64
 	EstOutputRows  int64
+
+	// PartitionKeyCols and PartitionParts declare the inputs' physical
+	// layout: the rows this job shuffles are already hash-distributed over
+	// PartitionParts buckets by the encoded prefix of the first
+	// PartitionKeyCols shuffle-key columns. When both are set on a reduce
+	// job the engine takes the partition-preserving path: each record
+	// routes by its layout bucket, so co-located rows reach their reducer
+	// without crossing the network and their bytes count as eliminated
+	// (only the transfer term Ct changes — sorting, grouping, output, and
+	// every other counter are identical to a full shuffle; the differential
+	// oracle suite proves it).
+	PartitionKeyCols int
+	PartitionParts   int
+
+	// OutputPartSigs and OutputPartParts declare the layout of the bytes
+	// this job writes (reducers hash-bucket their output by these key
+	// signatures): after materializing, the engine installs the property on
+	// the store so downstream jobs can match it. Empty means the output
+	// makes no layout promise.
+	OutputPartSigs  []string
+	OutputPartParts int
+}
+
+// partitionLocal reports whether the partition-preserving shuffle path
+// applies to this job.
+func (j *Job) partitionLocal() bool {
+	return j.Reduce != nil && j.PartitionKeyCols > 0 && j.PartitionParts > 0
 }
 
 // Result reports the measured volumes and simulated time of one job run.
@@ -110,6 +137,14 @@ type Result struct {
 	ShuffleRows  int64
 	OutputBytes  int64
 	OutputRows   int64
+
+	// LocalShuffleBytes is the co-located portion of ShuffleBytes under the
+	// partition-preserving path — the "shuffle bytes eliminated" metric.
+	// KeyedJob marks a job that shuffled at all; PartitionLocal marks one
+	// that ran the partition-preserving path (a layout hit).
+	LocalShuffleBytes int64
+	KeyedJob          bool
+	PartitionLocal    bool
 
 	// RetriedInputBytes and RetriedShuffleBytes are the volumes read and
 	// shuffled by failed attempts that were recovered from (zero when the
@@ -342,15 +377,16 @@ func (e *Engine) retryLoop(job *Job, root *obs.Span, st retryState, exec func(re
 // accounting for jobs it did not physically re-execute.
 func (e *Engine) PartialCost(job *Job, res *Result) float64 {
 	return e.Params.JobCost(cost.JobSpec{
-		InputBytes:   res.InputBytes,
-		InputRows:    res.InputRows,
-		MapFns:       job.MapCost,
-		CombineFns:   job.CombineCost,
-		CombineRows:  res.CombineRows,
-		ShuffleBytes: res.ShuffleBytes,
-		ShuffleRows:  res.ShuffleRows,
-		ReduceFns:    job.ReduceCost,
-		OutputBytes:  res.OutputBytes,
+		InputBytes:        res.InputBytes,
+		InputRows:         res.InputRows,
+		MapFns:            job.MapCost,
+		CombineFns:        job.CombineCost,
+		CombineRows:       res.CombineRows,
+		ShuffleBytes:      res.ShuffleBytes,
+		ShuffleRows:       res.ShuffleRows,
+		LocalShuffleBytes: res.LocalShuffleBytes,
+		ReduceFns:         job.ReduceCost,
+		OutputBytes:       res.OutputBytes,
 	}).Total()
 }
 
@@ -413,6 +449,22 @@ func (e *Engine) RecordJob(res *Result, err error, wallSeconds float64) {
 	reg.Counter("mr_output_rows_total").Add(res.OutputRows)
 	reg.Counter("mr_retried_input_bytes_total").Add(res.RetriedInputBytes)
 	reg.Counter("mr_retried_shuffle_bytes_total").Add(res.RetriedShuffleBytes)
+	// Partition-layout family, recorded unconditionally (zeros included)
+	// like the fault counters so snapshot key sets never depend on whether
+	// a layout matched. Per job, hits + misses == keyed jobs and eliminated
+	// bytes ≤ shuffled bytes by construction; cmd/metricscheck enforces the
+	// summed invariants on every export.
+	keyed, localJobs := int64(0), int64(0)
+	if res.KeyedJob {
+		keyed = 1
+		if res.PartitionLocal {
+			localJobs = 1
+		}
+	}
+	reg.Counter("mr_keyed_jobs_total").Add(keyed)
+	reg.Counter("mr_partition_local_jobs_total").Add(localJobs)
+	reg.Counter("mr_partition_shuffle_jobs_total").Add(keyed - localJobs)
+	reg.Counter("mr_shuffle_bytes_eliminated_total").Add(res.LocalShuffleBytes)
 	reg.FloatCounter("mr_sim_seconds_total").Add(res.SimSeconds)
 	reg.FloatCounter("mr_wasted_sim_seconds_total").Add(res.WastedSeconds)
 	// Fault/recovery counters are recorded unconditionally (zeros included)
@@ -582,6 +634,10 @@ func (e *Engine) execute(job *Job, res *Result, asp *obs.Span, prior float64) (*
 // shared read). Splits are read-only here, so shared-scan consumers can
 // replay one split set serially without re-reading the store.
 func (e *Engine) executeFromSplits(job *Job, res *Result, splits []mapSplit, asp *obs.Span, prior float64) (*data.Relation, error) {
+	if job.Reduce != nil {
+		res.KeyedJob = true
+		res.PartitionLocal = job.partitionLocal()
+	}
 	accrued := float64(res.InputBytes) / e.Params.ReadRate
 	if err := e.deadlineCheck(job, res, prior, accrued); err != nil {
 		return nil, err
@@ -649,7 +705,8 @@ func (e *Engine) executeFromSplits(job *Job, res *Result, splits []mapSplit, asp
 	} else if err := e.shuffleReduce(job, res, tasks, out, asp); err != nil {
 		return nil, err
 	}
-	accrued += float64(res.ShuffleBytes)*e.Params.SortFactor + float64(res.ShuffleBytes)/e.Params.ShuffleRate +
+	accrued += float64(res.ShuffleBytes)*e.Params.SortFactor +
+		float64(res.ShuffleBytes-res.LocalShuffleBytes)/e.Params.ShuffleRate +
 		e.fnsSim(job.ReduceCost, res.ShuffleRows)
 	if err := e.deadlineCheck(job, res, prior, accrued); err != nil {
 		return nil, err
@@ -661,20 +718,24 @@ func (e *Engine) executeFromSplits(job *Job, res *Result, splits []mapSplit, asp
 
 	// Materialize (every job output is retained: opportunistic views).
 	e.Store.Put(job.Output, job.OutputKind, out)
+	if len(job.OutputPartSigs) > 0 && job.OutputPartParts > 0 {
+		e.Store.SetPartitioning(job.Output, job.OutputPartSigs, job.OutputPartParts)
+	}
 	wsp.AddSim(float64(res.OutputBytes) / e.Params.WriteRate)
 	wsp.End()
 
 	// Simulated execution time from measured volumes.
 	spec := cost.JobSpec{
-		InputBytes:   res.InputBytes,
-		InputRows:    res.InputRows,
-		MapFns:       job.MapCost,
-		CombineFns:   job.CombineCost,
-		CombineRows:  res.CombineRows,
-		ShuffleBytes: res.ShuffleBytes,
-		ShuffleRows:  res.ShuffleRows,
-		ReduceFns:    job.ReduceCost,
-		OutputBytes:  res.OutputBytes,
+		InputBytes:        res.InputBytes,
+		InputRows:         res.InputRows,
+		MapFns:            job.MapCost,
+		CombineFns:        job.CombineCost,
+		CombineRows:       res.CombineRows,
+		ShuffleBytes:      res.ShuffleBytes,
+		ShuffleRows:       res.ShuffleRows,
+		LocalShuffleBytes: res.LocalShuffleBytes,
+		ReduceFns:         job.ReduceCost,
+		OutputBytes:       res.OutputBytes,
 	}
 	res.Breakdown = e.Params.JobCost(spec)
 	return out, nil
@@ -714,17 +775,37 @@ func (e *Engine) shuffleReduce(job *Job, res *Result, tasks []mapTaskOut, out *d
 		// Pre-size for an even spread plus slack; a skewed key simply grows.
 		parts[pi] = getKeyedBuf(total/r + total/(2*r) + 4)
 	}
+	local := job.partitionLocal()
 	for i := range tasks {
 		for _, kr := range tasks[i].out {
 			res.ShuffleBytes += int64(kr.row.EncodedSize() + len(kr.key))
 			res.ShuffleRows++
-			p := partitionOf(kr.key, r)
+			var p int
+			if local {
+				if prefix, ok := data.KeyPrefix(kr.key, job.PartitionKeyCols); ok {
+					// Partition-preserving route: the record's layout bucket
+					// is a function of the key prefix alone, so every row of
+					// a group is already co-located with its reducer and its
+					// bytes never cross the network. Buckets fold onto the R
+					// reduce slots; grouping below is still per full key, so
+					// the bucket→slot mapping can never change the output.
+					res.LocalShuffleBytes += int64(kr.row.EncodedSize() + len(kr.key))
+					p = partitionOf(prefix, job.PartitionParts) % r
+				} else {
+					// Malformed or too-short key: fall back to a full
+					// shuffle for this record rather than trust a bad route.
+					p = partitionOf(kr.key, r)
+				}
+			} else {
+				p = partitionOf(kr.key, r)
+			}
 			parts[p] = append(parts[p], kr)
 		}
 		putKeyedBuf(tasks[i].out)
 		tasks[i].out = nil
 	}
-	ssp.AddSim(float64(res.ShuffleBytes)*e.Params.SortFactor + float64(res.ShuffleBytes)/e.Params.ShuffleRate)
+	ssp.AddSim(float64(res.ShuffleBytes)*e.Params.SortFactor +
+		float64(res.ShuffleBytes-res.LocalShuffleBytes)/e.Params.ShuffleRate)
 	ssp.End()
 	rsp := asp.Child("reduce")
 	// Each reduce task buffers its output per key, in partition-local
@@ -844,6 +925,7 @@ func (e *Engine) RunSequence(jobs []*Job) ([]*Result, Aggregate, error) {
 		agg.WastedSeconds += res.WastedSeconds
 		agg.BytesRead += res.InputBytes
 		agg.BytesShuffled += res.ShuffleBytes
+		agg.BytesShuffleEliminated += res.LocalShuffleBytes
 		agg.BytesWritten += res.OutputBytes
 		agg.RetriedInputBytes += res.RetriedInputBytes
 		agg.RetriedShuffleBytes += res.RetriedShuffleBytes
@@ -864,6 +946,10 @@ type Aggregate struct {
 	BytesShuffled int64
 	BytesWritten  int64
 
+	// BytesShuffleEliminated is the co-located portion of BytesShuffled
+	// that the partition-preserving path kept off the network.
+	BytesShuffleEliminated int64
+
 	RetriedInputBytes   int64
 	RetriedShuffleBytes int64
 }
@@ -876,14 +962,15 @@ func (a Aggregate) DataMovedBytes() int64 {
 // Add merges another aggregate.
 func (a Aggregate) Add(o Aggregate) Aggregate {
 	return Aggregate{
-		Jobs:                a.Jobs + o.Jobs,
-		Attempts:            a.Attempts + o.Attempts,
-		SimSeconds:          a.SimSeconds + o.SimSeconds,
-		WastedSeconds:       a.WastedSeconds + o.WastedSeconds,
-		BytesRead:           a.BytesRead + o.BytesRead,
-		BytesShuffled:       a.BytesShuffled + o.BytesShuffled,
-		BytesWritten:        a.BytesWritten + o.BytesWritten,
-		RetriedInputBytes:   a.RetriedInputBytes + o.RetriedInputBytes,
-		RetriedShuffleBytes: a.RetriedShuffleBytes + o.RetriedShuffleBytes,
+		Jobs:                   a.Jobs + o.Jobs,
+		Attempts:               a.Attempts + o.Attempts,
+		SimSeconds:             a.SimSeconds + o.SimSeconds,
+		WastedSeconds:          a.WastedSeconds + o.WastedSeconds,
+		BytesRead:              a.BytesRead + o.BytesRead,
+		BytesShuffled:          a.BytesShuffled + o.BytesShuffled,
+		BytesShuffleEliminated: a.BytesShuffleEliminated + o.BytesShuffleEliminated,
+		BytesWritten:           a.BytesWritten + o.BytesWritten,
+		RetriedInputBytes:      a.RetriedInputBytes + o.RetriedInputBytes,
+		RetriedShuffleBytes:    a.RetriedShuffleBytes + o.RetriedShuffleBytes,
 	}
 }

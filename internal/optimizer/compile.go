@@ -32,6 +32,12 @@ type Optimizer struct {
 	// (execution and estimation); used by the combiner ablation.
 	DisableCombiners bool
 
+	// DisablePartitionAware turns off partition-aware planning: jobs never
+	// take the partition-preserving execution path, estimates never price
+	// eliminated shuffle bytes, and compiled jobs stop declaring output
+	// layouts. The partition experiment's baseline arm flips this.
+	DisablePartitionAware bool
+
 	// Obs, when set, receives estimate-cache hit/miss counters. Planning is
 	// deterministic (and serialized by the session), so these counters are
 	// reproducible across runs.
@@ -137,6 +143,13 @@ type JobNode struct {
 	Est     cost.Stats     // estimated output cardinality
 	EstCost cost.Breakdown // estimated cost of this job alone
 	EstSpec cost.JobSpec   // estimated volumes behind EstCost (engine pre-size hints)
+
+	// PartKeyCols and PartParts record the partition-preserving match found
+	// for this job (0,0 when it must shuffle): the inputs' declared layout
+	// prefix-matches the job's ordered shuffle key over PartKeyCols leading
+	// key columns distributed across PartParts buckets.
+	PartKeyCols int
+	PartParts   int
 
 	// ViewName is the deterministic dataset name this job materializes as:
 	// derived from the annotation fingerprint, so semantically identical
@@ -365,9 +378,115 @@ func (o *Optimizer) estimateJobCost(j *JobNode, est *estimator) cost.Breakdown {
 			spec.ReduceFns = append(spec.ReduceFns, cost.LocalFn{Ops: []cost.OpType{cost.OpGroup}, Scalar: 1})
 		}
 	}
+	if !mapOnly {
+		if kc, parts := o.partitionMatch(j); kc > 0 {
+			// Every shuffle record routes by a key prefix its input bucket
+			// already determines, so the whole shuffle is node-local.
+			j.PartKeyCols, j.PartParts = kc, parts
+			spec.LocalShuffleBytes = spec.ShuffleBytes
+		}
+	}
 	spec.OutputBytes = j.Est.Bytes
 	j.EstSpec = spec
 	return o.Params.JobCost(spec)
+}
+
+// resolveParts concretizes a plan-level layout: Parts == 0 on a partitioned
+// node means "bucketed on these keys, count chosen by the writer", which the
+// optimizer resolves to the configured bucket count (the one compiled jobs
+// declare for their outputs).
+func (o *Optimizer) resolveParts(p afk.Partitioning) afk.Partitioning {
+	if len(p.Sigs) == 0 {
+		return afk.Partitioning{}
+	}
+	if p.Parts > 0 {
+		return p
+	}
+	if o.Params.DefaultPartitions <= 0 {
+		return afk.Partitioning{}
+	}
+	return afk.Partitioning{Sigs: p.Sigs, Parts: o.Params.DefaultPartitions}
+}
+
+// partitionMatch decides whether one boundary job can take the partition-
+// preserving execution path: every input stream's layout must prefix-match
+// the job's ordered shuffle key — same leading key attributes (by signature,
+// so the property survives renames and projections) and one common bucket
+// count. It returns the number of leading encoded key columns that determine
+// the bucket and that bucket count, or (0, 0) when the job must shuffle.
+func (o *Optimizer) partitionMatch(j *JobNode) (int, int) {
+	if o.DisablePartitionAware {
+		return 0, 0
+	}
+	boundary := j.Logical
+	switch boundary.Kind {
+	case plan.KindGroupAgg:
+		if len(boundary.Keys) == 0 || len(j.streams) != 1 {
+			return 0, 0
+		}
+		in := j.streams[0].outNode
+		keyIDs := make([]string, len(boundary.Keys))
+		for i, k := range boundary.Keys {
+			s := in.Ann.SigOf(k)
+			if s == nil {
+				return 0, 0
+			}
+			keyIDs[i] = s.ID()
+		}
+		return o.prefixHit(in.Part, keyIDs)
+	case plan.KindJoin:
+		// Co-partitioned join: both sides hashed on exactly their join
+		// column with the same bucket count. The bucket function is a
+		// universal hash of the encoded value, so equal join keys land in
+		// the same bucket number on both relations.
+		if len(j.streams) != 2 {
+			return 0, 0
+		}
+		l, r := j.streams[0].outNode, j.streams[1].outNode
+		lp, rp := o.resolveParts(l.Part), o.resolveParts(r.Part)
+		if !lp.IsPartitioned() || !rp.IsPartitioned() || lp.Parts != rp.Parts {
+			return 0, 0
+		}
+		ls, rs := l.Ann.SigOf(boundary.LCol), r.Ann.SigOf(boundary.RCol)
+		if ls == nil || rs == nil {
+			return 0, 0
+		}
+		if !lp.PrefixMatch([]string{ls.ID()}) || !rp.PrefixMatch([]string{rs.ID()}) {
+			return 0, 0
+		}
+		return 1, lp.Parts
+	case plan.KindUDF:
+		// Aggregate UDFs qualify only with the default pre-map, where the
+		// emitted shuffle key is exactly the key-arg columns in order; a
+		// custom pre-map may derive keys we cannot identify by signature.
+		d, ok := o.Cat.UDFs.Get(boundary.UDFName)
+		if !ok || d.Kind != udf.KindAgg || d.PreMap != nil || len(d.KeyArgs) == 0 || len(j.streams) != 1 {
+			return 0, 0
+		}
+		in := j.streams[0].outNode
+		keyIDs := make([]string, len(d.KeyArgs))
+		for i, ka := range d.KeyArgs {
+			if ka < 0 || ka >= len(boundary.UDFArgs) {
+				return 0, 0
+			}
+			s := in.Ann.SigOf(boundary.UDFArgs[ka])
+			if s == nil {
+				return 0, 0
+			}
+			keyIDs[i] = s.ID()
+		}
+		return o.prefixHit(in.Part, keyIDs)
+	}
+	return 0, 0
+}
+
+// prefixHit resolves a layout against ordered shuffle-key signature IDs.
+func (o *Optimizer) prefixHit(p afk.Partitioning, keyIDs []string) (int, int) {
+	rp := o.resolveParts(p)
+	if !rp.IsPartitioned() || !rp.PrefixMatch(keyIDs) {
+		return 0, 0
+	}
+	return len(rp.Sigs), rp.Parts
 }
 
 // localFn describes a pipeline operator for costing. trueScalar selects the

@@ -166,6 +166,17 @@ func (o *Optimizer) executableJob(jn *JobNode, outName string) (*mr.Job, error) 
 		EstGroups:      jn.Est.Rows,
 		EstOutputRows:  jn.Est.Rows,
 	}
+	if !o.DisablePartitionAware {
+		// Execute the layout match found at estimation time, and declare the
+		// layout of the bytes this job writes (reducers write bucket files —
+		// the opportunistic byproduct downstream jobs can exploit).
+		job.PartitionKeyCols = jn.PartKeyCols
+		job.PartitionParts = jn.PartParts
+		if op := o.resolveParts(boundary.Part); op.IsPartitioned() {
+			job.OutputPartSigs = append([]string(nil), op.Sigs...)
+			job.OutputPartParts = op.Parts
+		}
+	}
 	factories := make([]pipelineFactory, len(jn.streams))
 	for i, st := range jn.streams {
 		pf, fns, err := o.buildPipeline(st)

@@ -76,6 +76,12 @@ type tableDTO struct {
 	Bytes    int64            `json:"bytes"`
 	Distinct map[string]int64 `json:"distinct,omitempty"`
 	Ann      annDTO           `json:"ann"`
+	// PartSigs/PartParts persist the relation's physical hash-layout
+	// property (partitioning is metadata about the stored bytes, which the
+	// .tbl file preserves verbatim). Absent in catalogs written before
+	// layouts existed: those relations restore with no layout promise.
+	PartSigs  []string `json:"partSigs,omitempty"`
+	PartParts int      `json:"partParts,omitempty"`
 	// Plan is the view's producing logical plan, captured at retention
 	// time. Restoring it lets AppendRows maintain the view incrementally
 	// after Open instead of falling back to blanket invalidation. Absent
@@ -335,6 +341,12 @@ func Save(s *session.Session, dir string) error {
 				Rows: info.Stats.Rows, Bytes: info.Stats.Bytes,
 				Distinct: info.Distinct, Ann: annToDTO(info.Ann),
 			}
+			// The store's declaration is authoritative: it tracks the bytes
+			// being written out, including layouts declared after the catalog
+			// entry was registered.
+			if sigs, parts := s.Store.Partitioning(name); parts > 0 {
+				dto.PartSigs, dto.PartParts = sigs, parts
+			}
 			if pl, ok := plans[name]; ok && info.IsView {
 				pd := planToDTO(pl)
 				dto.Plan = &pd
@@ -412,6 +424,10 @@ func Open(dir string, params cost.Params) (*session.Session, *Saved, error) {
 			// by construction) and reinstall key FDs; FDs are restored
 			// explicitly below, so duplicates are deduplicated there.
 			s.Cat.RegisterBase(t.Name, t.Cols, t.KeyCol, stats, t.Distinct)
+		}
+		if t.PartParts > 0 && len(t.PartSigs) > 0 {
+			s.Store.SetPartitioning(t.Name, t.PartSigs, t.PartParts)
+			s.Cat.SetPartitioning(t.Name, afk.Partitioning{Sigs: t.PartSigs, Parts: t.PartParts})
 		}
 	}
 	for _, fd := range cat.FDs {

@@ -109,6 +109,15 @@ type Node struct {
 	// Computed by Annotate.
 	Ann     afk.Annotation
 	OutCols []string // physical output column order
+	// Part is the physical-layout annotation propagated alongside (A,F,K):
+	// how the node's output rows are hash-distributed. Scans take the
+	// stored layout from the catalog; per-row operators preserve it (rows
+	// keep their bucket residency); boundary operators (GroupAgg, Join,
+	// grouping UDFs) produce output bucketed on their own shuffle key with
+	// Parts=0 — "keys known, count chosen by the writer" — which the
+	// optimizer resolves against cost.Params; Sort funnels through one
+	// reducer and clears it.
+	Part afk.Partitioning
 
 	// annotated memoizes Annotate: rewrite-candidate construction wraps
 	// already-annotated subtrees thousands of times, and re-deriving their
@@ -188,6 +197,7 @@ func Annotate(n *Node, cat *meta.Catalog) error {
 		}
 		n.Ann = t.Ann
 		n.OutCols = append([]string(nil), t.Cols...)
+		n.Part = t.Part.Clone()
 
 	case KindProject:
 		in := n.Inputs[0]
@@ -206,6 +216,9 @@ func Annotate(n *Node, cat *meta.Catalog) error {
 			n.Ann = in.Ann.Project(n.Cols...)
 			n.OutCols = append([]string(nil), n.Cols...)
 		}
+		// Rows keep their bucket residency under projection, and renames
+		// keep signature identity, so the layout property carries through.
+		n.Part = in.Part.Clone()
 
 	case KindFilter:
 		in := n.Inputs[0]
@@ -216,6 +229,7 @@ func Annotate(n *Node, cat *meta.Catalog) error {
 		}
 		n.Ann = in.Ann.WithFilter(n.Pred)
 		n.OutCols = append([]string(nil), in.OutCols...)
+		n.Part = in.Part.Clone() // deleting rows never moves survivors
 
 	case KindJoin:
 		l, r := n.Inputs[0], n.Inputs[1]
@@ -261,6 +275,9 @@ func Annotate(n *Node, cat *meta.Catalog) error {
 			n.OutCols = append(n.OutCols, c)
 		}
 		n.Ann = afk.Join(l.Ann, rAnn, n.LCol, n.RCol)
+		// A compiled join shuffles both sides on the join key, so its
+		// output is bucketed on that key; the count is the writer's choice.
+		n.Part = afk.Partitioning{Sigs: []string{l.Ann.MustSig(n.LCol).ID()}}
 
 	case KindGroupAgg:
 		in := n.Inputs[0]
@@ -301,6 +318,13 @@ func Annotate(n *Node, cat *meta.Catalog) error {
 			n.OutCols = append(n.OutCols, a.As)
 		}
 		n.Ann = in.Ann.GroupBy(n.Keys, aggAttrs)
+		// A keyed GroupAgg's output is bucketed on its ordered key — the
+		// layout the retained view inherits for free.
+		if len(keyIDs) > 0 {
+			n.Part = afk.Partitioning{Sigs: append([]string(nil), keyIDs...)}
+		} else {
+			n.Part = afk.Partitioning{}
+		}
 
 	case KindUDF:
 		in := n.Inputs[0]
@@ -314,6 +338,7 @@ func Annotate(n *Node, cat *meta.Catalog) error {
 		}
 		n.Ann = ann
 		n.OutCols = udfOutCols(d, in.OutCols, ann)
+		n.Part = udfPart(d, in.Part, ann)
 
 	case KindSort:
 		in := n.Inputs[0]
@@ -332,6 +357,7 @@ func Annotate(n *Node, cat *meta.Catalog) error {
 			n.Ann = in.Ann.WithLimited()
 		}
 		n.OutCols = append([]string(nil), in.OutCols...)
+		n.Part = afk.Partitioning{} // total order funnels through one reducer
 
 	default:
 		return fmt.Errorf("plan: invalid node kind %d", n.Kind)
@@ -341,6 +367,30 @@ func Annotate(n *Node, cat *meta.Catalog) error {
 	}
 	n.annotated = true
 	return nil
+}
+
+// udfPart derives the layout annotation of a UDF application: per-row UDFs
+// keep rows (and any extra rows they explode into) in their input's bucket,
+// so the layout carries through; grouping UDFs are boundary operators whose
+// output is bucketed on their key columns — provided every key survives
+// into the output annotation — and otherwise clear the property.
+func udfPart(d descriptorLike, in afk.Partitioning, ann afk.Annotation) afk.Partitioning {
+	if !d.IsAgg() {
+		return in.Clone()
+	}
+	keys := d.KeyCols()
+	if len(keys) == 0 {
+		return afk.Partitioning{}
+	}
+	sigs := make([]string, 0, len(keys))
+	for _, k := range keys {
+		s := ann.SigOf(k)
+		if s == nil {
+			return afk.Partitioning{}
+		}
+		sigs = append(sigs, s.ID())
+	}
+	return afk.Partitioning{Sigs: sigs}
 }
 
 // udfOutCols derives the physical column order of a UDF application.
@@ -453,6 +503,7 @@ func (n *Node) Clone() *Node {
 	c.SortCols = append([]string(nil), n.SortCols...)
 	c.SortDesc = append([]bool(nil), n.SortDesc...)
 	c.OutCols = append([]string(nil), n.OutCols...)
+	c.Part = n.Part.Clone()
 	return &c
 }
 

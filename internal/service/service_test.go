@@ -8,8 +8,10 @@ import (
 	"testing"
 	"time"
 
+	"opportune/internal/hiveql"
 	"opportune/internal/obs"
 	"opportune/internal/session"
+	"opportune/internal/storage"
 	"opportune/internal/workload"
 )
 
@@ -470,5 +472,155 @@ func TestServiceHotPinning(t *testing.T) {
 	}
 	if svcReg.Snapshot().Gauges["service_hot_pinned_bytes"] != 0 {
 		t.Error("hot-pinned-bytes gauge not zeroed on Close")
+	}
+}
+
+// TestServicePartitionStress races the partitioning metadata lifecycle:
+// partition-matched views (hash-clustered logs, shuffle-free group-bys and
+// a co-partitioned join) are hot-pinned by the service while tenants
+// resubmit their defining queries, a direct caller drives Run and RunBatch
+// on the same session, and an ingest goroutine bumps the epoch with
+// appends that maintain some views and invalidate others. Run under -race.
+// Afterwards the layout metadata must be consistent everywhere: store and
+// catalog agree on every dataset's declared layout, no dropped view left a
+// claim behind, and the base logs still carry the clustering the appends
+// re-declared.
+func TestServicePartitionStress(t *testing.T) {
+	sess, sessReg := newTestSession(t, 2, 0)
+	sess.Store.ViewCapacityBytes = 1 << 30 // roomy: pins, not eviction, are under test
+	parts := sess.Opt.Params.DefaultPartitions
+	workload.PartitionBases(sess, parts)
+	// Materialize the partition-matched views so the service has something
+	// to hot-pin from the first batch on.
+	for _, q := range workload.PartitionQueries() {
+		if _, err := workload.Exec(sess, q, session.ModeOriginal); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svcReg := obs.NewRegistry()
+	svc := New(sess, Config{
+		BatchSize: 3, MaxWait: 2 * time.Millisecond, QueueCap: 8,
+		HotPinFraction: 0.5, HotPinTop: 4, Obs: svcReg,
+	})
+
+	const tenants, perTenant = 3, 6
+	var wg sync.WaitGroup
+	for g := 0; g < tenants; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 77))
+			tenant := fmt.Sprintf("tenant%d", g)
+			qs := workload.PartitionQueries()
+			for i := 0; i < perTenant; i++ {
+				tk, err := svc.Submit(tenant, qs[rng.Intn(len(qs))].SQL)
+				if err != nil {
+					t.Errorf("%s submit %d: %v", tenant, i, err)
+					return
+				}
+				if resp := tk.Wait(); resp.Err != nil {
+					t.Errorf("%s query %d: %v", tenant, i, resp.Err)
+				}
+			}
+		}(g)
+	}
+	// Direct Run caller sharing the session with the service. Each
+	// iteration parses afresh: annotation mutates the plan tree in place,
+	// so goroutines must not share plan nodes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			st, err := hiveql.ParseOne(workload.PartitionQueries()[0].SQL)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := sess.Run(st.Plan, "direct_run", session.ModeOriginal); err != nil {
+				t.Errorf("direct run %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	// Direct RunBatch caller: a shared-scan pair of layout hit + miss.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			var batch []session.BatchQuery
+			for j, name := range []string{"batch_hit", "batch_miss"} {
+				st, err := hiveql.ParseOne(workload.PartitionQueries()[j*3].SQL)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				batch = append(batch, session.BatchQuery{
+					Plan: st.Plan, ResultName: name, Mode: session.ModeOriginal,
+				})
+			}
+			if _, err := sess.RunBatch(batch, session.BatchOptions{}); err != nil {
+				t.Errorf("direct batch %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	// Ingest: every append bumps the epoch, maintains the twtr group-by
+	// views in place (layout preserved through Refresh) and invalidates the
+	// join views (layout must vanish with them).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sc := workload.SmallScale()
+		for e := 0; e < 3; e++ {
+			if _, err := svc.Append("twtr", workload.AppendBatch(sc, e, 20)); err != nil {
+				t.Errorf("append %d: %v", e, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	svc.Close()
+
+	if got := sessReg.Snapshot().Gauges["session_ingest_epoch"]; got < 3 {
+		t.Errorf("ingest epoch %v after 3 appends, want >= 3", got)
+	}
+	if svcReg.Snapshot().Counters["service_hot_pin_changes_total"] == 0 {
+		t.Error("hot-pin set never changed while partition views were hot")
+	}
+	for name, n := range sess.Store.Pins() {
+		if n != 0 {
+			t.Errorf("dangling pin after Close: %s=%d", name, n)
+		}
+	}
+
+	// Layout-consistency sweep: whatever interleaving happened, store and
+	// catalog must tell the same story dataset by dataset — stale partition
+	// metadata after the epoch bumps is exactly the bug class this hunts.
+	for _, kind := range []storage.Kind{storage.Base, storage.View} {
+		for _, name := range sess.Store.List(kind) {
+			sigs, p := sess.Store.Partitioning(name)
+			info, ok := sess.Cat.Table(name)
+			if !ok {
+				if p != 0 {
+					t.Errorf("%s: store claims layout (%v, %d) but catalog dropped it", name, sigs, p)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(info.Part.Sigs, sigs) || info.Part.Parts != p {
+				t.Errorf("%s: catalog layout (%v, %d) != store layout (%v, %d)",
+					name, info.Part.Sigs, info.Part.Parts, sigs, p)
+			}
+		}
+	}
+	for _, v := range sess.Cat.Views() {
+		if v.Part.IsPartitioned() && !sess.Store.Has(v.Name) {
+			t.Errorf("catalog view %s carries layout %v but its bytes are gone", v.Name, v.Part.Sigs)
+		}
+	}
+	// The appends re-declared the base clustering on every epoch.
+	for _, b := range []string{"twtr", "fsq", "land"} {
+		if _, p := sess.Store.Partitioning(b); p != parts {
+			t.Errorf("%s lost its clustering after appends (parts=%d, want %d)", b, p, parts)
+		}
 	}
 }

@@ -205,13 +205,15 @@ func (s *Session) RunBatch(queries []BatchQuery, opts BatchOptions) (*BatchResul
 	sort.Strings(pinned)
 	s.Store.Pin(pinned)
 
-	// Execute with the engine's registry detached: job records are replayed
-	// in sequential job order during finalization, which keeps float-counter
-	// summation order — and so every byte of the snapshot — deterministic.
-	savedObs := s.Eng.Obs
-	s.Eng.Obs = nil
-	execErr := s.executeBatch(consumers, units, opts.Parallel, parity)
-	s.Eng.Obs = savedObs
+	// Execute on a registry-detached copy of the engine: job records are
+	// replayed in sequential job order during finalization, which keeps
+	// float-counter summation order — and so every byte of the snapshot —
+	// deterministic. A copy rather than a save/restore of s.Eng.Obs because
+	// Session.Run may be executing concurrently on the shared engine and
+	// must keep recording.
+	quiet := *s.Eng
+	quiet.Obs = nil
+	execErr := s.executeBatch(&quiet, consumers, units, opts.Parallel, parity)
 	s.Store.Unpin(pinned)
 	if execErr != nil {
 		return nil, execErr
@@ -385,7 +387,7 @@ func buildUnits(consumers []*batchConsumer) []*batchUnit {
 // the exact order sequential execution would produce; once no read can
 // fault anymore, the remaining units run with dependency-ordered
 // parallelism.
-func (s *Session) executeBatch(consumers []*batchConsumer, units []*batchUnit, parallel int, parity bool) error {
+func (s *Session) executeBatch(eng *mr.Engine, consumers []*batchConsumer, units []*batchUnit, parallel int, parity bool) error {
 	type item struct {
 		rank int
 		unit *batchUnit
@@ -405,11 +407,11 @@ func (s *Session) executeBatch(consumers []*batchConsumer, units []*batchUnit, p
 	sort.Slice(items, func(i, j int) bool { return items[i].rank < items[j].rank })
 
 	idx := 0
-	for idx < len(items) && s.Eng.Faults.PendingReadFaults() > 0 {
+	for idx < len(items) && eng.Faults.PendingReadFaults() > 0 {
 		it := items[idx]
 		idx++
 		if it.unit != nil {
-			s.runUnit(it.unit)
+			runUnit(eng, it.unit)
 			it.unit.done = true
 			if it.unit.err != nil {
 				return it.unit.err
@@ -426,17 +428,17 @@ func (s *Session) executeBatch(consumers []*batchConsumer, units []*batchUnit, p
 		// Ghost replays left over run during finalization: with the fault
 		// budget drained their reads cannot fail, only count.
 	}
-	return runUnitsParallel(rest, parallel, s.runUnit)
+	return runUnitsParallel(rest, parallel, func(u *batchUnit) { runUnit(eng, u) })
 }
 
 // runUnit executes one unit: a plain engine run for singletons, a shared-
-// scan meta-job otherwise. The engine registry is detached here, so no
-// metrics are recorded yet.
-func (s *Session) runUnit(u *batchUnit) {
+// scan meta-job otherwise. The engine passed in is the batch's registry-
+// detached copy, so no metrics are recorded yet.
+func runUnit(eng *mr.Engine, u *batchUnit) {
 	t0 := time.Now()
 	if len(u.consumers) == 1 {
 		c := u.consumers[0]
-		_, res, err := s.Eng.Run(c.job)
+		_, res, err := eng.Run(c.job)
 		c.res = res
 		c.wall = time.Since(t0).Seconds()
 		u.err = err
@@ -446,7 +448,7 @@ func (s *Session) runUnit(u *batchUnit) {
 	for i, c := range u.consumers {
 		jobs[i] = c.job
 	}
-	_, ssr, err := s.Eng.RunSharedScan(jobs)
+	_, ssr, err := eng.RunSharedScan(jobs)
 	if err != nil {
 		u.err = err
 		return

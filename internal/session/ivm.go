@@ -91,9 +91,21 @@ func (s *Session) AppendRows(table string, rows []data.Row) (*AppendReport, erro
 	for _, r := range rows {
 		rel.Append(r)
 	}
+	// Re-Put deliberately resets the store's layout property (fresh bytes
+	// make no promise), but an append preserves a hash layout: the bucket a
+	// row belongs to is a function of its key values alone, so the grown
+	// relation satisfies the same property the ingest path maintains.
+	// Re-declare it on both store and catalog.
+	baseSigs, baseParts := s.Store.Partitioning(table)
 	s.Store.Put(table, storage.Base, rel)
+	if baseParts > 0 {
+		s.Store.SetPartitioning(table, baseSigs, baseParts)
+	}
 	s.Cat.RegisterBase(table, info.Cols, info.KeyCol,
 		cost.Stats{Rows: int64(rel.Len()), Bytes: rel.EncodedSize()}, info.Distinct)
+	if baseParts > 0 {
+		s.Cat.SetPartitioning(table, afk.Partitioning{Sigs: baseSigs, Parts: baseParts})
+	}
 	// Re-estimate per-column distincts on the grown base: appends change
 	// cardinalities, and stale counts misprice every downstream group-by.
 	sec, err := s.Cat.CollectStats(s.Eng, table, s.statsSeed.Add(1))

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"opportune/internal/afk"
 	"opportune/internal/cost"
 	"opportune/internal/expr"
 	"opportune/internal/fault"
@@ -404,6 +405,12 @@ func (s *Session) retainViews(w *optimizer.Work, resultName string, epoch int64)
 			continue // evicted by the reclamation policy
 		}
 		s.Cat.RegisterView(name, jn.OutCols, jn.Ann, cost.Stats{}, jn.PlanFP)
+		// Surface the layout the engine declared at materialize time (reduce
+		// outputs are hash-bucketed by their key) as catalog metadata, so
+		// future plans scanning this view can match it and skip the shuffle.
+		if sigs, parts := s.Store.Partitioning(name); parts > 0 {
+			s.Cat.SetPartitioning(name, afk.Partitioning{Sigs: sigs, Parts: parts})
+		}
 		s.setViewPlan(name, jn.Logical)
 		sec, err := s.Cat.CollectStats(s.Eng, name, s.statsSeed.Add(1)+int64(i))
 		if err != nil {

@@ -40,6 +40,15 @@ type Dataset struct {
 	UseCount    int64   // number of reads
 	Benefit     float64 // accumulated cost-benefit score (set by the rewriter)
 
+	// Physical layout: the stored bytes are hash-distributed over PartParts
+	// buckets on the ordered key signature IDs PartSigs (empty = layout
+	// unknown). Writers declare it via SetPartitioning after materializing;
+	// Refresh preserves it (maintenance rewrites the same logical artifact,
+	// bucket by bucket), while Put resets it — fresh contents make no layout
+	// promise until their writer declares one.
+	PartSigs  []string
+	PartParts int
+
 	rel *data.Relation
 }
 
@@ -306,6 +315,8 @@ func (s *Store) Refresh(name string, rel *data.Relation) (*Dataset, error) {
 		LastUsedSeq: s.seq,
 		UseCount:    old.UseCount,
 		Benefit:     old.Benefit,
+		PartSigs:    old.PartSigs,
+		PartParts:   old.PartParts,
 		rel:         rel,
 	}
 	s.datasets[name] = d
@@ -345,6 +356,39 @@ func (s *Store) evictLocked(keep string) {
 			s.obsReg.Counter("storage_evicted_bytes_total", "policy", s.Policy.String()).Add(victim.SizeBytes)
 		}
 	}
+}
+
+// SetPartitioning declares (or, with empty sigs or parts <= 0, clears) the
+// stored layout of a dataset. Returns false for unknown names. The caller
+// is the writer that just laid the bytes out; the store only remembers the
+// claim and keeps it consistent across Refresh.
+func (s *Store) SetPartitioning(name string, sigs []string, parts int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[name]
+	if !ok {
+		return false
+	}
+	if len(sigs) == 0 || parts <= 0 {
+		d.PartSigs, d.PartParts = nil, 0
+		return true
+	}
+	d.PartSigs = append([]string(nil), sigs...)
+	d.PartParts = parts
+	return true
+}
+
+// Partitioning returns a snapshot of a dataset's declared layout (nil, 0
+// when unknown or undeclared). Like RetentionInfo, cross-goroutine readers
+// use this copy instead of the live Dataset pointer.
+func (s *Store) Partitioning(name string) ([]string, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[name]
+	if !ok || len(d.PartSigs) == 0 || d.PartParts <= 0 {
+		return nil, 0
+	}
+	return append([]string(nil), d.PartSigs...), d.PartParts
 }
 
 // Has reports whether a dataset exists.

@@ -24,7 +24,9 @@ package opportune
 
 import (
 	"fmt"
+	"slices"
 
+	"opportune/internal/afk"
 	"opportune/internal/cost"
 	"opportune/internal/data"
 	"opportune/internal/hiveql"
@@ -167,6 +169,35 @@ func (sys *System) CreateTable(name, keyColumn string, columns []string, rows []
 	}
 	sys.s.Cat.RegisterBase(name, columns, keyColumn,
 		cost.Stats{Rows: int64(rel.Len()), Bytes: rel.EncodedSize()}, distinct)
+	return nil
+}
+
+// ClusterTable declares a base table's physical layout: its rows are
+// hash-distributed into buckets by the given key columns (in order), the
+// CLUSTERED BY of the ingest pipeline that wrote them. The optimizer then
+// compiles any job whose shuffle key starts with those columns — a GROUP
+// BY on them, or a join against a table clustered the same way with the
+// same bucket count — without moving data, and prices the eliminated
+// transfer into every rewrite decision. The claim is the caller's: declare
+// only layouts the bytes actually satisfy. View layouts are not declarable
+// — the engine records what it materialized.
+func (sys *System) ClusterTable(table string, columns []string, buckets int) error {
+	info, ok := sys.s.Cat.Table(table)
+	if !ok || info.IsView {
+		return fmt.Errorf("opportune: %q is not a base table", table)
+	}
+	if len(columns) == 0 || buckets <= 0 {
+		return fmt.Errorf("opportune: clustering needs key columns and a positive bucket count")
+	}
+	sigs := make([]string, len(columns))
+	for i, c := range columns {
+		if !slices.Contains(info.Cols, c) {
+			return fmt.Errorf("opportune: table %q has no column %q", table, c)
+		}
+		sigs[i] = afk.BaseSig(table, c).ID()
+	}
+	sys.s.Store.SetPartitioning(table, sigs, buckets)
+	sys.s.Cat.SetPartitioning(table, afk.Partitioning{Sigs: sigs, Parts: buckets})
 	return nil
 }
 

@@ -23,4 +23,13 @@ grep -q "sim speedup" "$tmp/ingest.out"
 "$tmp/benchrunner" -quick -exp service -metrics "$tmp/service-metrics.json" >"$tmp/service.out"
 "$tmp/metricscheck" "$tmp/service-metrics.json"
 grep -q "wall speedup" "$tmp/service.out"
+
+# Partition-aware planning: shuffle elimination on hash-clustered logs.
+# The experiment carries its own oracles (byte-identical results across
+# arms, equal shuffle volumes, strict sim-seconds win) and fails loudly on
+# any violation; its arms use private registries, so the partition counter
+# family in the exports above (awareness is on by default) is what
+# metricscheck's family check validates.
+"$tmp/benchrunner" -quick -exp partition >"$tmp/partition.out"
+grep -q "sim improvement" "$tmp/partition.out"
 echo "bench-smoke ok"

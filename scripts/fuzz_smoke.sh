@@ -17,4 +17,6 @@ run() {
 
 run ./internal/hiveql FuzzParse
 run ./internal/data FuzzReadRelation
+run ./internal/data FuzzKeyPrefix
+run ./internal/afk FuzzPartitionCompat
 echo "fuzz-smoke ok"
