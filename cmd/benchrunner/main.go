@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|fig7|fig8|table1|fig9|fig10|fig11|fig12|table2|ablation|reclamation|jsens|similarity|footprint|batch|ingest|service|partition] [-quick] [-tweets N] [-workers N] [-batch N] [-metrics out.json] [-faults plan.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	benchrunner [-exp all|fig7|fig8|table1|fig9|fig10|fig11|fig12|table2|ablation|reclamation|jsens|similarity|footprint|batch|ingest|service|partition|fusion] [-quick] [-tweets N] [-workers N] [-batch N] [-metrics out.json] [-faults plan.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig7, fig8, table1, fig9, fig10, fig11, fig12, table2, ablation, reclamation, jsens, similarity, footprint, batch, ingest, service, partition")
+	exp := flag.String("exp", "all", "experiment to run: all, fig7, fig8, table1, fig9, fig10, fig11, fig12, table2, ablation, reclamation, jsens, similarity, footprint, batch, ingest, service, partition, fusion")
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	tweets := flag.Int("tweets", 0, "override tweet-log size (0 = scale default)")
 	workers := flag.Int("workers", 0, "MR engine worker-pool size (0 = GOMAXPROCS); affects wall-clock only, never results or simulated seconds")
@@ -120,6 +120,7 @@ func main() {
 		{"ingest", func() (interface{ Render() string }, error) { return experiments.RunIngest(cfg) }},
 		{"service", func() (interface{ Render() string }, error) { return experiments.RunService(cfg) }},
 		{"partition", func() (interface{ Render() string }, error) { return experiments.RunPartition(cfg) }},
+		{"fusion", func() (interface{ Render() string }, error) { return experiments.RunFusion(cfg) }},
 	}
 
 	ran := 0

@@ -74,6 +74,7 @@ func main() {
 	}
 	checkBatch(m)
 	checkPartition(m)
+	checkFused(m)
 	if len(e.Spans) == 0 {
 		fail("no spans recorded")
 	}
@@ -144,6 +145,65 @@ func checkPartition(m obs.Snapshot) {
 	}
 	if local == 0 && elim > 0 {
 		fail("%d bytes eliminated with zero partition-local jobs", elim)
+	}
+}
+
+// fuseReasons is the fixed label set of mr_fused_fallback_total; the engine
+// records every one (zeros included) whenever it records the family, so a
+// missing label is a wiring bug, not an empty run.
+var fuseReasons = []string{"disabled", "explode_udf", "unsupported_op", "schema_mismatch"}
+
+// checkFused validates the fused map-pipeline counter family. The engine
+// records all of it unconditionally (zeros included) for every job, so if
+// one name is present they all must be; and the family must balance: every
+// fusion-eligible job either compiled to a batch kernel or carries exactly
+// one fallback reason, and a run with no fused jobs cannot claim fused
+// batches, rows, or runtime bailouts.
+func checkFused(m obs.Snapshot) {
+	elig, eligOK := m.Counters["mr_fused_eligible_total"]
+	jobs, jobsOK := m.Counters["mr_fused_jobs_total"]
+	batches, batchesOK := m.Counters["mr_fused_batches_total"]
+	rows, rowsOK := m.Counters["mr_fused_rows_total"]
+	rtfb, rtfbOK := m.Counters["mr_fused_runtime_fallback_total"]
+	if !eligOK && !jobsOK && !batchesOK && !rowsOK && !rtfbOK {
+		// A run that executed no MR jobs records none of the family; but a
+		// stray labeled fallback without the core names is a wiring bug.
+		for k := range m.Counters {
+			if strings.HasPrefix(k, "mr_fused_fallback_total{") {
+				fail("fallback reasons recorded without the fused counter family")
+			}
+		}
+		return
+	}
+	if !eligOK || !jobsOK || !batchesOK || !rowsOK || !rtfbOK {
+		fail("partial fused counter family: eligible=%v jobs=%v batches=%v rows=%v runtime_fallback=%v",
+			eligOK, jobsOK, batchesOK, rowsOK, rtfbOK)
+	}
+	if elig < 0 || jobs < 0 || batches < 0 || rows < 0 || rtfb < 0 {
+		fail("negative fused counter (eligible=%d jobs=%d batches=%d rows=%d runtime_fallback=%d)",
+			elig, jobs, batches, rows, rtfb)
+	}
+	var fallback int64
+	for _, reason := range fuseReasons {
+		v, ok := m.Counters["mr_fused_fallback_total{reason="+reason+"}"]
+		if !ok {
+			fail("fused fallback reason %q missing from the family", reason)
+		}
+		if v < 0 {
+			fail("mr_fused_fallback_total{reason=%s} negative", reason)
+		}
+		fallback += v
+	}
+	if jobs+fallback != elig {
+		fail("fused family does not balance: jobs %d + fallbacks %d != eligible %d",
+			jobs, fallback, elig)
+	}
+	if jobs == 0 && (batches > 0 || rows > 0 || rtfb > 0) {
+		fail("fused work recorded with zero fused jobs (batches=%d rows=%d runtime_fallback=%d)",
+			batches, rows, rtfb)
+	}
+	if batches == 0 && rows > 0 {
+		fail("%d fused rows recorded with zero fused batches", rows)
 	}
 }
 

@@ -148,6 +148,20 @@ func (p Params) CPUSecondsPerTuple(lf LocalFn) float64 {
 	return min * s
 }
 
+// FnsSeconds is the simulated CPU seconds of a local-function chain over
+// rows. The accumulation order — per-function rows×cost terms summed left
+// to right — is the one JobCost uses for the Cm/Cr folds, and the engine's
+// per-phase simulation delegates here, so fused execution (which runs the
+// chain as one specialized function) prices bit-identically to interpreted
+// stage-at-a-time execution: fusion changes wall-clock, never accounting.
+func (p Params) FnsSeconds(fns []LocalFn, rows int64) float64 {
+	var s float64
+	for _, lf := range fns {
+		s += float64(rows) * p.CPUSecondsPerTuple(lf)
+	}
+	return s
+}
+
 // JobSpec describes one MR job's data volumes and compute, either estimated
 // (optimizer) or measured (engine).
 type JobSpec struct {

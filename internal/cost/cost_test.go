@@ -169,3 +169,32 @@ func abs(x float64) float64 {
 	}
 	return x
 }
+
+// TestFnsSecondsFoldOrder pins FnsSeconds to the exact left-to-right
+// rows×cost fold the engine's phase simulation (and JobCost's Cm/Cr terms)
+// uses. Fused batch execution prices its whole chain through this one
+// function, so bit-identity here is what keeps fusion invisible to every
+// sim-seconds counter.
+func TestFnsSecondsFoldOrder(t *testing.T) {
+	p := DefaultParams()
+	fns := []LocalFn{
+		{Ops: []OpType{OpAttr}, Scalar: 1.7},
+		{Ops: []OpType{OpFilter, OpAttr}, Scalar: 3.3},
+		{Ops: []OpType{OpGroup}, Scalar: 0.9},
+		{Ops: []OpType{OpAttr}, Scalar: 10},
+	}
+	const rows = 123457
+	var want float64
+	for _, lf := range fns {
+		want += float64(rows) * p.CPUSecondsPerTuple(lf)
+	}
+	if got := p.FnsSeconds(fns, rows); got != want {
+		t.Errorf("FnsSeconds = %v, fold order gives %v (must be bit-identical)", got, want)
+	}
+	if got := p.FnsSeconds(nil, rows); got != 0 {
+		t.Errorf("FnsSeconds(nil) = %v, want 0", got)
+	}
+	if got := p.FnsSeconds(fns, 0); got != 0 {
+		t.Errorf("FnsSeconds(fns, 0) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,174 @@
+package data
+
+import "opportune/internal/value"
+
+// Col is a type-specialized column buffer for the fused batch executor: one
+// UDF-output column spanning the rows of one map split. Slots are addressed
+// by row index within the split, and only slots of currently-selected rows
+// are ever written or read, so the buffer never needs compaction when the
+// selection vector shrinks.
+//
+// Storage starts kind-less and specializes to a fixed-width int64/float64
+// (or string) array on the first write; the moment a second kind appears it
+// degrades to generic value.V storage. Homogeneous columns — the common
+// case for map-UDF outputs — therefore pay no per-value boxing, while mixed
+// or null-bearing columns stay exact.
+type Col struct {
+	mode colMode
+	n    int
+
+	ints   []int64
+	floats []float64
+	strs   []string
+	vals   []value.V
+}
+
+type colMode uint8
+
+const (
+	colUnset colMode = iota
+	colInt
+	colFloat
+	colStr
+	colGeneric
+)
+
+// Reset prepares the column for n slots, retaining backing capacity. The
+// kind is re-derived from the first Set after a Reset.
+func (c *Col) Reset(n int) {
+	c.mode = colUnset
+	c.n = n
+}
+
+// Len returns the slot count set by Reset.
+func (c *Col) Len() int { return c.n }
+
+// Set stores v at slot i. The first Set after a Reset picks the storage
+// kind; a later value of a different kind degrades the column to generic
+// storage (copying the already-written typed slots) so no information is
+// lost.
+func (c *Col) Set(i int, v value.V) {
+	if c.mode == colUnset {
+		c.specialize(v.Kind())
+	}
+	switch c.mode {
+	case colInt:
+		if v.Kind() == value.Int {
+			c.ints[i] = v.Int()
+			return
+		}
+		c.degrade()
+	case colFloat:
+		if v.Kind() == value.Float {
+			c.floats[i] = v.Float()
+			return
+		}
+		c.degrade()
+	case colStr:
+		if v.Kind() == value.Str {
+			c.strs[i] = v.Str()
+			return
+		}
+		c.degrade()
+	}
+	c.vals[i] = v
+}
+
+// Get returns the value at slot i. Reading a slot that was never written
+// returns the typed zero (specialized modes) or Null (unset/generic) — the
+// fused executor only reads slots it wrote, so this is never observable.
+func (c *Col) Get(i int) value.V {
+	switch c.mode {
+	case colInt:
+		return value.NewInt(c.ints[i])
+	case colFloat:
+		return value.NewFloat(c.floats[i])
+	case colStr:
+		return value.NewStr(c.strs[i])
+	case colGeneric:
+		return c.vals[i]
+	}
+	return value.NullV
+}
+
+// specialize commits the column to the storage kind of its first value.
+func (c *Col) specialize(k value.Kind) {
+	switch k {
+	case value.Int:
+		c.mode = colInt
+		c.ints = sized(c.ints, c.n)
+	case value.Float:
+		c.mode = colFloat
+		c.floats = sized(c.floats, c.n)
+	case value.Str:
+		c.mode = colStr
+		c.strs = sized(c.strs, c.n)
+	default:
+		c.mode = colGeneric
+		c.vals = sized(c.vals, c.n)
+	}
+}
+
+// degrade switches to generic storage, copying every typed slot (unwritten
+// slots carry typed zeros, which are never read — see Get).
+func (c *Col) degrade() {
+	c.vals = sized(c.vals, c.n)
+	switch c.mode {
+	case colInt:
+		for i := 0; i < c.n; i++ {
+			c.vals[i] = value.NewInt(c.ints[i])
+		}
+	case colFloat:
+		for i := 0; i < c.n; i++ {
+			c.vals[i] = value.NewFloat(c.floats[i])
+		}
+	case colStr:
+		for i := 0; i < c.n; i++ {
+			c.vals[i] = value.NewStr(c.strs[i])
+		}
+	}
+	c.mode = colGeneric
+}
+
+// Release zeroes every reference the column holds and empties it. Pool
+// hygiene: a pooled column must never alias strings or values across tasks,
+// so the reference-bearing arrays are cleared across their full capacity —
+// numeric arrays carry no references and only shrink.
+func (c *Col) Release() {
+	c.strs = c.strs[:cap(c.strs)]
+	clear(c.strs)
+	c.strs = c.strs[:0]
+	c.vals = c.vals[:cap(c.vals)]
+	clear(c.vals)
+	c.vals = c.vals[:0]
+	c.ints = c.ints[:0]
+	c.floats = c.floats[:0]
+	c.mode = colUnset
+	c.n = 0
+}
+
+// Cap returns the largest backing-array capacity, the retain-cap input for
+// pooling decisions.
+func (c *Col) Cap() int {
+	m := cap(c.ints)
+	if cap(c.floats) > m {
+		m = cap(c.floats)
+	}
+	if cap(c.strs) > m {
+		m = cap(c.strs)
+	}
+	if cap(c.vals) > m {
+		m = cap(c.vals)
+	}
+	return m
+}
+
+// sized returns s with exactly n addressable slots, reusing capacity. Grown
+// arrays are freshly allocated (zeroed); retained arrays were zeroed by
+// Release, so reference slots never leak across uses.
+func sized[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

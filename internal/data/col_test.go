@@ -1,0 +1,97 @@
+package data
+
+import (
+	"testing"
+
+	"opportune/internal/value"
+)
+
+func TestColSpecializedRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []value.V
+		mode colMode
+	}{
+		{"int", []value.V{value.NewInt(3), value.NewInt(-7), value.NewInt(0)}, colInt},
+		{"float", []value.V{value.NewFloat(0.5), value.NewFloat(-2), value.NewFloat(9e9)}, colFloat},
+		{"str", []value.V{value.NewStr("a"), value.NewStr(""), value.NewStr("zz")}, colStr},
+		{"bool", []value.V{value.NewBool(true), value.NewBool(false), value.NewBool(true)}, colGeneric},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var c Col
+			c.Reset(len(tc.vals))
+			for i, v := range tc.vals {
+				c.Set(i, v)
+			}
+			if c.mode != tc.mode {
+				t.Fatalf("mode = %d, want %d", c.mode, tc.mode)
+			}
+			for i, v := range tc.vals {
+				if got := c.Get(i); !value.Equal(got, v) || got.Kind() != v.Kind() {
+					t.Fatalf("slot %d = %v (%s), want %v (%s)", i, got, got.Kind(), v, v.Kind())
+				}
+			}
+		})
+	}
+}
+
+// TestColDegradeOnKindMix proves a mixed-kind column keeps every written
+// value exact: specialization is an optimization, never a semantic change.
+func TestColDegradeOnKindMix(t *testing.T) {
+	var c Col
+	c.Reset(4)
+	c.Set(0, value.NewInt(11))
+	c.Set(2, value.NewStr("mixed")) // degrade int -> generic
+	c.Set(3, value.NullV)
+	if c.mode != colGeneric {
+		t.Fatalf("mode = %d, want generic", c.mode)
+	}
+	if got := c.Get(0); got.Kind() != value.Int || got.Int() != 11 {
+		t.Fatalf("slot 0 lost on degrade: %v (%s)", got, got.Kind())
+	}
+	if got := c.Get(2); got.Kind() != value.Str || got.Str() != "mixed" {
+		t.Fatalf("slot 2 = %v", got)
+	}
+	if !c.Get(3).IsNull() {
+		t.Fatalf("slot 3 = %v, want null", c.Get(3))
+	}
+}
+
+// TestColReleaseZeroesRefs is the pool-hygiene leak oracle: after Release,
+// no string or value reference may survive in the backing arrays, across
+// their full capacity — a pooled column must never alias user data into the
+// next task that draws it.
+func TestColReleaseZeroesRefs(t *testing.T) {
+	var c Col
+	c.Reset(8)
+	for i := 0; i < 8; i++ {
+		c.Set(i, value.NewStr("leakable-string"))
+	}
+	c.Set(1, value.NewInt(5)) // degrade: both strs and vals now populated
+	c.Release()
+	if c.mode != colUnset || c.n != 0 {
+		t.Fatalf("release left mode=%d n=%d", c.mode, c.n)
+	}
+	strs := c.strs[:cap(c.strs)]
+	for i, s := range strs {
+		if s != "" {
+			t.Fatalf("strs[%d] = %q survived Release", i, s)
+		}
+	}
+	vals := c.vals[:cap(c.vals)]
+	for i, v := range vals {
+		if !v.IsNull() {
+			t.Fatalf("vals[%d] = %v survived Release", i, v)
+		}
+	}
+	// Reuse after Release must behave like a fresh column.
+	c.Reset(2)
+	if got := c.Get(0); !got.IsNull() {
+		t.Fatalf("unwritten slot after reuse = %v", got)
+	}
+	c.Set(0, value.NewFloat(1.5))
+	if got := c.Get(0); got.Float() != 1.5 {
+		t.Fatalf("reuse write = %v", got)
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"opportune/internal/obs"
+	"opportune/internal/session"
+	"opportune/internal/workload"
+)
+
+// Fusion measures what compiling map chains into fused columnar kernels buys
+// over interpreting them stage by stage (the Tupleware direction applied to
+// our opportunistic MR setting). Both arms run the identical analyst
+// workload on identical sessions; only the fused arm's optimizer is allowed
+// to compile Project/Filter/map-UDF chains into batch kernels. Results are
+// proven byte-identical and every counter outside the mr_fused_* family —
+// volumes, simulated seconds, retries — must match exactly, so the entire
+// delta is interpreter overhead.
+type Fusion struct {
+	Queries int
+
+	FusedWallSeconds  float64 // measured execution wall-clock, fused arm
+	InterpWallSeconds float64 // measured execution wall-clock, interpreter arm
+	SimSeconds        float64 // simulated seconds (identical across arms)
+
+	EligibleJobs int64 // jobs whose map side was a candidate chain
+	FusedJobs    int64 // candidates compiled to batch kernels, fused arm
+	FusedBatches int64 // splits that completed through a kernel
+	FusedRows    int64 // input rows those splits carried
+	Fallbacks    int64 // compile-time fallbacks (explode/unsupported/…), fused arm
+}
+
+// Render prints the comparison.
+func (r *Fusion) Render() string {
+	rows := [][]string{
+		{"fused", f3(r.FusedWallSeconds), f3(r.SimSeconds),
+			fmt.Sprint(r.FusedJobs), fmt.Sprint(r.FusedBatches), fmt.Sprint(r.Fallbacks)},
+		{"interpreted", f3(r.InterpWallSeconds), f3(r.SimSeconds), "0", "0",
+			fmt.Sprint(r.EligibleJobs)},
+	}
+	return fmt.Sprintf("Map-pipeline fusion: %d queries, %d/%d eligible map chains compiled to batch kernels\n%s\nfused jobs %d processed %d rows in %d batches (results byte-identical across arms)\n",
+		r.Queries, r.FusedJobs, r.EligibleJobs,
+		table([]string{"executor", "wall_s", "sim_s", "fused_jobs", "batches", "fallbacks"}, rows),
+		r.FusedJobs, r.FusedRows, r.FusedBatches)
+}
+
+// RunFusion runs the experiment. It fails loudly if the arms diverge on any
+// result relation, on any counter outside the mr_fused_* family, or on
+// simulated seconds — fusion is required to be invisible everywhere except
+// wall-clock and its own telemetry.
+func RunFusion(cfg Config) (*Fusion, error) {
+	queries := workload.AllQueries()
+	if cfg.Quick {
+		queries = queries[:8]
+	}
+	out := &Fusion{Queries: len(queries)}
+
+	type arm struct {
+		s     *session.Session
+		reg   *obs.Registry
+		sim   float64
+		wall  float64
+		names map[string]string
+	}
+	arms := make([]*arm, 2)
+	for i := range arms {
+		s, err := newSession(cfg)
+		if err != nil {
+			return nil, err
+		}
+		a := &arm{s: s, reg: obs.NewRegistry(), names: make(map[string]string)}
+		// Private registries per arm: the fused counter family must differ
+		// between arms and everything else must not.
+		s.Instrument(a.reg)
+		s.Opt.DisableFusion = i == 1
+		t0 := time.Now()
+		for _, q := range queries {
+			// ModeOriginal keeps both arms on structurally identical plans:
+			// the only difference is the map-side execution strategy.
+			m, err := run(s, q, session.ModeOriginal)
+			if err != nil {
+				return nil, err
+			}
+			a.sim += repSeconds(m)
+			a.names[q.Name] = m.ResultName
+		}
+		a.wall = time.Since(t0).Seconds()
+		arms[i] = a
+	}
+	fused, interp := arms[0], arms[1]
+	out.FusedWallSeconds = fused.wall
+	out.InterpWallSeconds = interp.wall
+	out.SimSeconds = fused.sim
+
+	fc, ic := fused.reg.Snapshot(), interp.reg.Snapshot()
+	out.EligibleJobs = fc.Counters["mr_fused_eligible_total"]
+	out.FusedJobs = fc.Counters["mr_fused_jobs_total"]
+	out.FusedBatches = fc.Counters["mr_fused_batches_total"]
+	out.FusedRows = fc.Counters["mr_fused_rows_total"]
+	out.Fallbacks = out.EligibleJobs - out.FusedJobs
+
+	// The oracle half: byte-identical results, identical counters outside
+	// mr_fused_*, identical simulated time, and real fused work on one side
+	// only.
+	for _, q := range queries {
+		a, err := fused.s.Store.Read(fused.names[q.Name])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fusion: fused arm lost %s: %w", q.Name, err)
+		}
+		b, err := interp.s.Store.Read(interp.names[q.Name])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fusion: interpreter arm lost %s: %w", q.Name, err)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			return nil, fmt.Errorf("experiments: fusion: %s diverged between fused and interpreted execution", q.Name)
+		}
+	}
+	for k, v := range fc.Counters {
+		if len(k) >= 9 && k[:9] == "mr_fused_" {
+			continue
+		}
+		if iv := ic.Counters[k]; iv != v {
+			return nil, fmt.Errorf("experiments: fusion: counter %s diverged (%d fused vs %d interpreted)", k, v, iv)
+		}
+	}
+	if fused.sim != interp.sim {
+		return nil, fmt.Errorf("experiments: fusion: simulated seconds diverged (%.9f vs %.9f) — fusion repriced something",
+			fused.sim, interp.sim)
+	}
+	if out.FusedJobs <= 0 || out.FusedBatches <= 0 {
+		return nil, fmt.Errorf("experiments: fusion: fused arm compiled no batch kernels (jobs=%d batches=%d)",
+			out.FusedJobs, out.FusedBatches)
+	}
+	if j := ic.Counters["mr_fused_jobs_total"]; j != 0 {
+		return nil, fmt.Errorf("experiments: fusion: interpreter arm ran %d fused jobs with fusion disabled", j)
+	}
+	if e, d := ic.Counters["mr_fused_eligible_total"], ic.Counters["mr_fused_fallback_total{reason=disabled}"]; d == 0 || d > e {
+		return nil, fmt.Errorf("experiments: fusion: interpreter arm fallback accounting off (eligible=%d disabled=%d)", e, d)
+	}
+	return out, nil
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFusionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	r, err := RunFusion(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Queries != 8 {
+		t.Fatalf("queries = %d", r.Queries)
+	}
+	if r.FusedJobs <= 0 || r.FusedJobs > r.EligibleJobs {
+		t.Errorf("fused jobs = %d of %d eligible", r.FusedJobs, r.EligibleJobs)
+	}
+	if r.FusedBatches <= 0 || r.FusedRows <= 0 {
+		t.Errorf("no fused batch work: batches=%d rows=%d", r.FusedBatches, r.FusedRows)
+	}
+	if r.Fallbacks != r.EligibleJobs-r.FusedJobs {
+		t.Errorf("fallback accounting: %d != %d-%d", r.Fallbacks, r.EligibleJobs, r.FusedJobs)
+	}
+	if r.SimSeconds <= 0 {
+		t.Error("no simulated time")
+	}
+	out := r.Render()
+	for _, want := range []string{"fused jobs", "byte-identical", "interpreted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

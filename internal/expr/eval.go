@@ -30,6 +30,14 @@ func (e *Evaluator) RegisterOpaque(name string, fn OpaqueFn) {
 	e.opaque[name] = fn
 }
 
+// Opaque resolves a registered opaque predicate by name. The optimizer's
+// fused compiler uses it to bind user-code predicates directly into a
+// specialized batch kernel with the same resolution rule Compile applies.
+func (e *Evaluator) Opaque(name string) (OpaqueFn, bool) {
+	fn, ok := e.opaque[name]
+	return fn, ok
+}
+
 // Compiled is a predicate bound to a schema, ready to evaluate on rows.
 type Compiled func(r data.Row) bool
 

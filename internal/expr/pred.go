@@ -264,6 +264,11 @@ func cmpImplies(op1 CmpOp, a value.V, op2 CmpOp, b value.V) bool {
 	return false
 }
 
+// Holds evaluates "a op b" given c = sign(Compare(a,b)). Exported for the
+// optimizer's fused filter kernels, which must decide comparisons with
+// exactly the semantics Compile's closures use.
+func Holds(c int, op CmpOp) bool { return holds(c, op) }
+
 // holds evaluates "a op b" given c = sign(Compare(a,b)).
 func holds(c int, op CmpOp) bool {
 	switch op {

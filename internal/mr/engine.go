@@ -34,6 +34,47 @@ type Emit func(key string, r data.Row)
 // calls; per-task state belongs in a Job.MapFactory closure instead.
 type MapFunc func(input int, r data.Row, emit Emit)
 
+// BatchMapFunc processes one whole map split at once — the fused columnar
+// path. input is the index into Job.Inputs; rows is the split, read-only.
+// The report says whether the batch actually ran fused or fell back to the
+// row interpreter at runtime. Emission-order and content must be identical
+// to calling the job's MapFunc row by row: the engine relies on that to
+// keep batch execution invisible to shuffle, accounting, and retries.
+type BatchMapFunc func(input int, rows []data.Row, emit Emit) BatchReport
+
+// BatchReport is one batch map task's execution report.
+type BatchReport struct {
+	// Fused is true when the whole split ran the fused columnar kernel.
+	Fused bool
+	// Rows is the number of input rows the fused kernel processed.
+	Rows int64
+	// Fallback is true when the kernel bailed out mid-batch (e.g. a UDF
+	// declared single-output emitted several rows) and the split was
+	// replayed through the row-at-a-time interpreter instead.
+	Fallback bool
+}
+
+// Fusion fallback reasons, the label taxonomy of the
+// mr_fused_fallback_total counter. Every eligible-but-not-fused job carries
+// exactly one of these.
+const (
+	// FuseDisabled: fusion turned off by the optimizer knob.
+	FuseDisabled = "disabled"
+	// FuseExplodeUDF: a chain contains an exploding map UDF (multi-row
+	// output with per-row tags; inherently row-oriented).
+	FuseExplodeUDF = "explode_udf"
+	// FuseUnsupportedOp: a chain contains an operator or predicate shape
+	// the fused compiler does not handle.
+	FuseUnsupportedOp = "unsupported_op"
+	// FuseSchemaMismatch: column resolution disagreed with the annotated
+	// output schema; the interpreter is the safe path.
+	FuseSchemaMismatch = "schema_mismatch"
+)
+
+// FuseFallbackReasons enumerates the taxonomy in recording order, so the
+// counter family's key set is fixed regardless of which reasons fire.
+var FuseFallbackReasons = []string{FuseDisabled, FuseExplodeUDF, FuseUnsupportedOp, FuseSchemaMismatch}
+
 // TaskCtx identifies one map task (one input split) deterministically:
 // which input it reads, the split ordinal within that input, the ordinal of
 // the split's first row within that input, and the ordinal of that row
@@ -63,6 +104,23 @@ type Job struct {
 	// any counters or tags from the TaskCtx.
 	MapFactory   func(ctx TaskCtx) MapFunc
 	MapOutSchema *data.Schema // schema of rows emitted by Map
+
+	// BatchMapFactory, when set, builds a per-task batch map function the
+	// engine prefers over the row-at-a-time Map/MapFactory: the task's
+	// whole split is handed to it at once (the fused columnar path). The
+	// row path must still be provided — it is the fallback contract — and
+	// both must produce identical emissions.
+	BatchMapFactory func(ctx TaskCtx) BatchMapFunc
+
+	// Fusion classification, stamped by the optimizer. FusedEligible marks
+	// a job with at least one fusable-shaped operator chain; Fused marks
+	// one whose chains all compiled into fused kernels (BatchMapFactory
+	// set); FuseFallback carries the first fallback reason (one of the
+	// Fuse* constants) when eligible but not fused. Purely observational:
+	// the engine publishes them, never branches on them.
+	FusedEligible bool
+	Fused         bool
+	FuseFallback  string
 
 	// Combine, when set on a reduce job, runs map-side per split: rows a
 	// split emitted under one key are merged before the shuffle (the
@@ -145,6 +203,20 @@ type Result struct {
 	LocalShuffleBytes int64
 	KeyedJob          bool
 	PartitionLocal    bool
+
+	// Fusion observability (wall-clock-only: none of these feed simulated
+	// seconds or volumes). FusedEligible/FusedJob/FuseFallbackReason echo
+	// the job's classification; FusedBatches/FusedRows count map splits
+	// (and their rows) that completed on the fused columnar kernel, and
+	// FusedRuntimeFallbacks counts splits that bailed out mid-batch and
+	// were replayed through the row interpreter. Folded in split order, so
+	// the tallies are Workers-independent.
+	FusedEligible         bool
+	FusedJob              bool
+	FuseFallbackReason    string
+	FusedBatches          int64
+	FusedRows             int64
+	FusedRuntimeFallbacks int64
 
 	// RetriedInputBytes and RetriedShuffleBytes are the volumes read and
 	// shuffled by failed attempts that were recovered from (zero when the
@@ -405,13 +477,11 @@ func (e *Engine) runAttempt(job *Job, res *Result, sp *obs.Span, prior float64) 
 }
 
 // fnsSim is the simulated CPU seconds of local functions over rows — the
-// per-phase decomposition of what JobCost folds into Cm/Cr.
+// per-phase decomposition of what JobCost folds into Cm/Cr. It delegates to
+// cost.Params.FnsSeconds so fused and interpreted execution share one
+// accumulation order (bit-identical float counters across the two paths).
 func (e *Engine) fnsSim(fns []cost.LocalFn, rows int64) float64 {
-	var s float64
-	for _, lf := range fns {
-		s += float64(rows) * e.Params.CPUSecondsPerTuple(lf)
-	}
-	return s
+	return e.Params.FnsSeconds(fns, rows)
 }
 
 // record publishes one finished job's counters to the metrics registry.
@@ -465,6 +535,29 @@ func (e *Engine) RecordJob(res *Result, err error, wallSeconds float64) {
 	reg.Counter("mr_partition_local_jobs_total").Add(localJobs)
 	reg.Counter("mr_partition_shuffle_jobs_total").Add(keyed - localJobs)
 	reg.Counter("mr_shuffle_bytes_eliminated_total").Add(res.LocalShuffleBytes)
+	// Fusion family, recorded unconditionally (zeros included) with a fixed
+	// reason-label set so snapshot keys never depend on what fused. Per
+	// job, eligible == fused + Σ fallback{reason}; cmd/metricscheck
+	// enforces the summed balance on every export.
+	elig, fusedJobs := int64(0), int64(0)
+	if res.FusedEligible {
+		elig = 1
+		if res.FusedJob {
+			fusedJobs = 1
+		}
+	}
+	reg.Counter("mr_fused_eligible_total").Add(elig)
+	reg.Counter("mr_fused_jobs_total").Add(fusedJobs)
+	for _, reason := range FuseFallbackReasons {
+		v := int64(0)
+		if elig == 1 && fusedJobs == 0 && res.FuseFallbackReason == reason {
+			v = 1
+		}
+		reg.Counter("mr_fused_fallback_total", "reason", reason).Add(v)
+	}
+	reg.Counter("mr_fused_batches_total").Add(res.FusedBatches)
+	reg.Counter("mr_fused_rows_total").Add(res.FusedRows)
+	reg.Counter("mr_fused_runtime_fallback_total").Add(res.FusedRuntimeFallbacks)
 	reg.FloatCounter("mr_sim_seconds_total").Add(res.SimSeconds)
 	reg.FloatCounter("mr_wasted_sim_seconds_total").Add(res.WastedSeconds)
 	// Fault/recovery counters are recorded unconditionally (zeros included)
@@ -509,10 +602,12 @@ type mapSplit struct {
 }
 
 // mapTaskOut is what one map task produced: its (possibly combined)
-// emissions in emission order, and the rows its combiner consumed.
+// emissions in emission order, the rows its combiner consumed, and the
+// batch-execution report when the job ran the fused path.
 type mapTaskOut struct {
 	out         []keyed
 	combineRows int64
+	batch       BatchReport
 }
 
 // splitInputs reads every input (charging the read volume to res) and cuts
@@ -556,10 +651,6 @@ func (e *Engine) splitInputs(job *Job, res *Result) ([]mapSplit, error) {
 // volume reflects the combined output (the point of combiners). Key order
 // within the task is first-emission order, matching serial execution.
 func runMapTask(job *Job, sp mapSplit, t *mapTaskOut) {
-	fn := job.Map
-	if job.MapFactory != nil {
-		fn = job.MapFactory(sp.ctx)
-	}
 	out := getKeyedBuf(len(sp.rows))
 	emit := func(key string, r data.Row) {
 		if len(r) != job.MapOutSchema.Len() {
@@ -567,8 +658,21 @@ func runMapTask(job *Job, sp mapSplit, t *mapTaskOut) {
 		}
 		out = append(out, keyed{key, r})
 	}
-	for _, r := range sp.rows {
-		fn(sp.ctx.Input, r, emit)
+	if job.BatchMapFactory != nil {
+		// Fused path: the whole split moves through one specialized batch
+		// kernel. Emission order and content are contractually identical to
+		// the row loop below, so everything downstream (combiner, shuffle,
+		// accounting, task retries) is oblivious to which path ran.
+		bf := job.BatchMapFactory(sp.ctx)
+		t.batch = bf(sp.ctx.Input, sp.rows, emit)
+	} else {
+		fn := job.Map
+		if job.MapFactory != nil {
+			fn = job.MapFactory(sp.ctx)
+		}
+		for _, r := range sp.rows {
+			fn(sp.ctx.Input, r, emit)
+		}
 	}
 	t.out = out
 	if job.Combine == nil || job.Reduce == nil || len(t.out) == 0 {
@@ -638,6 +742,9 @@ func (e *Engine) executeFromSplits(job *Job, res *Result, splits []mapSplit, asp
 		res.KeyedJob = true
 		res.PartitionLocal = job.partitionLocal()
 	}
+	res.FusedEligible = job.FusedEligible
+	res.FusedJob = job.Fused
+	res.FuseFallbackReason = job.FuseFallback
 	accrued := float64(res.InputBytes) / e.Params.ReadRate
 	if err := e.deadlineCheck(job, res, prior, accrued); err != nil {
 		return nil, err
@@ -671,6 +778,13 @@ func (e *Engine) executeFromSplits(job *Job, res *Result, splits []mapSplit, asp
 	}
 	for i := range tasks {
 		res.CombineRows += tasks[i].combineRows
+		if tasks[i].batch.Fused {
+			res.FusedBatches++
+			res.FusedRows += tasks[i].batch.Rows
+		}
+		if tasks[i].batch.Fallback {
+			res.FusedRuntimeFallbacks++
+		}
 	}
 	msp.AddSim(e.fnsSim(job.MapCost, res.InputRows))
 	if job.Combine != nil && job.Reduce != nil {

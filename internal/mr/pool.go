@@ -63,6 +63,51 @@ func putRowsBuf(b []data.Row) {
 	rowsPool.Put(&b)
 }
 
+// Column-buffer and selection-vector pools for the fused batch executor
+// (optimizer-compiled batch map functions draw per-split scratch from here).
+// Same hygiene contract as the row pools: references are zeroed before a
+// buffer returns, and buffers grown past poolMaxRetain are dropped.
+
+var colPool = sync.Pool{New: func() any { return new(data.Col) }}
+
+// GetCol returns a column buffer reset to n slots.
+func GetCol(n int) *data.Col {
+	c := colPool.Get().(*data.Col)
+	c.Reset(n)
+	return c
+}
+
+// PutCol zeroes the column's references and returns it to the pool; columns
+// grown beyond the retain cap are dropped instead.
+func PutCol(c *data.Col) {
+	if c == nil || c.Cap() > poolMaxRetain {
+		return
+	}
+	c.Release()
+	colPool.Put(c)
+}
+
+var selPool = sync.Pool{New: func() any { b := make([]int32, 0, 256); return &b }}
+
+// GetSel returns an empty selection vector with at least the hinted
+// capacity (row indices hold no references, so no zeroing is needed).
+func GetSel(hint int) []int32 {
+	b := *selPool.Get().(*[]int32)
+	if hint > cap(b) {
+		b = make([]int32, 0, hint)
+	}
+	return b[:0]
+}
+
+// PutSel returns a selection vector to the pool.
+func PutSel(b []int32) {
+	if cap(b) > poolMaxRetain {
+		return
+	}
+	b = b[:0]
+	selPool.Put(&b)
+}
+
 // grouper groups shuffle records by key without per-key slice growth: one
 // pass assigns dense group ids and counts, a second scatters rows into a
 // single arena partitioned by prefix-sum offsets. Group row slices alias the

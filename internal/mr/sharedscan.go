@@ -50,6 +50,11 @@ type SharedScanResult struct {
 // splits; the retry is priced as if the inputs had been re-read (standalone
 // equivalence) even though no physical re-read happens.
 //
+// Consumers with fused batch kernels (Job.BatchMapFactory) run them over
+// the shared splits exactly as a standalone run would: splits are read-only
+// to map tasks, fused or not, so one consumer's execution mode never leaks
+// into another's.
+//
 // RunSharedScan does not publish metrics; callers decide attribution and
 // use RecordJob. Returned relations parallel Results.
 func (e *Engine) RunSharedScan(consumers []*Job) ([]*data.Relation, *SharedScanResult, error) {

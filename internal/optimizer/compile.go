@@ -38,6 +38,14 @@ type Optimizer struct {
 	// layouts. The partition experiment's baseline arm flips this.
 	DisablePartitionAware bool
 
+	// DisableFusion turns off map-pipeline fusion: compiled jobs run their
+	// operator chains through the row-at-a-time interpreter instead of the
+	// fused columnar batch kernels. Outputs, volumes, and simulated seconds
+	// are identical either way (the fusion differential oracle proves it);
+	// only wall-clock changes. The fusion experiment's baseline arm and
+	// the interpreter arm of the differential tests flip this.
+	DisableFusion bool
+
 	// Obs, when set, receives estimate-cache hit/miss counters. Planning is
 	// deterministic (and serialized by the session), so these counters are
 	// reproducible across runs.

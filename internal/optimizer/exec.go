@@ -152,6 +152,95 @@ func (o *Optimizer) buildStage(op *plan.Node, inCols []string) (pipelineFactory,
 	return nil, fmt.Errorf("optimizer: operator %s cannot run map-side", op.Kind)
 }
 
+// rowEmit forwards one pipeline-output row into the job's shuffle/output
+// boundary: key building, side tagging, partial-state construction. It is
+// the single emission contract shared by the interpreted and fused map
+// paths — both produce boundary-input rows, and the same rowEmit turns them
+// into shuffle records, so the two paths emit byte-identical streams by
+// construction.
+type rowEmit func(input int, row data.Row, emit mr.Emit)
+
+// boundaryFactory instantiates per-task boundary state (the key encoder)
+// for one map task.
+type boundaryFactory func(ctx mr.TaskCtx) rowEmit
+
+// attachMapSide wires a job's map side: the interpreted MapFactory always
+// (it is the engine's fallback contract), and — iff the job classified
+// fused — a BatchMapFactory running each stream's fused program with a
+// lazily-built interpreter replay for runtime bailouts.
+func (o *Optimizer) attachMapSide(job *mr.Job, mkPipes mkPipesFn, progs []*fusedProg, bf boundaryFactory) {
+	job.MapFactory = func(ctx mr.TaskCtx) mr.MapFunc {
+		pipes := mkPipes(ctx)
+		be := bf(ctx)
+		return func(input int, r data.Row, emit mr.Emit) {
+			pipes[input](r, func(row data.Row) { be(input, row, emit) })
+		}
+	}
+	if !job.Fused {
+		return
+	}
+	job.BatchMapFactory = func(ctx mr.TaskCtx) mr.BatchMapFunc {
+		be := bf(ctx)
+		var pipes []pipeline // interpreter arm, built only on runtime bailout
+		return func(input int, rows []data.Row, emit mr.Emit) mr.BatchReport {
+			sink := func(row data.Row) { be(input, row, emit) }
+			if runFusedBatch(progs[input], rows, sink) {
+				return mr.BatchReport{Fused: true, Rows: int64(len(rows))}
+			}
+			if pipes == nil {
+				pipes = mkPipes(ctx)
+			}
+			for _, r := range rows {
+				pipes[input](r, sink)
+			}
+			return mr.BatchReport{Fallback: true}
+		}
+	}
+}
+
+// classifyFusion compiles each stream's fused program and stamps the job's
+// fusion classification. A job is eligible when any stream has operators to
+// fuse; it runs fused only when every operator stream compiled (all-or-
+// nothing per job, so a batch never mixes paths across streams of one
+// boundary). Bare-scan streams inside a fused job get identity programs.
+// The first failing stream's reason wins; DisableFusion short-circuits
+// without compiling.
+func (o *Optimizer) classifyFusion(jn *JobNode, job *mr.Job, progs []*fusedProg) {
+	eligible, allFused := false, true
+	reason := ""
+	for i, st := range jn.streams {
+		if len(st.ops) == 0 {
+			progs[i] = identityProg(len(st.srcCols))
+			continue
+		}
+		eligible = true
+		if o.DisableFusion {
+			allFused = false
+			if reason == "" {
+				reason = mr.FuseDisabled
+			}
+			continue
+		}
+		p, r := o.buildFused(st)
+		if p == nil {
+			allFused = false
+			if reason == "" {
+				reason = r
+				if reason == "" {
+					reason = mr.FuseUnsupportedOp
+				}
+			}
+			continue
+		}
+		progs[i] = p
+	}
+	job.FusedEligible = eligible
+	job.Fused = eligible && allFused
+	if eligible && !job.Fused {
+		job.FuseFallback = reason
+	}
+}
+
 // executableJob compiles one JobNode into an engine job.
 func (o *Optimizer) executableJob(jn *JobNode, outName string) (*mr.Job, error) {
 	boundary := jn.Logical
@@ -197,38 +286,44 @@ func (o *Optimizer) executableJob(jn *JobNode, outName string) (*mr.Job, error) 
 		}
 		return pipes
 	}
+	progs := make([]*fusedProg, len(jn.streams))
+	o.classifyFusion(jn, job, progs)
 
+	var bf boundaryFactory
+	var err error
 	if !o.isBoundary(boundary) {
 		// Map-only job: single stream, pipeline output is the job output.
 		job.MapOutSchema = job.OutputSchema
-		job.MapFactory = func(ctx mr.TaskCtx) mr.MapFunc {
-			p := mkPipes(ctx)[0]
-			return func(_ int, r data.Row, emit mr.Emit) {
-				p(r, func(out data.Row) { emit("", out) })
-			}
+		bf = func(mr.TaskCtx) rowEmit {
+			return func(_ int, row data.Row, emit mr.Emit) { emit("", row) }
 		}
-		return job, nil
+	} else {
+		switch boundary.Kind {
+		case plan.KindJoin:
+			bf, err = o.joinBoundary(jn, job)
+		case plan.KindGroupAgg:
+			bf, err = o.groupAggBoundary(jn, job)
+		case plan.KindUDF:
+			bf, err = o.aggUDFBoundary(jn, job)
+		case plan.KindSort:
+			bf, err = o.sortBoundary(jn, job)
+		default:
+			err = fmt.Errorf("optimizer: unexpected boundary %s", boundary.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
-
-	switch boundary.Kind {
-	case plan.KindJoin:
-		return o.joinJob(jn, job, mkPipes)
-	case plan.KindGroupAgg:
-		return o.groupAggJob(jn, job, mkPipes)
-	case plan.KindUDF:
-		return o.aggUDFJob(jn, job, mkPipes)
-	case plan.KindSort:
-		return o.sortJob(jn, job, mkPipes)
-	}
-	return nil, fmt.Errorf("optimizer: unexpected boundary %s", boundary.Kind)
+	o.attachMapSide(job, mkPipes, progs, bf)
+	return job, nil
 }
 
 // mkPipesFn instantiates every stream's pipeline for one map task.
 type mkPipesFn func(ctx mr.TaskCtx) []pipeline
 
-// joinJob compiles an equi-join: both sides shuffle on the join key; rows
-// are padded to a shared width with a side tag (a co-group, §3.2).
-func (o *Optimizer) joinJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.Job, error) {
+// joinBoundary compiles an equi-join: both sides shuffle on the join key;
+// rows are padded to a shared width with a side tag (a co-group, §3.2).
+func (o *Optimizer) joinBoundary(jn *JobNode, job *mr.Job) (boundaryFactory, error) {
 	boundary := jn.Logical
 	lCols := jn.streams[0].outNode.OutCols
 	rCols := jn.streams[1].outNode.OutCols
@@ -252,26 +347,23 @@ func (o *Optimizer) joinJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.Jo
 	job.MapOutSchema = data.NewSchema(shufCols...)
 	width := 1 + len(lCols) + len(rCols)
 
-	job.MapFactory = func(ctx mr.TaskCtx) mr.MapFunc {
-		pipes := mkPipes(ctx)
+	bf := func(mr.TaskCtx) rowEmit {
 		var enc data.KeyEncoder
-		return func(input int, r data.Row, emit mr.Emit) {
-			pipes[input](r, func(row data.Row) {
-				out := make(data.Row, width)
-				out[0] = value.NewInt(int64(input))
-				var key value.V
-				if input == 0 {
-					copy(out[1:], row)
-					key = row[lIdx]
-				} else {
-					copy(out[1+len(lCols):], row)
-					key = row[rIdx]
-				}
-				if key.IsNull() {
-					return // null keys never join
-				}
-				emit(enc.KeyOf(key), out)
-			})
+		return func(input int, row data.Row, emit mr.Emit) {
+			out := make(data.Row, width)
+			out[0] = value.NewInt(int64(input))
+			var key value.V
+			if input == 0 {
+				copy(out[1:], row)
+				key = row[lIdx]
+			} else {
+				copy(out[1+len(lCols):], row)
+				key = row[rIdx]
+			}
+			if key.IsNull() {
+				return // null keys never join
+			}
+			emit(enc.KeyOf(key), out)
 		}
 	}
 	job.Reduce = func(_ string, rows []data.Row, emit func(data.Row)) {
@@ -303,7 +395,7 @@ func (o *Optimizer) joinJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.Jo
 	}
 	job.ReduceCost = []cost.LocalFn{{Ops: []cost.OpType{cost.OpGroup, cost.OpFilter}, Scalar: 1}}
 	job.MapCost = append(job.MapCost, cost.LocalFn{Ops: []cost.OpType{cost.OpAttr}, Scalar: 1})
-	return job, nil
+	return bf, nil
 }
 
 // groupAggJob compiles a group-by with built-in aggregates as a two-phase
@@ -311,7 +403,7 @@ func (o *Optimizer) joinJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.Jo
 // partials within each map split (shrinking the shuffle), and the reducer
 // merges and finalizes. All built-ins are algebraic (AVG decomposes into
 // sum+count partials).
-func (o *Optimizer) groupAggJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.Job, error) {
+func (o *Optimizer) groupAggBoundary(jn *JobNode, job *mr.Job) (boundaryFactory, error) {
 	boundary := jn.Logical
 	inCols := jn.streams[0].outNode.OutCols
 	keyIdx := make([]int, len(boundary.Keys))
@@ -347,20 +439,17 @@ func (o *Optimizer) groupAggJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*m
 	nKeys := len(keyIdx)
 	keyIdxs := keyRange(nKeys)
 
-	job.MapFactory = func(ctx mr.TaskCtx) mr.MapFunc {
-		pipe := mkPipes(ctx)[0]
+	bf := func(mr.TaskCtx) rowEmit {
 		var enc data.KeyEncoder
-		return func(_ int, r data.Row, emit mr.Emit) {
-			pipe(r, func(row data.Row) {
-				out := make(data.Row, 0, len(shufCols))
-				for _, ix := range keyIdx {
-					out = append(out, row[ix])
-				}
-				for _, a := range aggs {
-					out = append(out, a.initPartials(row)...)
-				}
-				emit(enc.Key(out, keyIdxs), out)
-			})
+		return func(_ int, row data.Row, emit mr.Emit) {
+			out := make(data.Row, 0, len(shufCols))
+			for _, ix := range keyIdx {
+				out = append(out, row[ix])
+			}
+			for _, a := range aggs {
+				out = append(out, a.initPartials(row)...)
+			}
+			emit(enc.Key(out, keyIdxs), out)
 		}
 	}
 	mergeGroup := func(rows []data.Row) data.Row {
@@ -392,7 +481,7 @@ func (o *Optimizer) groupAggJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*m
 	}
 	job.CombineCost = []cost.LocalFn{{Ops: []cost.OpType{cost.OpGroup}, Scalar: 1}}
 	job.ReduceCost = []cost.LocalFn{{Ops: []cost.OpType{cost.OpGroup}, Scalar: 1}}
-	return job, nil
+	return bf, nil
 }
 
 func keyRange(n int) []int {
@@ -506,8 +595,9 @@ func (a aggPhys) finalize(acc data.Row) value.V {
 	return value.NullV
 }
 
-// aggUDFJob compiles an aggregate UDF: PreMap map-side, Reduce per group.
-func (o *Optimizer) aggUDFJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.Job, error) {
+// aggUDFBoundary compiles an aggregate UDF: PreMap map-side, Reduce per
+// group.
+func (o *Optimizer) aggUDFBoundary(jn *JobNode, job *mr.Job) (boundaryFactory, error) {
 	boundary := jn.Logical
 	d, ok := o.Cat.UDFs.Get(boundary.UDFName)
 	if !ok || d.Kind != udf.KindAgg {
@@ -558,27 +648,24 @@ func (o *Optimizer) aggUDFJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.
 	for i := range keyIdxs {
 		keyIdxs[i] = i
 	}
-	job.MapFactory = func(ctx mr.TaskCtx) mr.MapFunc {
-		pipe := mkPipes(ctx)[0]
+	bf := func(mr.TaskCtx) rowEmit {
 		var enc data.KeyEncoder
-		return func(_ int, r data.Row, emit mr.Emit) {
-			pipe(r, func(row data.Row) {
-				args := make([]value.V, len(argIdx))
-				for i, ix := range argIdx {
-					args[i] = row[ix]
-				}
-				keys, payload, keep := preMap(args, params)
-				if !keep {
-					return
-				}
-				out := make(data.Row, 0, nKeys+payloadW)
-				out = append(out, keys...)
-				out = append(out, payload...)
-				for len(out) < nKeys+payloadW {
-					out = append(out, value.NullV)
-				}
-				emit(enc.Key(out, keyIdxs), out)
-			})
+		return func(_ int, row data.Row, emit mr.Emit) {
+			args := make([]value.V, len(argIdx))
+			for i, ix := range argIdx {
+				args[i] = row[ix]
+			}
+			keys, payload, keep := preMap(args, params)
+			if !keep {
+				return
+			}
+			out := make(data.Row, 0, nKeys+payloadW)
+			out = append(out, keys...)
+			out = append(out, payload...)
+			for len(out) < nKeys+payloadW {
+				out = append(out, value.NullV)
+			}
+			emit(enc.Key(out, keyIdxs), out)
 		}
 	}
 	job.Reduce = func(_ string, rows []data.Row, emit func(data.Row)) {
@@ -598,13 +685,13 @@ func (o *Optimizer) aggUDFJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.
 	}
 	job.MapCost = append(job.MapCost, cost.LocalFn{Ops: d.MapOps, Scalar: d.TrueScalar})
 	job.ReduceCost = []cost.LocalFn{{Ops: d.ReduceOps, Scalar: d.TrueScalar}}
-	return job, nil
+	return bf, nil
 }
 
-// sortJob compiles ORDER BY [LIMIT] as a single-reducer total sort (the
-// naive Hive strategy): every row shuffles under one key; the reducer sorts
-// and truncates.
-func (o *Optimizer) sortJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.Job, error) {
+// sortBoundary compiles ORDER BY [LIMIT] as a single-reducer total sort
+// (the naive Hive strategy): every row shuffles under one key; the reducer
+// sorts and truncates.
+func (o *Optimizer) sortBoundary(jn *JobNode, job *mr.Job) (boundaryFactory, error) {
 	boundary := jn.Logical
 	inCols := jn.streams[0].outNode.OutCols
 	sortIdx := make([]int, len(boundary.SortCols))
@@ -618,11 +705,8 @@ func (o *Optimizer) sortJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.Jo
 	desc := boundary.SortDesc
 	limit := boundary.Limit
 	job.MapOutSchema = data.NewSchema(inCols...)
-	job.MapFactory = func(ctx mr.TaskCtx) mr.MapFunc {
-		pipe := mkPipes(ctx)[0]
-		return func(_ int, r data.Row, emit mr.Emit) {
-			pipe(r, func(row data.Row) { emit("", row) })
-		}
+	bf := func(mr.TaskCtx) rowEmit {
+		return func(_ int, row data.Row, emit mr.Emit) { emit("", row) }
 	}
 	job.Reduce = func(_ string, rows []data.Row, emit func(data.Row)) {
 		sorted := append([]data.Row(nil), rows...)
@@ -646,7 +730,7 @@ func (o *Optimizer) sortJob(jn *JobNode, job *mr.Job, mkPipes mkPipesFn) (*mr.Jo
 		}
 	}
 	job.ReduceCost = []cost.LocalFn{{Ops: []cost.OpType{cost.OpGroup}, Scalar: 1}}
-	return job, nil
+	return bf, nil
 }
 
 func indexOf(cols []string, c string) (int, bool) {

@@ -1,0 +1,70 @@
+package optimizer
+
+import (
+	"testing"
+
+	"opportune/internal/data"
+	"opportune/internal/expr"
+	"opportune/internal/mr"
+	"opportune/internal/plan"
+	"opportune/internal/value"
+)
+
+// benchChainPlan is the canonical fusable map chain: UDF → filter → project,
+// compiling to a single map-only job.
+func benchChainPlan() *plan.Node {
+	return plan.Project(
+		plan.Filter(plan.Apply(plan.Scan("twtr"), "UDF_WINE_SCORE", []string{"text"}),
+			expr.NewCmp("wine_score", expr.Gt, value.NewFloat(0))),
+		"tweet_id", "user_id", "wine_score")
+}
+
+// BenchmarkFusedMapChain compares the fused columnar kernel against the
+// row-at-a-time closure interpreter over the identical compiled job and the
+// identical 20k-row split. Both sub-benchmarks include the per-task factory
+// call, since that is what a map task pays.
+func BenchmarkFusedMapChain(b *testing.B) {
+	f := newFixture(b, 20000)
+	w, err := f.opt.Compile(benchChainPlan())
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs, err := f.opt.Executable(w, "bench_out")
+	if err != nil {
+		b.Fatal(err)
+	}
+	job := jobs[len(jobs)-1]
+	if job.BatchMapFactory == nil || !job.Fused {
+		b.Fatalf("chain did not fuse (fallback %q)", job.FuseFallback)
+	}
+	rel, err := f.store.Read("twtr")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := rel.Rows()
+	ctx := mr.TaskCtx{}
+	var sunk int
+	emit := func(_ string, _ data.Row) { sunk++ }
+
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bf := job.BatchMapFactory(ctx)
+			if rep := bf(0, rows, emit); !rep.Fused {
+				b.Fatal("kernel bailed out")
+			}
+		}
+	})
+	b.Run("interpreted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mf := job.MapFactory(ctx)
+			for _, r := range rows {
+				mf(0, r, emit)
+			}
+		}
+	})
+	if sunk == 0 {
+		b.Fatal("benchmark emitted nothing")
+	}
+}

@@ -1,0 +1,409 @@
+package optimizer
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"opportune/internal/cost"
+	"opportune/internal/data"
+	"opportune/internal/expr"
+	"opportune/internal/fault"
+	"opportune/internal/obs"
+	"opportune/internal/plan"
+	"opportune/internal/storage"
+	"opportune/internal/udf"
+	"opportune/internal/value"
+)
+
+// fusionGrid is the parallelism grid of the fusion differential oracle —
+// the same W×R points the engine-level oracles use.
+var fusionGrid = []struct{ w, r int }{{1, 1}, {1, 3}, {4, 1}, {4, 3}, {8, 1}, {8, 3}}
+
+// fusionChaosPlan scripts deterministic faults against every compiled job
+// (empty Job matches all): map panics and stragglers by split index, reduce
+// panics and stragglers by key shard, and one read error on the base table.
+// Fused task retries must replay deterministically through it.
+func fusionChaosPlan() *fault.Plan {
+	return &fault.Plan{Seed: 2026, Faults: []fault.Fault{
+		{Phase: fault.PhaseMap, Task: 0, Kind: fault.KindPanic, FailAttempts: 2},
+		{Phase: fault.PhaseMap, Task: 1, Kind: fault.KindStraggler, Factor: 5},
+		{Phase: fault.PhaseReduce, Task: 11, Kind: fault.KindPanic, FailAttempts: 1},
+		{Phase: fault.PhaseReduce, Task: 29, Kind: fault.KindStraggler, Factor: 4},
+		{Kind: fault.KindReadError, Dataset: "twtr", FailReads: 1},
+	}}
+}
+
+// fusionWorkload covers every boundary kind and every fusable predicate and
+// stage shape: a 3-stage map-only chain, a string-compare filter, an
+// attribute-equality filter, group-agg over an opaque-filtered UDF chain, a
+// join with chains on both sides, an aggregate UDF, a sort, and — the
+// compile-time fallback — an exploding-UDF word count.
+func fusionWorkload() []*plan.Node {
+	scored := func() *plan.Node { return plan.Apply(plan.Scan("twtr"), "UDF_WINE_SCORE", []string{"text"}) }
+	return []*plan.Node{
+		plan.Project(plan.Filter(scored(), expr.NewCmp("wine_score", expr.Gt, value.NewFloat(0))),
+			"tweet_id", "user_id", "wine_score"),
+		plan.Project(plan.Filter(plan.Scan("twtr"), expr.NewCmp("text", expr.Gt, value.NewStr("bad day"))),
+			"tweet_id", "text"),
+		plan.Filter(plan.Scan("twtr"), expr.NewAttrEq("tweet_id", "user_id")),
+		plan.GroupAgg(plan.Filter(scored(), expr.NewOpaque("fz_has_wine", "text")), []string{"user_id"},
+			plan.AggSpec{Func: plan.AggSum, Col: "wine_score", As: "s"},
+			plan.AggSpec{Func: plan.AggCount, As: "n"},
+			plan.AggSpec{Func: plan.AggAvg, Col: "wine_score", As: "m"}),
+		plan.JoinNodes(
+			plan.GroupAgg(plan.Scan("twtr"), []string{"user_id"}, plan.AggSpec{Func: plan.AggCount, As: "n"}),
+			plan.Filter(plan.Scan("prof"), expr.NewCmp("uid", expr.Lt, value.NewInt(8))),
+			"user_id", "uid"),
+		winersPlan(),
+		plan.Sort(scored(), []string{"wine_score", "tweet_id"}, []bool{true, false}, 25),
+		plan.GroupAgg(plan.Apply(plan.Scan("twtr"), "UDF_TOKENIZE", []string{"text"}),
+			[]string{"word"}, plan.AggSpec{Func: plan.AggCount, As: "n"}),
+	}
+}
+
+// fusionOutcome is everything the fusion differential contract covers: per-
+// query output relations (fingerprint plus raw rows), per-query annotation
+// canonical forms, and the full obs counter maps.
+type fusionOutcome struct {
+	fps    []uint64
+	rels   [][][]string
+	canons [][]string
+	snap   obs.Snapshot
+}
+
+// runFusionWorkload compiles and executes the whole workload on one arm.
+// disable=true is the interpreter arm (DisableFusion); everything else —
+// store contents, params, parallelism, fault plan — is identical across
+// arms, so any output or counter divergence outside mr_fused_* is a fusion
+// bug.
+func runFusionWorkload(t *testing.T, chaos *fault.Plan, workers, reduceTasks int, disable bool) fusionOutcome {
+	t.Helper()
+	f := newFixture(t, 1000)
+	prof := data.NewRelation(data.NewSchema("uid", "grade"))
+	for i := 0; i < 10; i++ {
+		prof.Append(data.Row{value.NewInt(int64(i)), value.NewStr(strings.Repeat("A", i%3+1))})
+	}
+	f.store.Put("prof", storage.Base, prof)
+	f.cat.RegisterBase("prof", []string{"uid", "grade"}, "uid",
+		cost.Stats{Rows: 10, Bytes: prof.EncodedSize()}, map[string]int64{"uid": 10})
+	if err := f.cat.UDFs.Register(&udf.Descriptor{
+		Name: "UDF_TOKENIZE", NArgs: 1, Kind: udf.KindMap,
+		OutNames: []string{"word"}, Explode: true,
+		Map: func(args, _ []value.V) [][]value.V {
+			var out [][]value.V
+			for _, w := range strings.Fields(args[0].Str()) {
+				out = append(out, []value.V{value.NewStr(w)})
+			}
+			return out
+		},
+		TrueScalar: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.opt.Eval.RegisterOpaque("fz_has_wine", func(args []value.V) bool {
+		return strings.Contains(args[0].Str(), "wine")
+	})
+	f.opt.DisableFusion = disable
+	f.eng.Params.SplitRows = 64 // many map splits per job
+	f.eng.Params.ReduceTasks = reduceTasks
+	f.eng.Workers = workers
+	f.eng.MaxAttempts = 3
+	reg := obs.NewRegistry()
+	f.eng.Obs = reg
+	f.store.SetObs(reg)
+	if chaos != nil {
+		if err := chaos.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		f.eng.Faults = fault.NewInjector(chaos)
+		f.store.SetFaults(f.eng.Faults)
+	}
+
+	out := fusionOutcome{}
+	for qi, p := range fusionWorkload() {
+		w, err := f.opt.Compile(p)
+		if err != nil {
+			t.Fatalf("query %d: compile: %v", qi, err)
+		}
+		var canons []string
+		for _, jn := range w.Nodes {
+			canons = append(canons, jn.Logical.AnnCanon())
+		}
+		out.canons = append(out.canons, canons)
+		name := fmt.Sprintf("fuse_res_%d", qi)
+		jobs, err := f.opt.Executable(w, name)
+		if err != nil {
+			t.Fatalf("query %d: executable: %v", qi, err)
+		}
+		if _, _, err := f.eng.RunSequence(jobs); err != nil {
+			t.Fatalf("query %d (disable=%v W=%d R=%d): %v", qi, disable, workers, reduceTasks, err)
+		}
+		rel, err := f.store.Read(name)
+		if err != nil {
+			t.Fatalf("query %d: read result: %v", qi, err)
+		}
+		out.fps = append(out.fps, rel.Fingerprint())
+		var rows [][]string
+		for _, r := range rel.Rows() {
+			enc := make([]string, len(r))
+			for i, v := range r {
+				enc[i] = v.String()
+			}
+			rows = append(rows, enc)
+		}
+		out.rels = append(out.rels, rows)
+	}
+	out.snap = reg.Snapshot()
+	return out
+}
+
+// stripFusedFamily copies an integer counter map without the mr_fused_*
+// family — the only counters allowed to differ between arms.
+func stripFusedFamily(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		if strings.HasPrefix(k, "mr_fused_") {
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// TestFusionDifferentialOracle proves fused execution is invisible
+// everywhere except wall-clock and its own counter family. For every point
+// of the Workers × ReduceTasks grid, fault-free and under the chaos plan,
+// the fused arm must match the DisableFusion interpreter arm on:
+//
+//   - every query's output relation, byte-identical (fingerprint and rows);
+//   - every compiled job's annotation canonical form;
+//   - every integer counter outside mr_fused_* — same volumes, retries,
+//     straggler/speculation behavior, partition decisions;
+//   - every float counter exactly (fusion changes no pricing at all, so
+//     unlike the partition oracle there is no allowed float delta).
+//
+// Each arm must also be self-consistent across the grid against its own
+// serial (W=1,R=1) reference, which is what "fused task retries replay
+// deterministically" means observationally.
+func TestFusionDifferentialOracle(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		plan *fault.Plan
+	}{
+		{name: "fault-free", plan: nil},
+		{name: "chaos", plan: fusionChaosPlan()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			refFused := runFusionWorkload(t, tc.plan, 1, 1, false)
+			refInterp := runFusionWorkload(t, tc.plan, 1, 1, true)
+			if len(refFused.fps) == 0 {
+				t.Fatal("workload produced no results")
+			}
+			if tc.plan != nil && refFused.snap.Counters["mr_task_retries_total"] == 0 {
+				t.Error("chaos plan injected no task retries on the fused arm")
+			}
+			// The fused arm really fused: jobs ran batches, and the explode
+			// query fell back at compile time for the documented reason.
+			if n := refFused.snap.Counters["mr_fused_jobs_total"]; n == 0 {
+				t.Error("fused arm ran no fused jobs")
+			}
+			if n := refFused.snap.Counters["mr_fused_batches_total"]; n == 0 {
+				t.Error("fused arm ran no fused batches")
+			}
+			if n := refFused.snap.Counters["mr_fused_fallback_total{reason=explode_udf}"]; n == 0 {
+				t.Error("exploding-UDF query did not record its compile-time fallback")
+			}
+			if n := refFused.snap.Counters["mr_fused_runtime_fallback_total"]; n != 0 {
+				t.Errorf("fused arm recorded %d runtime fallbacks, want 0", n)
+			}
+			// The interpreter arm recorded the knob, not fused work.
+			if n := refInterp.snap.Counters["mr_fused_jobs_total"]; n != 0 {
+				t.Errorf("interpreter arm ran %d fused jobs", n)
+			}
+			if n := refInterp.snap.Counters["mr_fused_batches_total"]; n != 0 {
+				t.Errorf("interpreter arm ran %d fused batches", n)
+			}
+			elig := refInterp.snap.Counters["mr_fused_eligible_total"]
+			disabled := refInterp.snap.Counters["mr_fused_fallback_total{reason=disabled}"]
+			explode := refInterp.snap.Counters["mr_fused_fallback_total{reason=explode_udf}"]
+			if elig == 0 || disabled+explode != elig {
+				t.Errorf("interpreter arm: eligible %d != disabled %d + explode %d", elig, disabled, explode)
+			}
+			// Balance rule on both arms (metricscheck's invariant).
+			for _, arm := range []fusionOutcome{refFused, refInterp} {
+				var fb int64
+				for k, v := range arm.snap.Counters {
+					if strings.HasPrefix(k, "mr_fused_fallback_total{") {
+						fb += v
+					}
+				}
+				if e, j := arm.snap.Counters["mr_fused_eligible_total"], arm.snap.Counters["mr_fused_jobs_total"]; e != j+fb {
+					t.Errorf("fusion family does not balance: eligible %d != jobs %d + fallback %d", e, j, fb)
+				}
+			}
+
+			for _, g := range fusionGrid {
+				fused := runFusionWorkload(t, tc.plan, g.w, g.r, false)
+				interp := runFusionWorkload(t, tc.plan, g.w, g.r, true)
+
+				// Byte-identity of every query result, across arms and
+				// against the serial references.
+				if !reflect.DeepEqual(fused.fps, interp.fps) || !reflect.DeepEqual(fused.fps, refFused.fps) {
+					t.Errorf("W=%d R=%d: result fingerprints diverge:\nfused  %v\ninterp %v\nref    %v",
+						g.w, g.r, fused.fps, interp.fps, refFused.fps)
+				}
+				if !reflect.DeepEqual(fused.rels, interp.rels) {
+					t.Errorf("W=%d R=%d: relation rows differ between fused and interpreted arms", g.w, g.r)
+				}
+				if !reflect.DeepEqual(fused.canons, interp.canons) {
+					t.Errorf("W=%d R=%d: annotation canonical forms differ between arms", g.w, g.r)
+				}
+
+				// Grid self-consistency: full counter-map equality against
+				// the same arm's serial run (fused family included — batch
+				// and retry tallies are parallelism-independent).
+				if !reflect.DeepEqual(fused.snap.Counters, refFused.snap.Counters) {
+					t.Errorf("W=%d R=%d: fused counters differ from serial fused run\n got %v\nwant %v",
+						g.w, g.r, fused.snap.Counters, refFused.snap.Counters)
+				}
+				if !reflect.DeepEqual(fused.snap.FloatCounters, refFused.snap.FloatCounters) {
+					t.Errorf("W=%d R=%d: fused float counters differ from serial fused run", g.w, g.r)
+				}
+
+				// Cross-arm equality outside mr_fused_*; float counters
+				// exactly equal, fusion never reprices anything.
+				if got, want := stripFusedFamily(fused.snap.Counters), stripFusedFamily(interp.snap.Counters); !reflect.DeepEqual(got, want) {
+					t.Errorf("W=%d R=%d: counters differ beyond the fused family\n got %v\nwant %v", g.w, g.r, got, want)
+				}
+				if !reflect.DeepEqual(fused.snap.FloatCounters, interp.snap.FloatCounters) {
+					t.Errorf("W=%d R=%d: float counters differ between arms\n got %v\nwant %v",
+						g.w, g.r, fused.snap.FloatCounters, interp.snap.FloatCounters)
+				}
+			}
+		})
+	}
+}
+
+// runOneFusionPlan executes a single plan on a fresh fixture arm and returns
+// the result fingerprint and counter snapshot.
+func runOneFusionPlan(t *testing.T, disable bool, register func(*fixture), p *plan.Node) (uint64, map[string]int64) {
+	t.Helper()
+	f := newFixture(t, 1000)
+	if register != nil {
+		register(f)
+	}
+	f.opt.DisableFusion = disable
+	f.eng.Params.SplitRows = 64
+	f.eng.Workers = 4
+	f.eng.Params.ReduceTasks = 3
+	reg := obs.NewRegistry()
+	f.eng.Obs = reg
+	f.store.SetObs(reg)
+	w, err := f.opt.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := f.opt.Executable(w, "one_res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.eng.RunSequence(jobs); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := f.store.Read("one_res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel.Fingerprint(), reg.Snapshot().Counters
+}
+
+// TestFusionExplodeFallback pins the compile-time fallback path: an
+// exploding UDF in the chain forces the whole job to row mode (classified
+// eligible but not fused, reason explode_udf) and the output is still
+// identical to the DisableFusion arm.
+func TestFusionExplodeFallback(t *testing.T) {
+	register := func(f *fixture) {
+		if err := f.cat.UDFs.Register(&udf.Descriptor{
+			Name: "UDF_TOKENIZE", NArgs: 1, Kind: udf.KindMap,
+			OutNames: []string{"word"}, Explode: true,
+			Map: func(args, _ []value.V) [][]value.V {
+				var out [][]value.V
+				for _, w := range strings.Fields(args[0].Str()) {
+					out = append(out, []value.V{value.NewStr(w)})
+				}
+				return out
+			},
+			TrueScalar: 3,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := plan.GroupAgg(plan.Apply(plan.Scan("twtr"), "UDF_TOKENIZE", []string{"text"}),
+		[]string{"word"}, plan.AggSpec{Func: plan.AggCount, As: "n"})
+	fpF, cF := runOneFusionPlan(t, false, register, p)
+	fpI, cI := runOneFusionPlan(t, true, register, p)
+	if fpF != fpI {
+		t.Errorf("explode fallback output diverges: fused-arm %d interp-arm %d", fpF, fpI)
+	}
+	if cF["mr_fused_jobs_total"] != 0 {
+		t.Errorf("exploding chain must not fuse, got %d fused jobs", cF["mr_fused_jobs_total"])
+	}
+	if cF["mr_fused_eligible_total"] == 0 {
+		t.Error("exploding chain should still classify as fusion-eligible")
+	}
+	if cF["mr_fused_fallback_total{reason=explode_udf}"] == 0 {
+		t.Error("explode fallback reason not recorded")
+	}
+	if cI["mr_fused_fallback_total{reason=disabled}"] == 0 {
+		t.Error("interpreter arm should record reason=disabled")
+	}
+}
+
+// TestFusionRuntimeFallback pins the per-split runtime bailout: a UDF
+// declared single-output that multi-emits at runtime makes the fused kernel
+// abandon the batch with zero partial emissions and replay it through the
+// row interpreter. The job still counts as fused, the violating splits are
+// counted as runtime fallbacks, and output matches the interpreter arm
+// byte-for-byte.
+func TestFusionRuntimeFallback(t *testing.T) {
+	register := func(f *fixture) {
+		// Declared non-exploding, but emits twice for "coffee time" rows
+		// (1 in 5 of the fixture corpus) — a contract violation the kernel
+		// must survive.
+		if err := f.cat.UDFs.Register(&udf.Descriptor{
+			Name: "UDF_VIOLATOR", NArgs: 1, Kind: udf.KindMap, OutNames: []string{"flag"},
+			Map: func(args, _ []value.V) [][]value.V {
+				if strings.Contains(args[0].Str(), "coffee") {
+					return [][]value.V{{value.NewInt(2)}, {value.NewInt(2)}}
+				}
+				return [][]value.V{{value.NewInt(1)}}
+			},
+			TrueScalar: 4,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := plan.Project(plan.Apply(plan.Scan("twtr"), "UDF_VIOLATOR", []string{"text"}),
+		"tweet_id", "flag")
+	fpF, cF := runOneFusionPlan(t, false, register, p)
+	fpI, cI := runOneFusionPlan(t, true, register, p)
+	if fpF != fpI {
+		t.Errorf("runtime fallback output diverges: fused-arm %d interp-arm %d", fpF, fpI)
+	}
+	if cF["mr_fused_jobs_total"] == 0 {
+		t.Error("violating chain should still classify and run as fused")
+	}
+	if cF["mr_fused_runtime_fallback_total"] == 0 {
+		t.Error("runtime contract violation not counted")
+	}
+	// Every split held a "coffee time" row (64-row splits over a 5-cycle
+	// corpus), so every batch bailed: no batch completed fused.
+	if cF["mr_fused_batches_total"] != 0 {
+		t.Errorf("all batches should have bailed, got %d fused batches", cF["mr_fused_batches_total"])
+	}
+	if cI["mr_fused_runtime_fallback_total"] != 0 {
+		t.Error("interpreter arm cannot record runtime fallbacks")
+	}
+}

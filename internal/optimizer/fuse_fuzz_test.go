@@ -1,0 +1,199 @@
+package optimizer
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"opportune/internal/expr"
+	"opportune/internal/plan"
+	"opportune/internal/udf"
+	"opportune/internal/value"
+)
+
+// fuzzChain decodes a byte string into a random but always-valid map chain
+// over the fixture's twtr schema: Projects over column subsets, Filters of
+// every predicate kind, well-behaved map UDFs, a filtering UDF, a declared-
+// single-output UDF that violates its contract at runtime, and an exploding
+// UDF — so one input space reaches the fused fast path, the compile-time
+// fallback, and the runtime bailout. Returns nil when the bytes decode to a
+// bare scan (nothing to test).
+func fuzzChain(raw []byte) *plan.Node {
+	p := plan.Scan("twtr")
+	cols := []string{"tweet_id", "user_id", "text"}
+	nOps := 0
+	has := func(name string) bool {
+		for _, c := range cols {
+			if c == name {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i+1 < len(raw) && nOps < 6; i += 2 {
+		op, sel := raw[i], raw[i+1]
+		pick := func() string { return cols[int(sel)%len(cols)] }
+		// A UDF output column that is still in scope blocks re-applying
+		// that UDF (duplicate attribute); remap those ops to a filter.
+		if out, ok := map[byte]string{4: "fz_len", 5: "fz_keep", 6: "fz_v", 7: "fz_tok"}[op%8]; ok && has(out) {
+			op = 3
+		}
+		switch op % 8 {
+		case 0: // Project a non-empty column subset, no duplicates
+			var keep []string
+			for j, c := range cols {
+				if sel&(1<<(j%8)) != 0 {
+					keep = append(keep, c)
+				}
+			}
+			if len(keep) == 0 {
+				keep = []string{pick()}
+			}
+			p = plan.Project(p, keep...)
+			cols = keep
+		case 1: // numeric / string comparison filter
+			c := pick()
+			ops := []expr.CmpOp{expr.Eq, expr.Ne, expr.Lt, expr.Le, expr.Gt, expr.Ge}
+			cmp := ops[int(sel/8)%len(ops)]
+			var lit value.V
+			switch sel % 3 {
+			case 0:
+				lit = value.NewInt(int64(sel) % 10)
+			case 1:
+				lit = value.NewFloat(float64(sel%20) / 4)
+			default:
+				lit = value.NewStr("good wine")
+			}
+			p = plan.Filter(p, expr.NewCmp(c, cmp, lit))
+		case 2: // attribute equality
+			p = plan.Filter(p, expr.NewAttrEq(pick(), cols[int(sel/16)%len(cols)]))
+		case 3: // opaque predicate
+			p = plan.Filter(p, expr.NewOpaque("fz_sel", pick()))
+		case 4: // well-behaved map UDF
+			p = plan.Apply(p, "UDF_FZ_LEN", []string{pick()})
+			cols = append(append([]string{}, cols...), "fz_len")
+		case 5: // filtering map UDF (0-or-1 output rows)
+			p = plan.Apply(p, "UDF_FZ_MAYBE", []string{pick()})
+			cols = append(append([]string{}, cols...), "fz_keep")
+		case 6: // contract violator: declared single-output, multi-emits
+			p = plan.Apply(p, "UDF_FZ_VIOLATOR", []string{pick()})
+			cols = append(append([]string{}, cols...), "fz_v")
+		default: // exploding UDF — compile-time fallback
+			p = plan.Apply(p, "UDF_FZ_SPLIT", []string{pick()})
+			cols = append(append([]string{}, cols...), "fz_tok")
+		}
+		nOps++
+	}
+	if nOps == 0 {
+		return nil
+	}
+	return p
+}
+
+// fuzzFixture registers the fuzz UDF/predicate set on a fresh fixture arm.
+// Every function is deterministic in its arguments: the differential oracle
+// depends on it.
+func fuzzFixture(t testing.TB, disable bool) *fixture {
+	f := newFixture(t, 200)
+	for _, d := range []*udf.Descriptor{
+		{Name: "UDF_FZ_LEN", NArgs: 1, Kind: udf.KindMap, OutNames: []string{"fz_len"},
+			Map: func(args, _ []value.V) [][]value.V {
+				return [][]value.V{{value.NewInt(int64(len(args[0].String())))}}
+			}, TrueScalar: 2},
+		{Name: "UDF_FZ_MAYBE", NArgs: 1, Kind: udf.KindMap, OutNames: []string{"fz_keep"},
+			Map: func(args, _ []value.V) [][]value.V {
+				if len(args[0].String())%2 == 1 {
+					return nil // filtering UDF: drop the row
+				}
+				return [][]value.V{{value.NewInt(1)}}
+			}, TrueScalar: 2},
+		{Name: "UDF_FZ_VIOLATOR", NArgs: 1, Kind: udf.KindMap, OutNames: []string{"fz_v"},
+			Map: func(args, _ []value.V) [][]value.V {
+				if strings.Contains(args[0].String(), "wine") {
+					return [][]value.V{{value.NewInt(1)}, {value.NewInt(2)}}
+				}
+				return [][]value.V{{value.NewInt(0)}}
+			}, TrueScalar: 2},
+		{Name: "UDF_FZ_SPLIT", NArgs: 1, Kind: udf.KindMap, OutNames: []string{"fz_tok"}, Explode: true,
+			Map: func(args, _ []value.V) [][]value.V {
+				var out [][]value.V
+				for _, w := range strings.Fields(args[0].String()) {
+					out = append(out, []value.V{value.NewStr(w)})
+				}
+				return out
+			}, TrueScalar: 2},
+	} {
+		if err := f.cat.UDFs.Register(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.opt.Eval.RegisterOpaque("fz_sel", func(args []value.V) bool {
+		return len(args[0].String())%3 != 0
+	})
+	f.opt.DisableFusion = disable
+	f.eng.Params.SplitRows = 32 // several map splits per run
+	return f
+}
+
+// runFuzzChain compiles and executes one decoded chain on one arm and
+// returns the output rows stringified (nil, false when the chain does not
+// compile — both arms must agree on that too).
+func runFuzzChain(t testing.TB, disable bool, p *plan.Node) ([][]string, bool) {
+	f := fuzzFixture(t, disable)
+	w, err := f.opt.Compile(p)
+	if err != nil {
+		return nil, false
+	}
+	jobs, err := f.opt.Executable(w, "fz_res")
+	if err != nil {
+		return nil, false
+	}
+	if _, _, err := f.eng.RunSequence(jobs); err != nil {
+		t.Fatalf("disable=%v: run: %v", disable, err)
+	}
+	rel, err := f.store.Read("fz_res")
+	if err != nil {
+		t.Fatalf("disable=%v: read: %v", disable, err)
+	}
+	var rows [][]string
+	for _, r := range rel.Rows() {
+		enc := make([]string, len(r))
+		for i, v := range r {
+			enc[i] = v.String()
+		}
+		rows = append(rows, enc)
+	}
+	return rows, true
+}
+
+// FuzzFusedPipeline is the fusion differential fuzzer: for every generated
+// chain, fused execution must equal interpreted execution row for row — in
+// order, since map tasks are deterministic — including chains that fall
+// back at compile time (explode) or bail out per split at runtime
+// (contract violations).
+func FuzzFusedPipeline(f *testing.F) {
+	// Seeds cover each op code, a mixed chain, and the two fallback paths.
+	f.Add([]byte{0x00, 0x07})                                     // project
+	f.Add([]byte{0x01, 0x21, 0x02, 0x35, 0x03, 0x02})             // cmp, attr-eq, opaque
+	f.Add([]byte{0x04, 0x02, 0x01, 0x49, 0x00, 0x05})             // udf, filter, project
+	f.Add([]byte{0x05, 0x02, 0x06, 0x02})                         // maybe, violator
+	f.Add([]byte{0x07, 0x02, 0x01, 0x12})                         // explode then filter
+	f.Add([]byte{0x04, 0x00, 0x04, 0x01, 0x04, 0x02, 0x01, 0x60}) // stacked udfs
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p := fuzzChain(raw)
+		if p == nil {
+			return
+		}
+		fused, okF := runFuzzChain(t, false, p)
+		interp, okI := runFuzzChain(t, true, p)
+		if okF != okI {
+			t.Fatalf("arms disagree on compilability: fused=%v interp=%v", okF, okI)
+		}
+		if !okF {
+			return
+		}
+		if !reflect.DeepEqual(fused, interp) {
+			t.Fatalf("fused and interpreted outputs diverge\nfused:  %v\ninterp: %v", fused, interp)
+		}
+	})
+}

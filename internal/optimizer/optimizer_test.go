@@ -23,7 +23,7 @@ type fixture struct {
 	opt   *Optimizer
 }
 
-func newFixture(t *testing.T, rows int) *fixture {
+func newFixture(t testing.TB, rows int) *fixture {
 	t.Helper()
 	st := storage.NewStore()
 	rel := data.NewRelation(data.NewSchema("tweet_id", "user_id", "text"))

@@ -9,7 +9,7 @@
 # Environment knobs:
 #   BENCH_COL    before|after   column the run fills          (default after)
 #   BENCH_MERGE  path           prior JSON to merge with      (default out.json if it exists)
-#   BENCH_PKGS   packages       packages to benchmark         (default ./internal/mr ./internal/rewrite)
+#   BENCH_PKGS   packages       packages to benchmark         (default . ./internal/mr ./internal/rewrite ./internal/optimizer)
 #   BENCH_TIME   duration       -benchtime per benchmark      (default 2s)
 #   BENCH_FILTER regexp         -bench selector               (default .)
 set -euo pipefail
@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_PR4.json}
 col=${BENCH_COL:-after}
-pkgs=${BENCH_PKGS:-"./internal/mr ./internal/rewrite"}
+pkgs=${BENCH_PKGS:-". ./internal/mr ./internal/rewrite ./internal/optimizer"}
 benchtime=${BENCH_TIME:-2s}
 filter=${BENCH_FILTER:-.}
 merge=${BENCH_MERGE:-}

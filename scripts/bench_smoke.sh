@@ -32,4 +32,14 @@ grep -q "wall speedup" "$tmp/service.out"
 # metricscheck's family check validates.
 "$tmp/benchrunner" -quick -exp partition >"$tmp/partition.out"
 grep -q "sim improvement" "$tmp/partition.out"
+# Map-pipeline fusion: fused columnar kernels vs the row interpreter on the
+# same compiled jobs. The experiment's own oracles (byte-identical results,
+# equal counters outside mr_fused_*, equal sim-seconds) fail loudly and its
+# arms use private registries — the fused counter family in the exports
+# above (fusion is on by default) is what metricscheck's family check
+# validates. The greppable line proves the fused arm really compiled
+# kernels.
+"$tmp/benchrunner" -quick -exp fusion >"$tmp/fusion.out"
+grep -q "fused jobs" "$tmp/fusion.out"
+
 echo "bench-smoke ok"

@@ -19,4 +19,5 @@ run ./internal/hiveql FuzzParse
 run ./internal/data FuzzReadRelation
 run ./internal/data FuzzKeyPrefix
 run ./internal/afk FuzzPartitionCompat
+run ./internal/optimizer FuzzFusedPipeline
 echo "fuzz-smoke ok"
