@@ -2,8 +2,8 @@
 
 # Benchmark trajectory files: BENCH_BASE is the previous PR's tracked
 # numbers, BENCH_OUT is the file this PR refreshes and compares against it.
-BENCH_BASE ?= BENCH_PR8.json
-BENCH_OUT  ?= BENCH_PR9.json
+BENCH_BASE ?= BENCH_PR9.json
+BENCH_OUT  ?= BENCH_PR10.json
 
 build:
 	go build ./...

@@ -75,6 +75,7 @@ func main() {
 	checkBatch(m)
 	checkPartition(m)
 	checkFused(m)
+	checkFusedReduce(m)
 	if len(e.Spans) == 0 {
 		fail("no spans recorded")
 	}
@@ -204,6 +205,105 @@ func checkFused(m obs.Snapshot) {
 	}
 	if batches == 0 && rows > 0 {
 		fail("%d fused rows recorded with zero fused batches", rows)
+	}
+}
+
+// fuseReduceReasons is the fixed label set of mr_fused_reduce_fallback_total,
+// recorded zeros-included whenever the family is, like the map-side set.
+var fuseReduceReasons = []string{"disabled", "nondistributive_agg", "agg_udf", "unsupported_op", "schema_mismatch"}
+
+// checkFusedReduce validates the reduce-side fusion counter family: all
+// eight names present together or not at all, every eligible reduce job
+// either compiled its kernels or carries exactly one fallback reason,
+// cross-boundary jobs are a subset of fused jobs, and a run with no fused
+// reduce jobs cannot claim kernel work. Groups can be zero with rows zero
+// even when jobs ran (fault plans bypass the reduce kernel), but folded rows
+// without finalized groups — or more groups than rows — is a wiring bug.
+func checkFusedReduce(m obs.Snapshot) {
+	names := []string{
+		"mr_fused_reduce_eligible_total",
+		"mr_fused_reduce_jobs_total",
+		"mr_fused_reduce_crossboundary_jobs_total",
+		"mr_fused_reduce_batches_total",
+		"mr_fused_reduce_groups_total",
+		"mr_fused_reduce_rows_total",
+		"mr_fused_reduce_runtime_fallback_total",
+	}
+	present := 0
+	for _, n := range names {
+		if _, ok := m.Counters[n]; ok {
+			present++
+		}
+	}
+	if present == 0 {
+		for k := range m.Counters {
+			if strings.HasPrefix(k, "mr_fused_reduce_fallback_total{") {
+				fail("reduce fallback reasons recorded without the fused reduce family")
+			}
+		}
+		return
+	}
+	if present != len(names) {
+		for _, n := range names {
+			if _, ok := m.Counters[n]; !ok {
+				fail("partial fused reduce counter family: %s missing", n)
+			}
+		}
+	}
+	for _, n := range names {
+		if m.Counters[n] < 0 {
+			fail("%s negative", n)
+		}
+	}
+	var fallback int64
+	for _, reason := range fuseReduceReasons {
+		v, ok := m.Counters["mr_fused_reduce_fallback_total{reason="+reason+"}"]
+		if !ok {
+			fail("fused reduce fallback reason %q missing from the family", reason)
+		}
+		if v < 0 {
+			fail("mr_fused_reduce_fallback_total{reason=%s} negative", reason)
+		}
+		fallback += v
+	}
+	for k := range m.Counters {
+		if !strings.HasPrefix(k, "mr_fused_reduce_fallback_total{") {
+			continue
+		}
+		known := false
+		for _, reason := range fuseReduceReasons {
+			if k == "mr_fused_reduce_fallback_total{reason="+reason+"}" {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fail("stray fused reduce fallback label %s", k)
+		}
+	}
+	elig := m.Counters["mr_fused_reduce_eligible_total"]
+	jobs := m.Counters["mr_fused_reduce_jobs_total"]
+	cross := m.Counters["mr_fused_reduce_crossboundary_jobs_total"]
+	batches := m.Counters["mr_fused_reduce_batches_total"]
+	groups := m.Counters["mr_fused_reduce_groups_total"]
+	rows := m.Counters["mr_fused_reduce_rows_total"]
+	rtfb := m.Counters["mr_fused_reduce_runtime_fallback_total"]
+	if jobs+fallback != elig {
+		fail("fused reduce family does not balance: jobs %d + fallbacks %d != eligible %d",
+			jobs, fallback, elig)
+	}
+	if cross > jobs {
+		fail("%d cross-boundary jobs exceed %d fused reduce jobs", cross, jobs)
+	}
+	if jobs == 0 && (batches > 0 || groups > 0 || rows > 0 || rtfb > 0) {
+		fail("fused reduce work recorded with zero fused reduce jobs (batches=%d groups=%d rows=%d runtime_fallback=%d)",
+			batches, groups, rows, rtfb)
+	}
+	if rows > 0 && groups == 0 {
+		fail("%d records folded by reduce kernels that finalized zero groups", rows)
+	}
+	if groups > rows {
+		fail("%d groups finalized from only %d folded records", groups, rows)
 	}
 }
 

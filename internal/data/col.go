@@ -130,6 +130,49 @@ func (c *Col) degrade() {
 	c.mode = colGeneric
 }
 
+// IntAcc commits the column to int64 storage and returns n zeroed slots of
+// its backing array. The fused agg kernels use Acc views as typed
+// accumulator columns (one slot per dense group id); unlike Set-driven use,
+// an accumulator is read-modify-written directly through the returned
+// slice. Numeric capacity is retained dirty across pooling (Release only
+// truncates it), so the view zeroes its slots explicitly.
+func (c *Col) IntAcc(n int) []int64 {
+	c.mode = colInt
+	c.n = n
+	c.ints = sized(c.ints, n)
+	a := c.ints
+	for i := range a {
+		a[i] = 0
+	}
+	return a
+}
+
+// FloatAcc is IntAcc for float64 accumulators.
+func (c *Col) FloatAcc(n int) []float64 {
+	c.mode = colFloat
+	c.n = n
+	c.floats = sized(c.floats, n)
+	a := c.floats
+	for i := range a {
+		a[i] = 0
+	}
+	return a
+}
+
+// ValAcc is IntAcc for generic value.V accumulators (MIN/MAX extrema, whose
+// running value keeps the raw input kind). Slots start Null, matching the
+// fold's "no non-null value seen yet" state.
+func (c *Col) ValAcc(n int) []value.V {
+	c.mode = colGeneric
+	c.n = n
+	c.vals = sized(c.vals, n)
+	a := c.vals
+	for i := range a {
+		a[i] = value.NullV
+	}
+	return a
+}
+
 // Release zeroes every reference the column holds and empties it. Pool
 // hygiene: a pooled column must never alias strings or values across tasks,
 // so the reference-bearing arrays are cleared across their full capacity —

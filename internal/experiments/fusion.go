@@ -29,6 +29,12 @@ type Fusion struct {
 	FusedBatches int64 // splits that completed through a kernel
 	FusedRows    int64 // input rows those splits carried
 	Fallbacks    int64 // compile-time fallbacks (explode/unsupported/…), fused arm
+
+	ReduceEligible int64 // reduce jobs classified for reduce-side fusion
+	ReduceFused    int64 // reduce jobs whose combine+reduce compiled to agg kernels
+	CrossFused     int64 // partition-local jobs fused through the shuffle boundary
+	ReduceGroups   int64 // key groups finalized by the reduce kernels
+	ReduceRows     int64 // shuffle records folded by the reduce kernels
 }
 
 // Render prints the comparison.
@@ -39,10 +45,11 @@ func (r *Fusion) Render() string {
 		{"interpreted", f3(r.InterpWallSeconds), f3(r.SimSeconds), "0", "0",
 			fmt.Sprint(r.EligibleJobs)},
 	}
-	return fmt.Sprintf("Map-pipeline fusion: %d queries, %d/%d eligible map chains compiled to batch kernels\n%s\nfused jobs %d processed %d rows in %d batches (results byte-identical across arms)\n",
+	return fmt.Sprintf("Map-pipeline fusion: %d queries, %d/%d eligible map chains compiled to batch kernels\n%s\nfused jobs %d processed %d rows in %d batches (results byte-identical across arms)\nreduce-fused %d/%d grouped jobs (%d cross-boundary) finalized %d groups from %d shuffle records\n",
 		r.Queries, r.FusedJobs, r.EligibleJobs,
 		table([]string{"executor", "wall_s", "sim_s", "fused_jobs", "batches", "fallbacks"}, rows),
-		r.FusedJobs, r.FusedRows, r.FusedBatches)
+		r.FusedJobs, r.FusedRows, r.FusedBatches,
+		r.ReduceFused, r.ReduceEligible, r.CrossFused, r.ReduceGroups, r.ReduceRows)
 }
 
 // RunFusion runs the experiment. It fails loudly if the arms diverge on any
@@ -52,8 +59,13 @@ func (r *Fusion) Render() string {
 func RunFusion(cfg Config) (*Fusion, error) {
 	queries := workload.AllQueries()
 	if cfg.Quick {
-		queries = queries[:8]
+		queries = queries[:8:8]
 	}
+	// Reduce-heavy arm: the partitioned grouped queries run over hash-
+	// distributed bases, so their boundaries exercise the combine/reduce agg
+	// kernels and — where the group key matches the layout — the cross-
+	// boundary fused chain.
+	queries = append(queries, workload.PartitionQueries()...)
 	out := &Fusion{Queries: len(queries)}
 
 	type arm struct {
@@ -73,6 +85,7 @@ func RunFusion(cfg Config) (*Fusion, error) {
 		// Private registries per arm: the fused counter family must differ
 		// between arms and everything else must not.
 		s.Instrument(a.reg)
+		workload.PartitionBases(s, 8)
 		s.Opt.DisableFusion = i == 1
 		t0 := time.Now()
 		for _, q := range queries {
@@ -99,6 +112,11 @@ func RunFusion(cfg Config) (*Fusion, error) {
 	out.FusedBatches = fc.Counters["mr_fused_batches_total"]
 	out.FusedRows = fc.Counters["mr_fused_rows_total"]
 	out.Fallbacks = out.EligibleJobs - out.FusedJobs
+	out.ReduceEligible = fc.Counters["mr_fused_reduce_eligible_total"]
+	out.ReduceFused = fc.Counters["mr_fused_reduce_jobs_total"]
+	out.CrossFused = fc.Counters["mr_fused_reduce_crossboundary_jobs_total"]
+	out.ReduceGroups = fc.Counters["mr_fused_reduce_groups_total"]
+	out.ReduceRows = fc.Counters["mr_fused_reduce_rows_total"]
 
 	// The oracle half: byte-identical results, identical counters outside
 	// mr_fused_*, identical simulated time, and real fused work on one side
@@ -137,6 +155,22 @@ func RunFusion(cfg Config) (*Fusion, error) {
 	}
 	if e, d := ic.Counters["mr_fused_eligible_total"], ic.Counters["mr_fused_fallback_total{reason=disabled}"]; d == 0 || d > e {
 		return nil, fmt.Errorf("experiments: fusion: interpreter arm fallback accounting off (eligible=%d disabled=%d)", e, d)
+	}
+	// Reduce-side oracles: the fused arm must have compiled agg kernels and
+	// crossed at least one partition-local boundary with zero runtime
+	// bailouts; the interpreter arm classified everything out as disabled.
+	if out.ReduceFused <= 0 || out.CrossFused <= 0 || out.ReduceGroups <= 0 {
+		return nil, fmt.Errorf("experiments: fusion: fused arm compiled no reduce kernels (jobs=%d cross=%d groups=%d)",
+			out.ReduceFused, out.CrossFused, out.ReduceGroups)
+	}
+	if b := fc.Counters["mr_fused_reduce_runtime_fallback_total"]; b != 0 {
+		return nil, fmt.Errorf("experiments: fusion: %d reduce kernels bailed at runtime", b)
+	}
+	if j := ic.Counters["mr_fused_reduce_jobs_total"]; j != 0 {
+		return nil, fmt.Errorf("experiments: fusion: interpreter arm ran %d reduce-fused jobs with fusion disabled", j)
+	}
+	if e, d := ic.Counters["mr_fused_reduce_eligible_total"], ic.Counters["mr_fused_reduce_fallback_total{reason=disabled}"]; e == 0 || d != e {
+		return nil, fmt.Errorf("experiments: fusion: interpreter arm reduce fallback accounting off (eligible=%d disabled=%d)", e, d)
 	}
 	return out, nil
 }

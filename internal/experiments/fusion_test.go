@@ -13,7 +13,9 @@ func TestFusionShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Queries != 8 {
+	// 8 quick analyst queries plus the partitioned grouped queries of the
+	// reduce-heavy arm.
+	if r.Queries != 13 {
 		t.Fatalf("queries = %d", r.Queries)
 	}
 	if r.FusedJobs <= 0 || r.FusedJobs > r.EligibleJobs {
@@ -28,8 +30,17 @@ func TestFusionShape(t *testing.T) {
 	if r.SimSeconds <= 0 {
 		t.Error("no simulated time")
 	}
+	if r.ReduceFused <= 0 || r.ReduceFused > r.ReduceEligible {
+		t.Errorf("reduce-fused jobs = %d of %d eligible", r.ReduceFused, r.ReduceEligible)
+	}
+	if r.CrossFused <= 0 || r.CrossFused > r.ReduceFused {
+		t.Errorf("cross-boundary jobs = %d of %d reduce-fused", r.CrossFused, r.ReduceFused)
+	}
+	if r.ReduceGroups <= 0 || r.ReduceRows < r.ReduceGroups {
+		t.Errorf("reduce kernel work: groups=%d rows=%d", r.ReduceGroups, r.ReduceRows)
+	}
 	out := r.Render()
-	for _, want := range []string{"fused jobs", "byte-identical", "interpreted"} {
+	for _, want := range []string{"fused jobs", "byte-identical", "interpreted", "reduce-fused"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q", want)
 		}

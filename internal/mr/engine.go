@@ -52,6 +52,15 @@ type BatchReport struct {
 	// declared single-output emitted several rows) and the split was
 	// replayed through the row-at-a-time interpreter instead.
 	Fallback bool
+	// Combined is true when the batch kernel fused across the shuffle
+	// boundary: its emissions are already combined per key (one record per
+	// group in first-seen order), so the engine must not run the job's
+	// combiner over them again. CombineRows then carries the pre-combine
+	// row count — what Result.CombineRows would have tallied had the
+	// combiner run row-at-a-time — keeping combine accounting identical
+	// between fused and interpreted executions.
+	Combined    bool
+	CombineRows int64
 }
 
 // Fusion fallback reasons, the label taxonomy of the
@@ -69,11 +78,23 @@ const (
 	// FuseSchemaMismatch: column resolution disagreed with the annotated
 	// output schema; the interpreter is the safe path.
 	FuseSchemaMismatch = "schema_mismatch"
+	// FuseNondistributiveAgg: a grouped aggregation whose aggregate set is
+	// not distributive over fixed-width partial state (reduce-side fusion
+	// only).
+	FuseNondistributiveAgg = "nondistributive_agg"
+	// FuseAggUDF: the reducer is an aggregate UDF running opaque user code
+	// over raw payload rows — no typed partial state to specialize on
+	// (reduce-side fusion only).
+	FuseAggUDF = "agg_udf"
 )
 
 // FuseFallbackReasons enumerates the taxonomy in recording order, so the
 // counter family's key set is fixed regardless of which reasons fire.
 var FuseFallbackReasons = []string{FuseDisabled, FuseExplodeUDF, FuseUnsupportedOp, FuseSchemaMismatch}
+
+// FuseReduceFallbackReasons is the mr_fused_reduce_fallback_total label
+// taxonomy, fixed in recording order like FuseFallbackReasons.
+var FuseReduceFallbackReasons = []string{FuseDisabled, FuseNondistributiveAgg, FuseAggUDF, FuseUnsupportedOp, FuseSchemaMismatch}
 
 // TaskCtx identifies one map task (one input split) deterministically:
 // which input it reads, the split ordinal within that input, the ordinal of
@@ -122,11 +143,46 @@ type Job struct {
 	Fused         bool
 	FuseFallback  string
 
+	// Reduce-side fusion classification, the mirror taxonomy for the
+	// combiner/reducer: FusedReduceEligible marks any reduce job,
+	// FusedReduce one whose combine and reduce phases compiled into
+	// columnar agg kernels (BatchCombine/BatchReduce set), and
+	// FusedReduceFallback the single reason when eligible but not fused.
+	// FusedCrossBoundary additionally marks a partition-local job whose
+	// map kernel was fused *through* the (local) shuffle boundary into the
+	// combine fold. Observational, like the map-side trio.
+	FusedReduceEligible bool
+	FusedReduce         bool
+	FusedReduceFallback string
+	FusedCrossBoundary  bool
+
 	// Combine, when set on a reduce job, runs map-side per split: rows a
 	// split emitted under one key are merged before the shuffle (the
 	// classic MR combiner). It must be algebraic: Reduce over combined
 	// partials must equal Reduce over the raw rows.
 	Combine ReduceFunc
+
+	// BatchCombine, when set alongside Combine, is the fused combiner: it
+	// replaces the grouper + row-at-a-time Combine fold over one map task's
+	// emissions. It appends the combined records to scratch (grouped per
+	// key in first-emission order — the grouper's order) and returns them
+	// with the pre-combine row count. ok=false means a record violated the
+	// kernel's layout contract: the kernel must not have touched the task
+	// output, scratch comes back (possibly dirtied) for pooling, and the
+	// engine replays the task's combine through the interpreter.
+	BatchCombine func(in, scratch []Keyed) (combined []Keyed, combineRows int64, ok bool)
+
+	// BatchReduce, when set on a reduce job, is the fused reduce kernel: it
+	// folds one whole reduce partition (records in partition scan order)
+	// and emits finalized rows with keys in ascending order — the order the
+	// grouper's sortKeys pass would reduce them in — sealing one group per
+	// distinct emitted key. false means a record violated the kernel's
+	// layout contract before anything was emitted; the engine then replays
+	// the partition through the grouper + Reduce interpreter. The engine
+	// bypasses BatchReduce entirely under an injected fault plan: scripted
+	// reduce faults address per-key groups, which a whole-partition kernel
+	// cannot replay at that granularity.
+	BatchReduce func(recs []Keyed, emit Emit) bool
 
 	Reduce       ReduceFunc   // nil for a map-only job
 	OutputSchema *data.Schema // schema of the materialized output
@@ -217,6 +273,24 @@ type Result struct {
 	FusedBatches          int64
 	FusedRows             int64
 	FusedRuntimeFallbacks int64
+
+	// Reduce-side fusion observability, same wall-clock-only contract.
+	// FusedCombineBatches counts map tasks whose combine ran a fused fold
+	// (kernel combiner or cross-boundary map kernel); FusedReduceGroups and
+	// FusedReduceRows count key groups finalized and records folded by the
+	// fused reduce kernels; FusedReduceRuntimeFallbacks counts map-task
+	// combines and reduce partitions that hit the kernels' layout bailout
+	// and were replayed through the interpreter. All folded in split /
+	// partition order over disjoint data, so the tallies are independent of
+	// Workers and ReduceTasks.
+	FusedReduceEligible         bool
+	FusedReduceJob              bool
+	FusedReduceFallbackReason   string
+	FusedCrossBoundary          bool
+	FusedCombineBatches         int64
+	FusedReduceGroups           int64
+	FusedReduceRows             int64
+	FusedReduceRuntimeFallbacks int64
 
 	// RetriedInputBytes and RetriedShuffleBytes are the volumes read and
 	// shuffled by failed attempts that were recovered from (zero when the
@@ -558,6 +632,34 @@ func (e *Engine) RecordJob(res *Result, err error, wallSeconds float64) {
 	reg.Counter("mr_fused_batches_total").Add(res.FusedBatches)
 	reg.Counter("mr_fused_rows_total").Add(res.FusedRows)
 	reg.Counter("mr_fused_runtime_fallback_total").Add(res.FusedRuntimeFallbacks)
+	// Reduce-side fusion family, same unconditional-recording contract: per
+	// job, reduce-eligible == reduce-fused + Σ fallback{reason}, and
+	// cross-boundary jobs are a subset of reduce-fused jobs.
+	relig, rjobs := int64(0), int64(0)
+	if res.FusedReduceEligible {
+		relig = 1
+		if res.FusedReduceJob {
+			rjobs = 1
+		}
+	}
+	cross := int64(0)
+	if res.FusedCrossBoundary {
+		cross = 1
+	}
+	reg.Counter("mr_fused_reduce_eligible_total").Add(relig)
+	reg.Counter("mr_fused_reduce_jobs_total").Add(rjobs)
+	for _, reason := range FuseReduceFallbackReasons {
+		v := int64(0)
+		if relig == 1 && rjobs == 0 && res.FusedReduceFallbackReason == reason {
+			v = 1
+		}
+		reg.Counter("mr_fused_reduce_fallback_total", "reason", reason).Add(v)
+	}
+	reg.Counter("mr_fused_reduce_crossboundary_jobs_total").Add(cross)
+	reg.Counter("mr_fused_reduce_batches_total").Add(res.FusedCombineBatches)
+	reg.Counter("mr_fused_reduce_groups_total").Add(res.FusedReduceGroups)
+	reg.Counter("mr_fused_reduce_rows_total").Add(res.FusedReduceRows)
+	reg.Counter("mr_fused_reduce_runtime_fallback_total").Add(res.FusedReduceRuntimeFallbacks)
 	reg.FloatCounter("mr_sim_seconds_total").Add(res.SimSeconds)
 	reg.FloatCounter("mr_wasted_sim_seconds_total").Add(res.WastedSeconds)
 	// Fault/recovery counters are recorded unconditionally (zeros included)
@@ -589,10 +691,12 @@ func (e *Engine) RecordJob(res *Result, err error, wallSeconds float64) {
 	reg.Histogram("mr_job_wall_seconds", nil).Observe(wallSeconds)
 }
 
-// keyed is one shuffle record: a partition key and its row.
-type keyed struct {
-	key string
-	row data.Row
+// Keyed is one shuffle record: a partition key and its row. Exported so
+// fused combine/reduce kernels (internal/optimizer) can fold record slices
+// the engine hands them without copying.
+type Keyed struct {
+	Key string
+	Row data.Row
 }
 
 // mapSplit is one map task's share of an input relation.
@@ -602,12 +706,15 @@ type mapSplit struct {
 }
 
 // mapTaskOut is what one map task produced: its (possibly combined)
-// emissions in emission order, the rows its combiner consumed, and the
-// batch-execution report when the job ran the fused path.
+// emissions in emission order, the rows its combiner consumed, the
+// batch-execution report when the job ran the fused path, and whether the
+// combine fold itself ran fused (or bailed out of the fused path).
 type mapTaskOut struct {
-	out         []keyed
-	combineRows int64
-	batch       BatchReport
+	out          []Keyed
+	combineRows  int64
+	batch        BatchReport
+	combFused    bool
+	combFallback bool
 }
 
 // splitInputs reads every input (charging the read volume to res) and cuts
@@ -656,7 +763,7 @@ func runMapTask(job *Job, sp mapSplit, t *mapTaskOut) {
 		if len(r) != job.MapOutSchema.Len() {
 			panic(fmt.Sprintf("mr: job %q map emitted width %d, schema %s", job.Name, len(r), job.MapOutSchema))
 		}
-		out = append(out, keyed{key, r})
+		out = append(out, Keyed{key, r})
 	}
 	if job.BatchMapFactory != nil {
 		// Fused path: the whole split moves through one specialized batch
@@ -678,6 +785,26 @@ func runMapTask(job *Job, sp mapSplit, t *mapTaskOut) {
 	if job.Combine == nil || job.Reduce == nil || len(t.out) == 0 {
 		return
 	}
+	if t.batch.Combined {
+		// Cross-boundary kernel: the batch map already emitted combined
+		// records per key, with the pre-combine row count in the report so
+		// combine accounting matches the interpreted path exactly.
+		t.combineRows = t.batch.CombineRows
+		t.combFused = true
+		return
+	}
+	if job.BatchCombine != nil {
+		combined, rows, ok := job.BatchCombine(t.out, getKeyedBuf(len(t.out)))
+		if ok {
+			putKeyedBuf(t.out)
+			t.out = combined
+			t.combineRows = rows
+			t.combFused = true
+			return
+		}
+		putKeyedBuf(combined)
+		t.combFallback = true
+	}
 	hint := len(t.out)
 	if job.EstGroups > 0 && job.EstGroups < int64(hint) {
 		hint = int(job.EstGroups)
@@ -689,7 +816,7 @@ func runMapTask(job *Job, sp mapSplit, t *mapTaskOut) {
 	for id := int32(0); id < int32(g.len()); id++ {
 		key := g.keys[id]
 		job.Combine(key, g.rows(id), func(r data.Row) {
-			combined = append(combined, keyed{key, r})
+			combined = append(combined, Keyed{key, r})
 		})
 	}
 	putKeyedBuf(t.out)
@@ -745,6 +872,10 @@ func (e *Engine) executeFromSplits(job *Job, res *Result, splits []mapSplit, asp
 	res.FusedEligible = job.FusedEligible
 	res.FusedJob = job.Fused
 	res.FuseFallbackReason = job.FuseFallback
+	res.FusedReduceEligible = job.FusedReduceEligible
+	res.FusedReduceJob = job.FusedReduce
+	res.FusedReduceFallbackReason = job.FusedReduceFallback
+	res.FusedCrossBoundary = job.FusedCrossBoundary
 	accrued := float64(res.InputBytes) / e.Params.ReadRate
 	if err := e.deadlineCheck(job, res, prior, accrued); err != nil {
 		return nil, err
@@ -785,6 +916,12 @@ func (e *Engine) executeFromSplits(job *Job, res *Result, splits []mapSplit, asp
 		if tasks[i].batch.Fallback {
 			res.FusedRuntimeFallbacks++
 		}
+		if tasks[i].combFused {
+			res.FusedCombineBatches++
+		}
+		if tasks[i].combFallback {
+			res.FusedReduceRuntimeFallbacks++
+		}
 	}
 	msp.AddSim(e.fnsSim(job.MapCost, res.InputRows))
 	if job.Combine != nil && job.Reduce != nil {
@@ -811,7 +948,7 @@ func (e *Engine) executeFromSplits(job *Job, res *Result, splits []mapSplit, asp
 		// Map-only: emitted rows are the output, consumed in split order.
 		for i := range tasks {
 			for _, kr := range tasks[i].out {
-				out.Append(kr.row)
+				out.Append(kr.Row)
 			}
 			putKeyedBuf(tasks[i].out)
 			tasks[i].out = nil
@@ -884,7 +1021,7 @@ func (e *Engine) shuffleReduce(job *Job, res *Result, tasks []mapTaskOut, out *d
 	for i := range tasks {
 		total += len(tasks[i].out)
 	}
-	parts := make([][]keyed, r)
+	parts := make([][]Keyed, r)
 	for pi := range parts {
 		// Pre-size for an even spread plus slack; a skewed key simply grows.
 		parts[pi] = getKeyedBuf(total/r + total/(2*r) + 4)
@@ -892,26 +1029,26 @@ func (e *Engine) shuffleReduce(job *Job, res *Result, tasks []mapTaskOut, out *d
 	local := job.partitionLocal()
 	for i := range tasks {
 		for _, kr := range tasks[i].out {
-			res.ShuffleBytes += int64(kr.row.EncodedSize() + len(kr.key))
+			res.ShuffleBytes += int64(kr.Row.EncodedSize() + len(kr.Key))
 			res.ShuffleRows++
 			var p int
 			if local {
-				if prefix, ok := data.KeyPrefix(kr.key, job.PartitionKeyCols); ok {
+				if prefix, ok := data.KeyPrefix(kr.Key, job.PartitionKeyCols); ok {
 					// Partition-preserving route: the record's layout bucket
 					// is a function of the key prefix alone, so every row of
 					// a group is already co-located with its reducer and its
 					// bytes never cross the network. Buckets fold onto the R
 					// reduce slots; grouping below is still per full key, so
 					// the bucket→slot mapping can never change the output.
-					res.LocalShuffleBytes += int64(kr.row.EncodedSize() + len(kr.key))
+					res.LocalShuffleBytes += int64(kr.Row.EncodedSize() + len(kr.Key))
 					p = partitionOf(prefix, job.PartitionParts) % r
 				} else {
 					// Malformed or too-short key: fall back to a full
 					// shuffle for this record rather than trust a bad route.
-					p = partitionOf(kr.key, r)
+					p = partitionOf(kr.Key, r)
 				}
 			} else {
-				p = partitionOf(kr.key, r)
+				p = partitionOf(kr.Key, r)
 			}
 			parts[p] = append(parts[p], kr)
 		}
@@ -935,6 +1072,9 @@ func (e *Engine) shuffleReduce(job *Job, res *Result, tasks []mapTaskOut, out *d
 	partOuts := make([][]redOut, r)
 	partArenas := make([][]data.Row, r)
 	grecs := make([][]groupRec, r)
+	fusedGroups := make([]int64, r)
+	fusedRows := make([]int64, r)
+	fusedBails := make([]int64, r)
 	groupHint := 0
 	if job.EstGroups > 0 {
 		gh := job.EstGroups/int64(r) + 1
@@ -944,6 +1084,20 @@ func (e *Engine) shuffleReduce(job *Job, res *Result, tasks []mapTaskOut, out *d
 		groupHint = int(gh)
 	}
 	err := runTasks(e.workers(), r, func(pi int) error {
+		if job.BatchReduce != nil && e.Faults == nil {
+			// Fused reduce: the whole partition folds through the columnar
+			// agg kernel. Bypassed under a fault plan — scripted reduce
+			// faults address per-key groups, which a whole-partition kernel
+			// cannot retry at that granularity.
+			if outs, arena, ok := fusedReducePartition(job, parts[pi], &fusedGroups[pi], &fusedRows[pi]); ok {
+				partOuts[pi] = outs
+				partArenas[pi] = arena
+				putKeyedBuf(parts[pi])
+				parts[pi] = nil
+				return nil
+			}
+			fusedBails[pi]++
+		}
 		g := getGrouper(groupHint)
 		g.build(parts[pi])
 		g.sortKeys() // deterministic reduce order
@@ -983,6 +1137,13 @@ func (e *Engine) shuffleReduce(job *Job, res *Result, tasks []mapTaskOut, out *d
 		return nil
 	})
 	rsp.AddSim(e.fnsSim(job.ReduceCost, res.ShuffleRows))
+	for pi := 0; pi < r; pi++ {
+		// Integer sums over disjoint partitions, folded in partition order:
+		// the tallies are identical at any ReduceTasks setting.
+		res.FusedReduceGroups += fusedGroups[pi]
+		res.FusedReduceRows += fusedRows[pi]
+		res.FusedReduceRuntimeFallbacks += fusedBails[pi]
+	}
 	if err != nil {
 		rsp.End()
 		return fmt.Errorf("mr: job %q failed: %v", job.Name, err)
@@ -1019,6 +1180,45 @@ func (e *Engine) shuffleReduce(job *Job, res *Result, tasks []mapTaskOut, out *d
 	}
 	rsp.End()
 	return nil
+}
+
+// fusedReducePartition folds one reduce partition through the job's fused
+// agg kernel. The kernel's emissions arrive with keys in ascending order
+// (the order the interpreted path reduces and merges in), so sealing a
+// redOut run at every key change reproduces the grouper's per-key buffers
+// exactly; the k-way merge downstream is oblivious to which path filled
+// them. ok=false means the kernel hit its layout bailout pre-emission: the
+// arena is returned to the pool and the caller falls through to the
+// interpreter.
+func fusedReducePartition(job *Job, recs []Keyed, groups, rows *int64) ([]redOut, []data.Row, bool) {
+	if len(recs) == 0 {
+		return nil, nil, true
+	}
+	arena := getRowsBuf(len(recs))
+	var outs []redOut
+	cur, start, sealed := "", 0, false
+	emit := func(key string, row data.Row) {
+		if len(row) != job.OutputSchema.Len() {
+			panic(fmt.Sprintf("mr: job %q reduce emitted width %d, schema %s", job.Name, len(row), job.OutputSchema))
+		}
+		if !sealed || key != cur {
+			if sealed {
+				outs = append(outs, redOut{key: cur, rows: arena[start:len(arena):len(arena)]})
+			}
+			cur, sealed, start = key, true, len(arena)
+		}
+		arena = append(arena, row)
+	}
+	if !job.BatchReduce(recs, emit) {
+		putRowsBuf(arena)
+		return nil, nil, false
+	}
+	if sealed {
+		outs = append(outs, redOut{key: cur, rows: arena[start:len(arena):len(arena)]})
+	}
+	*groups += int64(len(outs))
+	*rows += int64(len(recs))
+	return outs, arena, true
 }
 
 // RunSequence executes jobs in order (callers supply a topological order of

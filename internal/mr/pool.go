@@ -15,27 +15,27 @@ import (
 // dropped so one huge job cannot pin memory for the rest of the process.
 const poolMaxRetain = 1 << 17
 
-var keyedPool = sync.Pool{New: func() any { b := make([]keyed, 0, 256); return &b }}
+var keyedPool = sync.Pool{New: func() any { b := make([]Keyed, 0, 256); return &b }}
 
 // getKeyedBuf returns an empty keyed buffer with at least the hinted
 // capacity when the pooled one is large enough (the hint only pre-sizes, it
 // never limits).
-func getKeyedBuf(hint int) []keyed {
-	b := *keyedPool.Get().(*[]keyed)
+func getKeyedBuf(hint int) []Keyed {
+	b := *keyedPool.Get().(*[]Keyed)
 	if hint > cap(b) {
-		b = make([]keyed, 0, hint)
+		b = make([]Keyed, 0, hint)
 	}
 	return b[:0]
 }
 
 // putKeyedBuf zeroes the buffer's references and returns it to the pool.
-func putKeyedBuf(b []keyed) {
+func putKeyedBuf(b []Keyed) {
 	if cap(b) > poolMaxRetain {
 		return
 	}
 	b = b[:cap(b)]
 	for i := range b {
-		b[i] = keyed{}
+		b[i] = Keyed{}
 	}
 	b = b[:0]
 	keyedPool.Put(&b)
@@ -137,14 +137,14 @@ func getGrouper(hint int) *grouper {
 }
 
 // build ingests one run of shuffle records, preserving first-seen key order.
-func (g *grouper) build(recs []keyed) {
+func (g *grouper) build(recs []Keyed) {
 	for i := range recs {
 		k := &recs[i]
-		id, seen := g.ids[k.key]
+		id, seen := g.ids[k.Key]
 		if !seen {
 			id = int32(len(g.keys))
-			g.ids[k.key] = id
-			g.keys = append(g.keys, k.key)
+			g.ids[k.Key] = id
+			g.keys = append(g.keys, k.Key)
 			g.counts = append(g.counts, 0)
 		}
 		g.counts[id]++
@@ -162,8 +162,8 @@ func (g *grouper) build(recs []keyed) {
 	}
 	next := append([]int32(nil), g.offs...)
 	for i := range recs {
-		id := g.ids[recs[i].key]
-		g.arena[next[id]] = recs[i].row
+		id := g.ids[recs[i].Key]
+		g.arena[next[id]] = recs[i].Row
 		next[id]++
 	}
 }

@@ -50,10 +50,13 @@ type SharedScanResult struct {
 // splits; the retry is priced as if the inputs had been re-read (standalone
 // equivalence) even though no physical re-read happens.
 //
-// Consumers with fused batch kernels (Job.BatchMapFactory) run them over
-// the shared splits exactly as a standalone run would: splits are read-only
-// to map tasks, fused or not, so one consumer's execution mode never leaks
-// into another's.
+// Consumers with fused batch kernels (Job.BatchMapFactory, and the
+// reduce-side BatchCombine/BatchReduce agg kernels) run them over the
+// shared splits exactly as a standalone run would: splits are read-only to
+// map tasks, fused or not, and reduce partitions are private per consumer,
+// so one consumer's execution mode never leaks into another's. The fault
+// bypass applies here too: under an injected plan consumers fall back from
+// BatchReduce to the grouper interpreter, like standalone runs.
 //
 // RunSharedScan does not publish metrics; callers decide attribution and
 // use RecordJob. Returned relations parallel Results.

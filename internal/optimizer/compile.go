@@ -46,6 +46,14 @@ type Optimizer struct {
 	// the interpreter arm of the differential tests flip this.
 	DisableFusion bool
 
+	// DisableReduceFusion turns off reduce-side fusion only: combiners and
+	// reducers run the row-at-a-time aggPhys interpreter and partition-
+	// local grouped jobs keep their map-only kernels (no cross-boundary
+	// fusion), while map-pipeline fusion stays on. Same wall-clock-only
+	// contract as DisableFusion, which implies it. The reduce-fusion
+	// benchmarks' baseline arm flips this.
+	DisableReduceFusion bool
+
 	// Obs, when set, receives estimate-cache hit/miss counters. Planning is
 	// deterministic (and serialized by the session), so these counters are
 	// reproducible across runs.

@@ -167,14 +167,48 @@ type boundaryFactory func(ctx mr.TaskCtx) rowEmit
 // attachMapSide wires a job's map side: the interpreted MapFactory always
 // (it is the engine's fallback contract), and — iff the job classified
 // fused — a BatchMapFactory running each stream's fused program with a
-// lazily-built interpreter replay for runtime bailouts.
-func (o *Optimizer) attachMapSide(job *mr.Job, mkPipes mkPipesFn, progs []*fusedProg, bf boundaryFactory) {
+// lazily-built interpreter replay for runtime bailouts. When a cross-
+// boundary agg kernel is supplied (partition-local grouped jobs), the batch
+// map instead runs scan→filter→project→group→partial-finalize in one pass,
+// emitting already-combined records; this path is attached even when the
+// map chain alone was not fusion-eligible (a bare scan runs the identity
+// program), in which case the report claims no mr_fused_* map work.
+func (o *Optimizer) attachMapSide(job *mr.Job, mkPipes mkPipesFn, progs []*fusedProg, bf boundaryFactory, cross *aggKernel) {
 	job.MapFactory = func(ctx mr.TaskCtx) mr.MapFunc {
 		pipes := mkPipes(ctx)
 		be := bf(ctx)
 		return func(input int, r data.Row, emit mr.Emit) {
 			pipes[input](r, func(row data.Row) { be(input, row, emit) })
 		}
+	}
+	if cross != nil {
+		mapFused := job.Fused
+		job.BatchMapFactory = func(ctx mr.TaskCtx) mr.BatchMapFunc {
+			be := bf(ctx)
+			var pipes []pipeline // interpreter arm, built only on runtime bailout
+			return func(input int, rows []data.Row, emit mr.Emit) mr.BatchReport {
+				sel, bufs, ok := runFusedStages(progs[input], rows)
+				if !ok {
+					if pipes == nil {
+						pipes = mkPipes(ctx)
+					}
+					sink := func(row data.Row) { be(input, row, emit) }
+					for _, r := range rows {
+						pipes[input](r, sink)
+					}
+					return mr.BatchReport{Fallback: mapFused}
+				}
+				n := cross.batchCross(progs[input], rows, bufs, sel, emit)
+				releaseFusedBufs(sel, bufs)
+				rep := mr.BatchReport{Combined: true, CombineRows: n}
+				if mapFused {
+					rep.Fused = true
+					rep.Rows = int64(len(rows))
+				}
+				return rep
+			}
+		}
+		return
 	}
 	if !job.Fused {
 		return
@@ -290,6 +324,7 @@ func (o *Optimizer) executableJob(jn *JobNode, outName string) (*mr.Job, error) 
 	o.classifyFusion(jn, job, progs)
 
 	var bf boundaryFactory
+	var spec *aggSpec
 	var err error
 	if !o.isBoundary(boundary) {
 		// Map-only job: single stream, pipeline output is the job output.
@@ -302,7 +337,7 @@ func (o *Optimizer) executableJob(jn *JobNode, outName string) (*mr.Job, error) 
 		case plan.KindJoin:
 			bf, err = o.joinBoundary(jn, job)
 		case plan.KindGroupAgg:
-			bf, err = o.groupAggBoundary(jn, job)
+			bf, spec, err = o.groupAggBoundary(jn, job)
 		case plan.KindUDF:
 			bf, err = o.aggUDFBoundary(jn, job)
 		case plan.KindSort:
@@ -314,7 +349,8 @@ func (o *Optimizer) executableJob(jn *JobNode, outName string) (*mr.Job, error) 
 			return nil, err
 		}
 	}
-	o.attachMapSide(job, mkPipes, progs, bf)
+	cross := o.classifyReduceFusion(jn, job, spec, progs)
+	o.attachMapSide(job, mkPipes, progs, bf, cross)
 	return job, nil
 }
 
@@ -403,14 +439,14 @@ func (o *Optimizer) joinBoundary(jn *JobNode, job *mr.Job) (boundaryFactory, err
 // partials within each map split (shrinking the shuffle), and the reducer
 // merges and finalizes. All built-ins are algebraic (AVG decomposes into
 // sum+count partials).
-func (o *Optimizer) groupAggBoundary(jn *JobNode, job *mr.Job) (boundaryFactory, error) {
+func (o *Optimizer) groupAggBoundary(jn *JobNode, job *mr.Job) (boundaryFactory, *aggSpec, error) {
 	boundary := jn.Logical
 	inCols := jn.streams[0].outNode.OutCols
 	keyIdx := make([]int, len(boundary.Keys))
 	for i, k := range boundary.Keys {
 		ix, ok := indexOf(inCols, k)
 		if !ok {
-			return nil, fmt.Errorf("optimizer: group key %q missing from stream", k)
+			return nil, nil, fmt.Errorf("optimizer: group key %q missing from stream", k)
 		}
 		keyIdx[i] = ix
 	}
@@ -425,7 +461,7 @@ func (o *Optimizer) groupAggBoundary(jn *JobNode, job *mr.Job) (boundaryFactory,
 		if a.Col != "" {
 			ix, ok := indexOf(inCols, a.Col)
 			if !ok {
-				return nil, fmt.Errorf("optimizer: aggregate column %q missing from stream", a.Col)
+				return nil, nil, fmt.Errorf("optimizer: aggregate column %q missing from stream", a.Col)
 			}
 			srcIdx = ix
 		}
@@ -481,7 +517,8 @@ func (o *Optimizer) groupAggBoundary(jn *JobNode, job *mr.Job) (boundaryFactory,
 	}
 	job.CombineCost = []cost.LocalFn{{Ops: []cost.OpType{cost.OpGroup}, Scalar: 1}}
 	job.ReduceCost = []cost.LocalFn{{Ops: []cost.OpType{cost.OpGroup}, Scalar: 1}}
-	return bf, nil
+	spec := &aggSpec{keyIdx: keyIdx, nKeys: nKeys, aggs: aggs, shufW: len(shufCols), outW: nKeys + len(aggs)}
+	return bf, spec, nil
 }
 
 func keyRange(n int) []int {

@@ -67,6 +67,13 @@ type fusedFilter struct {
 	strLit bool
 	litS   string
 
+	// ltOK/eqOK/gtOK precompute expr.Holds for the three comparison
+	// outcomes, letting the fast paths compact branch-free: the row index
+	// is stored unconditionally and the write cursor advances by the
+	// verdict bit, so the selectivity of the predicate never feeds a
+	// data-dependent branch (the SIMD-friendly predicate layout).
+	ltOK, eqOK, gtOK bool
+
 	// KindAttrEq: ref == ref2.
 	ref2 colRef
 
@@ -195,6 +202,9 @@ func (o *Optimizer) buildFusedFilter(pr expr.Pred, cols []string, refs []colRef)
 		f.ref = refs[ix]
 		f.op = pr.Op
 		f.lit = pr.Lit
+		f.ltOK = expr.Holds(-1, pr.Op)
+		f.eqOK = expr.Holds(0, pr.Op)
+		f.gtOK = expr.Holds(1, pr.Op)
 		if pr.Lit.IsNumeric() {
 			f.numLit = true
 			f.litF = pr.Lit.Float()
@@ -240,27 +250,28 @@ func (f *fusedFilter) apply(rows []data.Row, bufs []*data.Col, sel []int32, argB
 	case expr.KindCmp:
 		for _, i := range sel {
 			v := readRef(rows, bufs, f.ref, i)
+			if f.numLit && v.IsNumeric() {
+				// Branch-free float64 fast path (exact: Compare widens all
+				// numeric pairs to float64, and NaN yields !lt && !gt — the
+				// c==0 outcome, just as value.Compare reports it).
+				vf := v.Float()
+				lt, gt := vf < f.litF, vf > f.litF
+				keep := (lt && f.ltOK) || (gt && f.gtOK) || (!lt && !gt && f.eqOK)
+				sel[w] = i
+				w += b2i(keep)
+				continue
+			}
 			if v.IsNull() {
 				continue
 			}
-			var c int
-			switch {
-			case f.numLit && v.IsNumeric():
-				// float64 fast path (exact: Compare widens all numeric
-				// pairs to float64).
-				vf := v.Float()
-				switch {
-				case vf < f.litF:
-					c = -1
-				case vf > f.litF:
-					c = 1
-				}
-			case f.strLit && v.Kind() == value.Str:
-				c = strings.Compare(v.Str(), f.litS)
-			default:
-				c = value.Compare(v, f.lit)
+			if f.strLit && v.Kind() == value.Str {
+				c := strings.Compare(v.Str(), f.litS)
+				keep := (c < 0 && f.ltOK) || (c > 0 && f.gtOK) || (c == 0 && f.eqOK)
+				sel[w] = i
+				w += b2i(keep)
+				continue
 			}
-			if expr.Holds(c, f.op) {
+			if expr.Holds(value.Compare(v, f.lit), f.op) {
 				sel[w] = i
 				w++
 			}
@@ -295,31 +306,34 @@ func (f *fusedFilter) apply(rows []data.Row, bufs []*data.Col, sel []int32, argB
 	return sel[:w]
 }
 
-// runFusedBatch executes a fused program over one map split, handing each
-// surviving output row to sink in input-row order. It returns false — with
-// zero rows emitted — when a UDF declared single-output produced several
-// rows at runtime; the caller then replays the whole split through the row
-// interpreter. The no-partial-emission guarantee holds by construction:
-// emission happens only in the final materialize loop, after every stage
-// ran to completion.
-func runFusedBatch(p *fusedProg, rows []data.Row, sink func(data.Row)) bool {
+// b2i is the branchless bool→int the compaction fast paths advance their
+// write cursor by (the compiler lowers it to a flag materialization, not a
+// jump).
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// runFusedStages executes a fused program's stage sequence over one map
+// split and returns the surviving selection plus the UDF output buffers
+// (both pooled; the caller materializes rows from them and then calls
+// releaseFusedBufs). ok=false — with the scratch already released — means a
+// UDF declared single-output produced several rows at runtime; nothing was
+// emitted yet, so the caller can replay the whole split through the row
+// interpreter.
+func runFusedStages(p *fusedProg, rows []data.Row) (sel []int32, bufs []*data.Col, ok bool) {
 	n := len(rows)
-	sel := mr.GetSel(n)
+	sel = mr.GetSel(n)
 	for i := 0; i < n; i++ {
 		sel = append(sel, int32(i))
 	}
-	var bufs []*data.Col
 	if p.nBufs > 0 {
 		bufs = make([]*data.Col, p.nBufs)
 		for i := range bufs {
 			bufs[i] = mr.GetCol(n)
 		}
-	}
-	release := func() {
-		for _, c := range bufs {
-			mr.PutCol(c)
-		}
-		mr.PutSel(sel)
 	}
 	var argBuf []value.V
 	for si := range p.stages {
@@ -351,11 +365,30 @@ func runFusedBatch(p *fusedProg, rows []data.Row, sink func(data.Row)) bool {
 			default:
 				// Runtime contract violation: a non-Explode UDF multi-
 				// emitted. Nothing was sunk yet; bail to the interpreter.
-				release()
-				return false
+				releaseFusedBufs(sel, bufs)
+				return nil, nil, false
 			}
 		}
 		sel = sel[:w]
+	}
+	return sel, bufs, true
+}
+
+// releaseFusedBufs returns a runFusedStages scratch set to the mr pools.
+func releaseFusedBufs(sel []int32, bufs []*data.Col) {
+	for _, c := range bufs {
+		mr.PutCol(c)
+	}
+	mr.PutSel(sel)
+}
+
+// runFusedBatch executes a fused program over one map split, handing each
+// surviving output row to sink in input-row order. It returns false — with
+// zero rows emitted — on a runtime contract violation (see runFusedStages).
+func runFusedBatch(p *fusedProg, rows []data.Row, sink func(data.Row)) bool {
+	sel, bufs, ok := runFusedStages(p, rows)
+	if !ok {
+		return false
 	}
 	width := len(p.outs)
 	for _, i := range sel {
@@ -365,6 +398,6 @@ func runFusedBatch(p *fusedProg, rows []data.Row, sink func(data.Row)) bool {
 		}
 		sink(out)
 	}
-	release()
+	releaseFusedBufs(sel, bufs)
 	return true
 }

@@ -3,6 +3,7 @@ package optimizer
 import (
 	"testing"
 
+	"opportune/internal/afk"
 	"opportune/internal/data"
 	"opportune/internal/expr"
 	"opportune/internal/mr"
@@ -67,4 +68,139 @@ func BenchmarkFusedMapChain(b *testing.B) {
 	if sunk == 0 {
 		b.Fatal("benchmark emitted nothing")
 	}
+}
+
+// BenchmarkFilterCompaction isolates the branch-free selection-vector
+// compaction (satellite of the reduce-fusion PR): a filter-only fused chain
+// whose numeric fast path compacts the selection with data-independent
+// stores, against the row interpreter evaluating the same predicate.
+func BenchmarkFilterCompaction(b *testing.B) {
+	f := newFixture(b, 20000)
+	p := plan.Filter(plan.Scan("twtr"), expr.NewCmp("tweet_id", expr.Lt, value.NewInt(10000)))
+	w, err := f.opt.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs, err := f.opt.Executable(w, "bench_cmp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	job := jobs[len(jobs)-1]
+	if job.BatchMapFactory == nil || !job.Fused {
+		b.Fatalf("filter did not fuse (fallback %q)", job.FuseFallback)
+	}
+	rel, err := f.store.Read("twtr")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := rel.Rows()
+	ctx := mr.TaskCtx{}
+	var sunk int
+	emit := func(_ string, _ data.Row) { sunk++ }
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bf := job.BatchMapFactory(ctx)
+			if rep := bf(0, rows, emit); !rep.Fused {
+				b.Fatal("kernel bailed out")
+			}
+		}
+	})
+	b.Run("interpreted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mf := job.MapFactory(ctx)
+			for _, r := range rows {
+				mf(0, r, emit)
+			}
+		}
+	})
+	if sunk == 0 {
+		b.Fatal("benchmark emitted nothing")
+	}
+}
+
+// benchAggFixture compiles one grouped plan over a hash-partitioned 20k-row
+// twtr (8 parts on user_id) with the given fusion knobs, single-worker so
+// the numbers measure CPU, not scheduling.
+func benchAggFixture(b *testing.B, disableFusion, disableReduce bool, p *plan.Node) (*fixture, []*mr.Job) {
+	b.Helper()
+	f := newFixture(b, 20000)
+	sig := afk.BaseSig("twtr", "user_id").ID()
+	f.store.SetPartitioning("twtr", []string{sig}, 8)
+	f.cat.SetPartitioning("twtr", afk.Partitioning{Sigs: []string{sig}, Parts: 8})
+	f.opt.DisableFusion = disableFusion
+	f.opt.DisableReduceFusion = disableReduce
+	f.eng.Params.SplitRows = 2048
+	f.eng.Workers = 1
+	w, err := f.opt.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs, err := f.opt.Executable(w, "bench_agg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, jobs
+}
+
+func benchRunJobs(b *testing.B, f *fixture, jobs []*mr.Job) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := f.eng.RunSequence(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// groupAggBenchPlan is the 20k-row grouped workload of the acceptance bar:
+// count, compensated sum, average, and a string max, grouped by the layout
+// key so the fused arm folds scan→group→finalize in one pass per split.
+func groupAggBenchPlan() *plan.Node {
+	return plan.GroupAgg(plan.Scan("twtr"), []string{"user_id"},
+		plan.AggSpec{Func: plan.AggCount, As: "n"},
+		plan.AggSpec{Func: plan.AggSum, Col: "tweet_id", As: "s"},
+		plan.AggSpec{Func: plan.AggAvg, Col: "tweet_id", As: "m"},
+		plan.AggSpec{Func: plan.AggMax, Col: "text", As: "hi"})
+}
+
+// BenchmarkFusedGroupAgg compares the full reduce-fused execution (columnar
+// agg kernels, cross-boundary fold) against the interpreted reduce path
+// (arena grouper + row-at-a-time combine/reduce closures) end to end over
+// identical compiled jobs.
+func BenchmarkFusedGroupAgg(b *testing.B) {
+	fF, jF := benchAggFixture(b, false, false, groupAggBenchPlan())
+	if !jF[len(jF)-1].FusedReduce || !jF[len(jF)-1].FusedCrossBoundary {
+		b.Fatal("grouped plan did not reduce-fuse across the boundary")
+	}
+	fI, jI := benchAggFixture(b, true, false, groupAggBenchPlan())
+	b.Run("fused", func(b *testing.B) { benchRunJobs(b, fF, jF) })
+	b.Run("interpreted", func(b *testing.B) { benchRunJobs(b, fI, jI) })
+}
+
+// BenchmarkPartitionLocalFusedChain stacks map work (UDF + filter) on the
+// same grouped boundary: the cross arm fuses the whole chain through the
+// now-local shuffle, the map-only arm stops the kernels at the map side
+// (DisableReduceFusion), which was the PR-9 ceiling.
+func BenchmarkPartitionLocalFusedChain(b *testing.B) {
+	chain := func() *plan.Node {
+		return plan.GroupAgg(
+			plan.Filter(plan.Apply(plan.Scan("twtr"), "UDF_WINE_SCORE", []string{"text"}),
+				expr.NewCmp("wine_score", expr.Ge, value.NewFloat(0))),
+			[]string{"user_id"},
+			plan.AggSpec{Func: plan.AggSum, Col: "wine_score", As: "s"},
+			plan.AggSpec{Func: plan.AggCount, As: "n"},
+			plan.AggSpec{Func: plan.AggAvg, Col: "tweet_id", As: "m"})
+	}
+	fC, jC := benchAggFixture(b, false, false, chain())
+	if !jC[len(jC)-1].FusedCrossBoundary {
+		b.Fatal("chain did not cross-fuse")
+	}
+	fM, jM := benchAggFixture(b, false, true, chain())
+	if !jM[len(jM)-1].Fused || jM[len(jM)-1].FusedReduce {
+		b.Fatal("map-only arm misconfigured")
+	}
+	b.Run("cross", func(b *testing.B) { benchRunJobs(b, fC, jC) })
+	b.Run("maponly", func(b *testing.B) { benchRunJobs(b, fM, jM) })
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"opportune/internal/afk"
 	"opportune/internal/cost"
 	"opportune/internal/data"
 	"opportune/internal/expr"
@@ -60,6 +61,21 @@ func fusionWorkload() []*plan.Node {
 		plan.Sort(scored(), []string{"wine_score", "tweet_id"}, []bool{true, false}, 25),
 		plan.GroupAgg(plan.Apply(plan.Scan("twtr"), "UDF_TOKENIZE", []string{"text"}),
 			[]string{"word"}, plan.AggSpec{Func: plan.AggCount, As: "n"}),
+		// Partition-local grouped aggregation on a bare scan: the layout on
+		// twtr(user_id) makes the boundary local, so the cross kernel runs
+		// over the identity program — no map operators at all.
+		plan.GroupAgg(plan.Scan("twtr"), []string{"user_id"},
+			plan.AggSpec{Func: plan.AggCount, As: "n"},
+			plan.AggSpec{Func: plan.AggMin, Col: "text", As: "lo"},
+			plan.AggSpec{Func: plan.AggMax, Col: "tweet_id", As: "hi"}),
+		// Partition-local fused chain through the boundary: the UDF+filter
+		// chain preserves the layout and the agg kernel folds the surviving
+		// selection directly (scan→filter→group→finalize in one pass).
+		plan.GroupAgg(plan.Filter(scored(), expr.NewCmp("wine_score", expr.Ge, value.NewFloat(0))),
+			[]string{"user_id"},
+			plan.AggSpec{Func: plan.AggSum, Col: "wine_score", As: "s"},
+			plan.AggSpec{Func: plan.AggAvg, Col: "tweet_id", As: "m"},
+			plan.AggSpec{Func: plan.AggMin, Col: "wine_score", As: "lo"}),
 	}
 }
 
@@ -88,6 +104,11 @@ func runFusionWorkload(t *testing.T, chaos *fault.Plan, workers, reduceTasks int
 	f.store.Put("prof", storage.Base, prof)
 	f.cat.RegisterBase("prof", []string{"uid", "grade"}, "uid",
 		cost.Stats{Rows: 10, Bytes: prof.EncodedSize()}, map[string]int64{"uid": 10})
+	// Hash layout on twtr(user_id): grouped-by-user_id queries take the
+	// partition-local path and their boundaries become cross-fusable.
+	sig := afk.BaseSig("twtr", "user_id").ID()
+	f.store.SetPartitioning("twtr", []string{sig}, 8)
+	f.cat.SetPartitioning("twtr", afk.Partitioning{Sigs: []string{sig}, Parts: 8})
 	if err := f.cat.UDFs.Register(&udf.Descriptor{
 		Name: "UDF_TOKENIZE", NArgs: 1, Kind: udf.KindMap,
 		OutNames: []string{"word"}, Explode: true,
@@ -241,6 +262,61 @@ func TestFusionDifferentialOracle(t *testing.T) {
 				}
 				if e, j := arm.snap.Counters["mr_fused_eligible_total"], arm.snap.Counters["mr_fused_jobs_total"]; e != j+fb {
 					t.Errorf("fusion family does not balance: eligible %d != jobs %d + fallback %d", e, j, fb)
+				}
+			}
+
+			// Reduce-side fusion: grouped jobs fused their combine and reduce
+			// phases and partition-local ones crossed the shuffle boundary.
+			if n := refFused.snap.Counters["mr_fused_reduce_jobs_total"]; n == 0 {
+				t.Error("fused arm compiled no reduce-fused jobs")
+			}
+			if n := refFused.snap.Counters["mr_fused_reduce_crossboundary_jobs_total"]; n == 0 {
+				t.Error("fused arm fused no partition-local job across the boundary")
+			}
+			if n := refFused.snap.Counters["mr_fused_reduce_batches_total"]; n == 0 {
+				t.Error("fused arm ran no fused combine batches")
+			}
+			if n := refFused.snap.Counters["mr_fused_reduce_runtime_fallback_total"]; n != 0 {
+				t.Errorf("fused arm recorded %d reduce runtime fallbacks, want 0", n)
+			}
+			// Scripted reduce faults recover per key-shard, which a
+			// whole-partition kernel cannot honor: chaos runs must bypass the
+			// reduce kernel (zero groups folded) while classification and the
+			// fused combiner stay on. Fault-free runs fold real groups.
+			groups := refFused.snap.Counters["mr_fused_reduce_groups_total"]
+			rows := refFused.snap.Counters["mr_fused_reduce_rows_total"]
+			if tc.plan == nil && (groups == 0 || rows == 0) {
+				t.Errorf("fault-free fused arm folded groups=%d rows=%d, want both > 0", groups, rows)
+			}
+			if tc.plan != nil && groups != 0 {
+				t.Errorf("chaos run must bypass the fused reduce kernel, folded %d groups", groups)
+			}
+			// Reason taxonomy: the wine-score aggregation carries an agg UDF,
+			// join/sort jobs have no distributive agg boundary.
+			for _, reason := range []string{"agg_udf", "unsupported_op"} {
+				if refFused.snap.Counters["mr_fused_reduce_fallback_total{reason="+reason+"}"] == 0 {
+					t.Errorf("fused arm missing reduce fallback reason %q", reason)
+				}
+			}
+			// Interpreter arm: the whole reduce family is disabled.
+			if n := refInterp.snap.Counters["mr_fused_reduce_jobs_total"]; n != 0 {
+				t.Errorf("interpreter arm compiled %d reduce-fused jobs", n)
+			}
+			rElig := refInterp.snap.Counters["mr_fused_reduce_eligible_total"]
+			rDis := refInterp.snap.Counters["mr_fused_reduce_fallback_total{reason=disabled}"]
+			if rElig == 0 || rDis != rElig {
+				t.Errorf("interpreter arm: reduce eligible %d != disabled %d", rElig, rDis)
+			}
+			// Balance rule for the reduce family on both arms.
+			for _, arm := range []fusionOutcome{refFused, refInterp} {
+				var fb int64
+				for k, v := range arm.snap.Counters {
+					if strings.HasPrefix(k, "mr_fused_reduce_fallback_total{") {
+						fb += v
+					}
+				}
+				if e, j := arm.snap.Counters["mr_fused_reduce_eligible_total"], arm.snap.Counters["mr_fused_reduce_jobs_total"]; e != j+fb {
+					t.Errorf("reduce fusion family does not balance: eligible %d != jobs %d + fallback %d", e, j, fb)
 				}
 			}
 

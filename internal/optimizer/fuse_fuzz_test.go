@@ -1,10 +1,12 @@
 package optimizer
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
 
+	"opportune/internal/afk"
 	"opportune/internal/expr"
 	"opportune/internal/plan"
 	"opportune/internal/udf"
@@ -19,6 +21,13 @@ import (
 // fallback, and the runtime bailout. Returns nil when the bytes decode to a
 // bare scan (nothing to test).
 func fuzzChain(raw []byte) *plan.Node {
+	p, _ := fuzzChainCols(raw)
+	return p
+}
+
+// fuzzChainCols is fuzzChain plus the column set left in scope after the
+// chain — what the agg fuzzer needs to pick valid group keys and agg inputs.
+func fuzzChainCols(raw []byte) (*plan.Node, []string) {
 	p := plan.Scan("twtr")
 	cols := []string{"tweet_id", "user_id", "text"}
 	nOps := 0
@@ -85,9 +94,61 @@ func fuzzChain(raw []byte) *plan.Node {
 		nOps++
 	}
 	if nOps == 0 {
+		return nil, nil
+	}
+	return p, cols
+}
+
+// fuzzAggChain decodes a map chain plus a trailing GroupAgg: the last three
+// bytes choose the group keys and two aggregates over whatever columns the
+// chain left in scope (SUM/AVG restricted to numeric columns — a mistyped
+// aggregate is a compile- or run-time error on both arms, not a fusion
+// difference worth fuzzing). Grouping by user_id over a chain that keeps it
+// reaches the cross-boundary kernel; other keys reach the plain combine +
+// reduce kernels; explode/violator ops in the chain reach the fallback and
+// bailout paths under a grouped boundary.
+func fuzzAggChain(raw []byte) *plan.Node {
+	if len(raw) < 3 {
 		return nil
 	}
-	return p
+	p, cols := fuzzChainCols(raw[:len(raw)-3])
+	if p == nil {
+		p, cols = plan.Scan("twtr"), []string{"tweet_id", "user_id", "text"}
+	}
+	tail := raw[len(raw)-3:]
+	numeric := map[string]bool{"tweet_id": true, "user_id": true, "fz_len": true, "fz_keep": true, "fz_v": true}
+	keys := []string{cols[int(tail[0])%len(cols)]}
+	if tail[0] >= 128 && len(cols) > 1 {
+		if second := cols[int(tail[0]/8)%len(cols)]; second != keys[0] {
+			keys = append(keys, second)
+		}
+	}
+	var aggs []plan.AggSpec
+	for ai, b := range tail[1:] {
+		as := fmt.Sprintf("za%d", ai)
+		col := cols[int(b/8)%len(cols)]
+		switch b % 5 {
+		case 0:
+			aggs = append(aggs, plan.AggSpec{Func: plan.AggCount, As: as})
+		case 1:
+			if numeric[col] {
+				aggs = append(aggs, plan.AggSpec{Func: plan.AggSum, Col: col, As: as})
+			} else {
+				aggs = append(aggs, plan.AggSpec{Func: plan.AggMin, Col: col, As: as})
+			}
+		case 2:
+			if numeric[col] {
+				aggs = append(aggs, plan.AggSpec{Func: plan.AggAvg, Col: col, As: as})
+			} else {
+				aggs = append(aggs, plan.AggSpec{Func: plan.AggMax, Col: col, As: as})
+			}
+		case 3:
+			aggs = append(aggs, plan.AggSpec{Func: plan.AggMin, Col: col, As: as})
+		default:
+			aggs = append(aggs, plan.AggSpec{Func: plan.AggMax, Col: col, As: as})
+		}
+	}
+	return plan.GroupAgg(p, keys, aggs...)
 }
 
 // fuzzFixture registers the fuzz UDF/predicate set on a fresh fixture arm.
@@ -130,6 +191,11 @@ func fuzzFixture(t testing.TB, disable bool) *fixture {
 	f.opt.Eval.RegisterOpaque("fz_sel", func(args []value.V) bool {
 		return len(args[0].String())%3 != 0
 	})
+	// Hash layout on twtr(user_id): grouped chains keyed by user_id become
+	// partition-local, putting the cross-boundary kernel in the fuzz space.
+	sig := afk.BaseSig("twtr", "user_id").ID()
+	f.store.SetPartitioning("twtr", []string{sig}, 4)
+	f.cat.SetPartitioning("twtr", afk.Partitioning{Sigs: []string{sig}, Parts: 4})
 	f.opt.DisableFusion = disable
 	f.eng.Params.SplitRows = 32 // several map splits per run
 	return f
@@ -194,6 +260,42 @@ func FuzzFusedPipeline(f *testing.F) {
 		}
 		if !reflect.DeepEqual(fused, interp) {
 			t.Fatalf("fused and interpreted outputs diverge\nfused:  %v\ninterp: %v", fused, interp)
+		}
+	})
+}
+
+// FuzzFusedAgg extends the differential fuzzer through the reduce side:
+// every generated chain ends in a GroupAgg, so the combine and reduce
+// kernels — and, when the group key matches the twtr layout, the
+// cross-boundary kernel — must reproduce the interpreter's grouped output
+// row for row in the grouper's deterministic order.
+func FuzzFusedAgg(f *testing.F) {
+	// Seeds: bare-scan group by user_id (cross-boundary), group by text,
+	// filter then group, UDF chain then group, two-key group, explode and
+	// violator chains under a grouped boundary.
+	f.Add([]byte{0x01, 0x00, 0x09})                   // scan, key=user_id, count+sum
+	f.Add([]byte{0x02, 0x01, 0x14})                   // scan, key=text, sum+avg-ish
+	f.Add([]byte{0x01, 0x21, 0x01, 0x05, 0x11})       // cmp filter, key=user_id
+	f.Add([]byte{0x04, 0x02, 0x00, 0x1b, 0x0e})       // fz_len UDF then group
+	f.Add([]byte{0x00, 0x07, 0x81, 0x02, 0x23})       // project, two group keys
+	f.Add([]byte{0x07, 0x02, 0x01, 0x00, 0x07})       // explode then group
+	f.Add([]byte{0x06, 0x02, 0x01, 0x0a, 0x18})       // violator then group
+	f.Add([]byte{0x03, 0x02, 0x05, 0x01, 0x01, 0x12}) // opaque, maybe-UDF, group
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p := fuzzAggChain(raw)
+		if p == nil {
+			return
+		}
+		fused, okF := runFuzzChain(t, false, p)
+		interp, okI := runFuzzChain(t, true, p)
+		if okF != okI {
+			t.Fatalf("arms disagree on compilability: fused=%v interp=%v", okF, okI)
+		}
+		if !okF {
+			return
+		}
+		if !reflect.DeepEqual(fused, interp) {
+			t.Fatalf("fused and interpreted grouped outputs diverge\nfused:  %v\ninterp: %v", fused, interp)
 		}
 	})
 }

@@ -1,0 +1,563 @@
+// Reduce-side fusion: compile the combiner and reducer of a grouped
+// aggregation into columnar agg kernels instead of interpreting aggPhys
+// folds row by row (the second half of the Tupleware direction — PR 9 fused
+// the map side, this fuses the aggregation).
+//
+//   - The combine kernel folds one map task's emissions straight into typed
+//     accumulator columns (int64 counts, float64 Neumaier sum+compensation
+//     pairs, value.V extrema) drawn from the pooled mr column buffers,
+//     grouped by dense id over the already-encoded keys with run-detection
+//     for adjacent equal keys — no grouper arena, no per-row partial
+//     Clone/merge, no re-boxing until the one combined record per group.
+//   - The reduce kernel folds a whole reduce partition the same way and
+//     emits finalized output rows with keys in ascending order — exactly
+//     the order grouper.sortKeys + the k-way merge would produce.
+//   - For partition-local keyed jobs the shuffle boundary is local, so the
+//     cross-boundary kernel runs the combine fold directly over the fused
+//     map pipeline's surviving selection: scan→filter→project→group→
+//     partial-finalize in one pass, with no per-row partial row ever built.
+//
+// Bit-identity with the interpreter is by construction: the SUM/AVG float
+// fold replicates value.Kahan's Neumaier recurrence operation for
+// operation in the same order aggPhys.foldSum visits rows, COUNT/AVG-count
+// are exact integer sums, and MIN/MAX replay merge's null-skipping
+// value.Compare replacement. A record whose partial state disagrees with
+// the compiled layout aborts the batch pre-emission and the interpreter
+// replays it (the runtime-fallback contract shared with map fusion).
+package optimizer
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"sync"
+
+	"opportune/internal/data"
+	"opportune/internal/mr"
+	"opportune/internal/plan"
+	"opportune/internal/value"
+)
+
+// aggSpec is the physical layout of one groupAgg boundary: where the group
+// keys live in the boundary-input row, the aggregate list with partial
+// offsets (aggPhys), and the widths of the shuffle and output rows the
+// kernels must produce.
+type aggSpec struct {
+	keyIdx []int // boundary-input column indices of the group keys
+	nKeys  int
+	aggs   []aggPhys
+	shufW  int // shuffle-record width: keys + partial columns
+	outW   int // output-row width: keys + one column per aggregate
+}
+
+// distributive reports whether every aggregate folds over fixed-width
+// partial state the kernels specialize on. All current built-ins qualify;
+// the default arm is the nondistributive_agg classification guard for any
+// future holistic aggregate (MEDIAN, exact COUNT DISTINCT, ...).
+func (s *aggSpec) distributive() bool {
+	for _, a := range s.aggs {
+		switch a.fn {
+		case plan.AggCount, plan.AggSum, plan.AggAvg, plan.AggMin, plan.AggMax:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// classifyReduceFusion stamps the job's reduce-side fusion classification
+// and, when the job qualifies, attaches the fused combine/reduce kernels.
+// It returns the cross-boundary kernel for partition-local grouped jobs
+// (nil otherwise). Mirrors classifyFusion: never errors, and every
+// eligible-but-not-fused job carries exactly one fallback reason.
+func (o *Optimizer) classifyReduceFusion(jn *JobNode, job *mr.Job, spec *aggSpec, progs []*fusedProg) *aggKernel {
+	if job.Reduce == nil {
+		return nil // map-only: no reduce side to fuse
+	}
+	job.FusedReduceEligible = true
+	reason := ""
+	switch {
+	case o.DisableFusion || o.DisableReduceFusion:
+		reason = mr.FuseDisabled
+	case jn.Logical.Kind == plan.KindUDF:
+		// Aggregate-UDF reducers run opaque user code over raw payload
+		// rows; there is no typed partial state to specialize on.
+		reason = mr.FuseAggUDF
+	case spec == nil:
+		reason = mr.FuseUnsupportedOp // join, sort: not an agg fold
+	case !spec.distributive():
+		reason = mr.FuseNondistributiveAgg
+	case spec.shufW != job.MapOutSchema.Len() || spec.outW != len(jn.OutCols):
+		reason = mr.FuseSchemaMismatch
+	}
+	if reason != "" {
+		job.FusedReduceFallback = reason
+		return nil
+	}
+	job.FusedReduce = true
+	k := &aggKernel{spec: spec}
+	if job.Combine != nil {
+		job.BatchCombine = k.batchCombine
+	}
+	job.BatchReduce = k.batchReduce
+	// Cross-shuffle fusion: a partition-local keyed job keeps every group's
+	// rows inside the split's local route, so the map kernel can run the
+	// combine fold in the same pass over its surviving selection. Requires
+	// a combiner (the fold it replaces), a single stream with a compiled
+	// program (bare scans carry the identity program), and the layout
+	// match. Byte-identity needs none of these conditions — combined
+	// per-split output is what the interpreted combiner produces anyway —
+	// but the partition-local case is where the boundary is provably local.
+	if job.Combine != nil && job.PartitionKeyCols > 0 && job.PartitionParts > 0 &&
+		len(jn.streams) == 1 && progs[0] != nil {
+		job.FusedCrossBoundary = true
+		return k
+	}
+	return nil
+}
+
+// idsPool recycles the dense-group-id maps the kernels group with.
+// Lookups with a []byte-to-string conversion key do not allocate; only a
+// genuinely new group pays for the string.
+var idsPool = sync.Pool{New: func() any { return make(map[string]int32, 64) }}
+
+func getIDMap() map[string]int32  { return idsPool.Get().(map[string]int32) }
+func putIDMap(m map[string]int32) { clear(m); idsPool.Put(m) }
+
+// aggKernel is one groupAgg job's compiled reduce-side kernel set. It is
+// stateless across invocations (per-batch state lives in aggAccs), so one
+// kernel serves concurrent map tasks and reduce partitions.
+type aggKernel struct {
+	spec *aggSpec
+}
+
+// aggAccs is one batch invocation's accumulator state: per-aggregate typed
+// columns over dense group ids, drawn from the pooled mr column buffers.
+// For SUM and AVG the sum is carried as a (running sum, compensation) pair
+// replicating value.Kahan's fields; COUNT and AVG's count are exact int64
+// sums; MIN/MAX carry the raw running extremum.
+type aggAccs struct {
+	spec  *aggSpec
+	cols  []*data.Col
+	cnts  [][]int64
+	sums  [][]float64
+	comps [][]float64
+	vals  [][]value.V
+}
+
+func newAggAccs(spec *aggSpec, n int) *aggAccs {
+	st := &aggAccs{
+		spec:  spec,
+		cnts:  make([][]int64, len(spec.aggs)),
+		sums:  make([][]float64, len(spec.aggs)),
+		comps: make([][]float64, len(spec.aggs)),
+		vals:  make([][]value.V, len(spec.aggs)),
+	}
+	grab := func() *data.Col {
+		c := mr.GetCol(n)
+		st.cols = append(st.cols, c)
+		return c
+	}
+	for i, a := range spec.aggs {
+		switch a.fn {
+		case plan.AggCount:
+			st.cnts[i] = grab().IntAcc(n)
+		case plan.AggSum:
+			st.sums[i] = grab().FloatAcc(n)
+			st.comps[i] = grab().FloatAcc(n)
+		case plan.AggAvg:
+			st.sums[i] = grab().FloatAcc(n)
+			st.comps[i] = grab().FloatAcc(n)
+			st.cnts[i] = grab().IntAcc(n)
+		case plan.AggMin, plan.AggMax:
+			st.vals[i] = grab().ValAcc(n)
+		}
+	}
+	return st
+}
+
+func (st *aggAccs) release() {
+	for _, c := range st.cols {
+		mr.PutCol(c)
+	}
+}
+
+// addSum runs one step of value.Kahan's Neumaier recurrence on group g's
+// (sum, compensation) pair — the same operations in the same order, so the
+// final sum+comp is bit-identical to Kahan.Add folds over the same values.
+func (st *aggAccs) addSum(i, g int, x float64) {
+	s := st.sums[i][g]
+	t := s + x
+	if math.Abs(s) >= math.Abs(x) {
+		st.comps[i][g] += (s - t) + x
+	} else {
+		st.comps[i][g] += (x - t) + s
+	}
+	st.sums[i][g] = t
+}
+
+// sumKind reports whether a partial value may feed the float fold the way
+// aggPhys.merge/foldSum would (they call Float(), which accepts numeric
+// kinds and panics otherwise — a layout violation the kernel instead
+// surfaces as a pre-emission bailout so the interpreter owns the outcome).
+func sumKind(v value.V) bool { return v.IsNumeric() }
+
+// initPartial seeds group g from its first partial record. Seeding the sum
+// with the value and zero compensation is bit-identical to Kahan.Add on a
+// zero accumulator: t = 0+x = x and both compensation branches add exact
+// zeros.
+func (st *aggAccs) initPartial(g int, rec data.Row) bool {
+	for i, a := range st.spec.aggs {
+		switch a.fn {
+		case plan.AggCount:
+			if rec[a.off].Kind() != value.Int {
+				return false
+			}
+			st.cnts[i][g] = rec[a.off].Int()
+		case plan.AggSum:
+			if !sumKind(rec[a.off]) {
+				return false
+			}
+			st.sums[i][g] = rec[a.off].Float()
+		case plan.AggAvg:
+			if !sumKind(rec[a.off]) || rec[a.off+1].Kind() != value.Int {
+				return false
+			}
+			st.sums[i][g] = rec[a.off].Float()
+			st.cnts[i][g] = rec[a.off+1].Int()
+		case plan.AggMin, plan.AggMax:
+			st.vals[i][g] = rec[a.off]
+		}
+	}
+	return true
+}
+
+// mergePartial folds one more partial record into group g — aggPhys.merge
+// plus the foldSum pass, fused: counts add exactly, sums run the Neumaier
+// step, extrema replay the null-skipping Compare replacement.
+func (st *aggAccs) mergePartial(g int, rec data.Row) bool {
+	for i, a := range st.spec.aggs {
+		switch a.fn {
+		case plan.AggCount:
+			if rec[a.off].Kind() != value.Int {
+				return false
+			}
+			st.cnts[i][g] += rec[a.off].Int()
+		case plan.AggSum:
+			if !sumKind(rec[a.off]) {
+				return false
+			}
+			st.addSum(i, g, rec[a.off].Float())
+		case plan.AggAvg:
+			if !sumKind(rec[a.off]) || rec[a.off+1].Kind() != value.Int {
+				return false
+			}
+			st.addSum(i, g, rec[a.off].Float())
+			st.cnts[i][g] += rec[a.off+1].Int()
+		case plan.AggMin, plan.AggMax:
+			v := rec[a.off]
+			if v.IsNull() {
+				continue
+			}
+			cur := st.vals[i][g]
+			if cur.IsNull() ||
+				(a.fn == plan.AggMin && value.Compare(v, cur) < 0) ||
+				(a.fn == plan.AggMax && value.Compare(v, cur) > 0) {
+				st.vals[i][g] = v
+			}
+		}
+	}
+	return true
+}
+
+// appendPartials appends group g's combined partial state in shuffle-record
+// layout (what the interpreted combiner emits for the group).
+func (st *aggAccs) appendPartials(out data.Row, g int) data.Row {
+	for i, a := range st.spec.aggs {
+		switch a.fn {
+		case plan.AggCount:
+			out = append(out, value.NewInt(st.cnts[i][g]))
+		case plan.AggSum:
+			out = append(out, value.NewFloat(st.sums[i][g]+st.comps[i][g]))
+		case plan.AggAvg:
+			out = append(out, value.NewFloat(st.sums[i][g]+st.comps[i][g]), value.NewInt(st.cnts[i][g]))
+		case plan.AggMin, plan.AggMax:
+			out = append(out, st.vals[i][g])
+		}
+	}
+	return out
+}
+
+// finalRow builds group g's finalized output row: keys from the group's
+// first record, then aggPhys.finalize per aggregate (AVG of an all-null
+// group is Null, like the interpreter).
+func (st *aggAccs) finalRow(first data.Row, g int) data.Row {
+	out := make(data.Row, 0, st.spec.outW)
+	out = append(out, first[:st.spec.nKeys]...)
+	for i, a := range st.spec.aggs {
+		switch a.fn {
+		case plan.AggCount:
+			out = append(out, value.NewInt(st.cnts[i][g]))
+		case plan.AggSum:
+			out = append(out, value.NewFloat(st.sums[i][g]+st.comps[i][g]))
+		case plan.AggAvg:
+			n := st.cnts[i][g]
+			if n == 0 {
+				out = append(out, value.NullV)
+			} else {
+				out = append(out, value.NewFloat((st.sums[i][g]+st.comps[i][g])/float64(n)))
+			}
+		case plan.AggMin, plan.AggMax:
+			out = append(out, st.vals[i][g])
+		}
+	}
+	return out
+}
+
+// batchCombine is the fused combiner (mr.Job.BatchCombine): it folds one
+// map task's emissions into accumulator columns and appends one combined
+// record per group to scratch, in first-emission order — the grouper's
+// order. Group keys reuse the records' already-encoded key strings, so the
+// combine pass allocates nothing per row.
+func (k *aggKernel) batchCombine(in, scratch []mr.Keyed) ([]mr.Keyed, int64, bool) {
+	spec := k.spec
+	st := newAggAccs(spec, len(in))
+	ids := getIDMap()
+	firsts := mr.GetSel(len(in))
+	bail := func() ([]mr.Keyed, int64, bool) {
+		st.release()
+		putIDMap(ids)
+		mr.PutSel(firsts)
+		return scratch, 0, false
+	}
+	ng := 0
+	prevKey := ""
+	prevID := int32(-1)
+	for ri := range in {
+		rec := &in[ri]
+		if len(rec.Row) != spec.shufW {
+			return bail()
+		}
+		var g int32
+		if prevID >= 0 && rec.Key == prevKey {
+			// Run detection: clustered inputs emit long runs of one key;
+			// adjacent equal keys skip the map entirely.
+			g = prevID
+		} else if id, ok := ids[rec.Key]; ok {
+			g = id
+		} else {
+			g = int32(ng)
+			ng++
+			ids[rec.Key] = g
+			firsts = append(firsts, int32(ri))
+			prevKey, prevID = rec.Key, g
+			if !st.initPartial(int(g), rec.Row) {
+				return bail()
+			}
+			continue
+		}
+		prevKey, prevID = rec.Key, g
+		if !st.mergePartial(int(g), rec.Row) {
+			return bail()
+		}
+	}
+	for g := 0; g < ng; g++ {
+		first := &in[firsts[g]]
+		out := make(data.Row, 0, spec.shufW)
+		out = append(out, first.Row[:spec.nKeys]...)
+		scratch = append(scratch, mr.Keyed{Key: first.Key, Row: st.appendPartials(out, g)})
+	}
+	st.release()
+	putIDMap(ids)
+	mr.PutSel(firsts)
+	return scratch, int64(len(in)), true
+}
+
+// batchReduce is the fused reduce kernel (mr.Job.BatchReduce): it folds one
+// whole reduce partition and emits finalized rows with keys in ascending
+// order, matching grouper.sortKeys + the engine's k-way merge. All folding
+// happens before the first emission, so a layout bailout is always
+// pre-emission.
+func (k *aggKernel) batchReduce(recs []mr.Keyed, emit mr.Emit) bool {
+	spec := k.spec
+	st := newAggAccs(spec, len(recs))
+	ids := getIDMap()
+	firsts := mr.GetSel(len(recs))
+	bail := func() bool {
+		st.release()
+		putIDMap(ids)
+		mr.PutSel(firsts)
+		return false
+	}
+	ng := 0
+	prevKey := ""
+	prevID := int32(-1)
+	for ri := range recs {
+		rec := &recs[ri]
+		if len(rec.Row) != spec.shufW {
+			return bail()
+		}
+		var g int32
+		if prevID >= 0 && rec.Key == prevKey {
+			g = prevID
+		} else if id, ok := ids[rec.Key]; ok {
+			g = id
+		} else {
+			g = int32(ng)
+			ng++
+			ids[rec.Key] = g
+			firsts = append(firsts, int32(ri))
+			prevKey, prevID = rec.Key, g
+			if !st.initPartial(int(g), rec.Row) {
+				return bail()
+			}
+			continue
+		}
+		prevKey, prevID = rec.Key, g
+		if !st.mergePartial(int(g), rec.Row) {
+			return bail()
+		}
+	}
+	sorted := make([]string, 0, ng)
+	for key := range ids {
+		sorted = append(sorted, key)
+	}
+	sort.Strings(sorted)
+	for _, key := range sorted {
+		g := ids[key]
+		emit(key, st.finalRow(recs[firsts[g]].Row, int(g)))
+	}
+	st.release()
+	putIDMap(ids)
+	mr.PutSel(firsts)
+	return true
+}
+
+// batchCross runs the combine fold directly over a fused map pipeline's
+// surviving selection — the cross-shuffle kernel for partition-local jobs.
+// Group keys are encoded once per new group via value.AppendKey into a
+// reused byte buffer (map lookups on the []byte view never allocate), and
+// aggregate inputs fold with initPartials semantics (COUNT skips nulls, SUM
+// and AVG treat null as +0 / uncounted, MIN/MAX seed with the raw first
+// value). Emits one combined record per group in first-seen order and
+// returns the pre-combine row count (the surviving selection's length).
+// Stage execution already succeeded, so there is no bailout here: partial
+// state is built by this kernel, never parsed from records.
+func (k *aggKernel) batchCross(p *fusedProg, rows []data.Row, bufs []*data.Col, sel []int32, emit mr.Emit) int64 {
+	spec := k.spec
+	st := newAggAccs(spec, len(sel))
+	ids := getIDMap()
+	firsts := mr.GetSel(len(sel))
+	keys := make([]string, 0, 64)
+	var keyBuf, prevBuf []byte
+	ng := 0
+	prevID := int32(-1)
+	for _, i := range sel {
+		keyBuf = keyBuf[:0]
+		for _, kx := range spec.keyIdx {
+			keyBuf = readRef(rows, bufs, p.outs[kx], i).AppendKey(keyBuf)
+		}
+		var g int32
+		if prevID >= 0 && bytes.Equal(keyBuf, prevBuf) {
+			g = prevID
+		} else if id, ok := ids[string(keyBuf)]; ok {
+			g = id
+		} else {
+			g = int32(ng)
+			ng++
+			ks := string(keyBuf)
+			ids[ks] = g
+			keys = append(keys, ks)
+			firsts = append(firsts, i)
+			prevID = g
+			keyBuf, prevBuf = prevBuf, keyBuf
+			st.crossInit(rows, bufs, p, int(g), i)
+			continue
+		}
+		prevID = g
+		keyBuf, prevBuf = prevBuf, keyBuf
+		st.crossMerge(rows, bufs, p, int(g), i)
+	}
+	for g := 0; g < ng; g++ {
+		first := firsts[g]
+		out := make(data.Row, 0, spec.shufW)
+		for _, kx := range spec.keyIdx {
+			out = append(out, readRef(rows, bufs, p.outs[kx], first))
+		}
+		emit(keys[g], st.appendPartials(out, g))
+	}
+	st.release()
+	putIDMap(ids)
+	mr.PutSel(firsts)
+	return int64(len(sel))
+}
+
+// crossSrc resolves aggregate a's input value for batch row i (Null for
+// COUNT(*)'s absent column).
+func crossSrc(rows []data.Row, bufs []*data.Col, p *fusedProg, a aggPhys, i int32) value.V {
+	if a.src < 0 {
+		return value.NullV
+	}
+	return readRef(rows, bufs, p.outs[a.src], i)
+}
+
+// crossInit seeds group g from source row i with aggPhys.initPartials
+// semantics (the per-row partial the interpreted map would have emitted).
+func (st *aggAccs) crossInit(rows []data.Row, bufs []*data.Col, p *fusedProg, g int, i int32) {
+	for ai, a := range st.spec.aggs {
+		switch a.fn {
+		case plan.AggCount:
+			if a.src < 0 || !crossSrc(rows, bufs, p, a, i).IsNull() {
+				st.cnts[ai][g] = 1
+			}
+		case plan.AggSum:
+			if v := crossSrc(rows, bufs, p, a, i); !v.IsNull() {
+				st.sums[ai][g] = v.Float()
+			}
+		case plan.AggAvg:
+			if v := crossSrc(rows, bufs, p, a, i); !v.IsNull() {
+				st.sums[ai][g] = v.Float()
+				st.cnts[ai][g] = 1
+			}
+		case plan.AggMin, plan.AggMax:
+			st.vals[ai][g] = crossSrc(rows, bufs, p, a, i)
+		}
+	}
+}
+
+// crossMerge folds source row i into group g: initPartials + merge +
+// foldSum collapsed into one step per aggregate.
+func (st *aggAccs) crossMerge(rows []data.Row, bufs []*data.Col, p *fusedProg, g int, i int32) {
+	for ai, a := range st.spec.aggs {
+		switch a.fn {
+		case plan.AggCount:
+			if a.src < 0 || !crossSrc(rows, bufs, p, a, i).IsNull() {
+				st.cnts[ai][g]++
+			}
+		case plan.AggSum:
+			x := 0.0
+			if v := crossSrc(rows, bufs, p, a, i); !v.IsNull() {
+				x = v.Float()
+			}
+			st.addSum(ai, g, x)
+		case plan.AggAvg:
+			x := 0.0
+			if v := crossSrc(rows, bufs, p, a, i); !v.IsNull() {
+				x = v.Float()
+				st.cnts[ai][g]++
+			}
+			st.addSum(ai, g, x)
+		case plan.AggMin, plan.AggMax:
+			v := crossSrc(rows, bufs, p, a, i)
+			if v.IsNull() {
+				continue
+			}
+			cur := st.vals[ai][g]
+			if cur.IsNull() ||
+				(a.fn == plan.AggMin && value.Compare(v, cur) < 0) ||
+				(a.fn == plan.AggMax && value.Compare(v, cur) > 0) {
+				st.vals[ai][g] = v
+			}
+		}
+	}
+}

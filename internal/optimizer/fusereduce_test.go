@@ -1,0 +1,275 @@
+package optimizer
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"opportune/internal/afk"
+	"opportune/internal/cost"
+	"opportune/internal/data"
+	"opportune/internal/mr"
+	"opportune/internal/obs"
+	"opportune/internal/plan"
+	"opportune/internal/storage"
+	"opportune/internal/value"
+)
+
+// reduceFusionArm selects which fusion layers are active for a run.
+type reduceFusionArm int
+
+const (
+	armFull        reduceFusionArm = iota // map + reduce + cross fusion
+	armMapOnly                            // DisableReduceFusion: PR-9 map kernels only
+	armInterpreter                        // DisableFusion: row interpreter everywhere
+)
+
+// runReduceFusionPlan executes one plan on a fresh partitioned fixture
+// (twtr hash-distributed on user_id, 8 parts) and returns the encoded
+// output rows, the per-job results, and the counter snapshot.
+func runReduceFusionPlan(t *testing.T, arm reduceFusionArm, p *plan.Node) ([][]string, []*mr.Result, map[string]int64) {
+	t.Helper()
+	f := newFixture(t, 1000)
+	sig := afk.BaseSig("twtr", "user_id").ID()
+	f.store.SetPartitioning("twtr", []string{sig}, 8)
+	f.cat.SetPartitioning("twtr", afk.Partitioning{Sigs: []string{sig}, Parts: 8})
+	switch arm {
+	case armMapOnly:
+		f.opt.DisableReduceFusion = true
+	case armInterpreter:
+		f.opt.DisableFusion = true
+	}
+	f.eng.Params.SplitRows = 64
+	f.eng.Params.ReduceTasks = 3
+	f.eng.Workers = 4
+	reg := obs.NewRegistry()
+	f.eng.Obs = reg
+	f.store.SetObs(reg)
+	w, err := f.opt.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := f.opt.Executable(w, "rf_res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := f.eng.RunSequence(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := f.store.Read("rf_res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]string
+	for _, r := range rel.Rows() {
+		enc := make([]string, len(r))
+		for i, v := range r {
+			enc[i] = v.String()
+		}
+		rows = append(rows, enc)
+	}
+	return rows, results, reg.Snapshot().Counters
+}
+
+// groupByUserPlan aggregates twtr by its layout key: partition-local, so
+// the full arm fuses scan→group→finalize across the boundary.
+func groupByUserPlan() *plan.Node {
+	return plan.GroupAgg(plan.Scan("twtr"), []string{"user_id"},
+		plan.AggSpec{Func: plan.AggCount, As: "n"},
+		plan.AggSpec{Func: plan.AggSum, Col: "tweet_id", As: "s"},
+		plan.AggSpec{Func: plan.AggMin, Col: "text", As: "lo"})
+}
+
+// TestFusedCombineRowsParity is the PR's bugfix pin: map-side combine
+// accounting must be byte-for-byte identical whether the combine fold ran
+// through the grouper interpreter, the columnar combine kernel, or the
+// cross-boundary map kernel — mr_combine_rows_total is an accounting
+// counter, not an execution-strategy counter.
+func TestFusedCombineRowsParity(t *testing.T) {
+	p := groupByUserPlan()
+	rowsFull, resFull, cFull := runReduceFusionPlan(t, armFull, p)
+	rowsMap, resMap, cMap := runReduceFusionPlan(t, armMapOnly, p)
+	rowsInt, resInt, cInt := runReduceFusionPlan(t, armInterpreter, p)
+
+	if !reflect.DeepEqual(rowsFull, rowsMap) || !reflect.DeepEqual(rowsFull, rowsInt) {
+		t.Fatalf("output rows differ across arms:\nfull  %v\nmap   %v\ninterp %v", rowsFull, rowsMap, rowsInt)
+	}
+	if cInt["mr_combine_rows_total"] == 0 {
+		t.Fatal("workload exercised no combiner")
+	}
+	if cFull["mr_combine_rows_total"] != cInt["mr_combine_rows_total"] ||
+		cMap["mr_combine_rows_total"] != cInt["mr_combine_rows_total"] {
+		t.Errorf("mr_combine_rows_total diverges: full=%d map-only=%d interp=%d",
+			cFull["mr_combine_rows_total"], cMap["mr_combine_rows_total"], cInt["mr_combine_rows_total"])
+	}
+	for i := range resInt {
+		if resFull[i].CombineRows != resInt[i].CombineRows || resMap[i].CombineRows != resInt[i].CombineRows {
+			t.Errorf("job %d CombineRows diverges: full=%d map-only=%d interp=%d",
+				i, resFull[i].CombineRows, resMap[i].CombineRows, resInt[i].CombineRows)
+		}
+	}
+	// The full arm really crossed the boundary; the map-only arm classified
+	// the reduce side out with reason=disabled but kept map fusion.
+	if cFull["mr_fused_reduce_crossboundary_jobs_total"] == 0 {
+		t.Error("full arm did not cross-fuse the partition-local job")
+	}
+	if cMap["mr_fused_reduce_jobs_total"] != 0 {
+		t.Error("map-only arm compiled reduce kernels despite DisableReduceFusion")
+	}
+	if cMap["mr_fused_reduce_fallback_total{reason=disabled}"] == 0 {
+		t.Error("map-only arm did not record reason=disabled for the reduce side")
+	}
+}
+
+// registerAdversarialFloats installs a base table whose float column is
+// built to expose naive summation: alternating huge and tiny magnitudes
+// whose compensated sum differs from the naive fold by many ULPs.
+func registerAdversarialFloats(f *fixture) []float64 {
+	vals := []float64{1e16, 3.14159, -1e16, 2.718281828, 1e-8, -1.0, 0.1, 1e12, -1e12, 7.5}
+	rel := data.NewRelation(data.NewSchema("k", "x"))
+	xs := make([]float64, 0, 200)
+	for i := 0; i < 200; i++ {
+		x := vals[i%len(vals)] * float64(1+i/len(vals))
+		xs = append(xs, x)
+		rel.Append(data.Row{value.NewStr("g"), value.NewFloat(x)})
+	}
+	f.store.Put("adv", storage.Base, rel)
+	f.cat.RegisterBase("adv", []string{"k", "x"}, "k",
+		cost.Stats{Rows: 200, Bytes: rel.EncodedSize()}, map[string]int64{"k": 1})
+	return xs
+}
+
+// TestFusedSumMatchesKahanFold is the fractional-SUM ULP oracle: the fused
+// kernels must reproduce the interpreter's Neumaier-compensated fold
+// bit-for-bit — same per-split partials, same merge order — which an
+// explicit value.Kahan replay of the split+combine structure pins exactly.
+func TestFusedSumMatchesKahanFold(t *testing.T) {
+	const splitRows = 64
+	run := func(disable bool) (float64, float64) {
+		f := newFixture(t, 10)
+		registerAdversarialFloats(f)
+		f.opt.DisableFusion = disable
+		f.eng.Params.SplitRows = splitRows
+		f.eng.Params.ReduceTasks = 3
+		f.eng.Workers = 4
+		p := plan.GroupAgg(plan.Scan("adv"), []string{"k"},
+			plan.AggSpec{Func: plan.AggSum, Col: "x", As: "s"},
+			plan.AggSpec{Func: plan.AggAvg, Col: "x", As: "m"})
+		w, err := f.opt.Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs, err := f.opt.Executable(w, "adv_res")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := f.eng.RunSequence(jobs); err != nil {
+			t.Fatal(err)
+		}
+		rel, err := f.store.Read("adv_res")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := rel.Rows()
+		if len(rows) != 1 {
+			t.Fatalf("groups = %d, want 1", len(rows))
+		}
+		return rows[0][1].Float(), rows[0][2].Float()
+	}
+	sumF, avgF := run(false)
+	sumI, avgI := run(true)
+	if math.Float64bits(sumF) != math.Float64bits(sumI) {
+		t.Errorf("SUM bits diverge: fused %x (%v) interp %x (%v)",
+			math.Float64bits(sumF), sumF, math.Float64bits(sumI), sumI)
+	}
+	if math.Float64bits(avgF) != math.Float64bits(avgI) {
+		t.Errorf("AVG bits diverge: fused %x (%v) interp %x (%v)",
+			math.Float64bits(avgF), avgF, math.Float64bits(avgI), avgI)
+	}
+
+	// Explicit replay of the execution structure: a Kahan fold per 64-row
+	// split, then a Kahan fold over the per-split partial values.
+	f := newFixture(t, 10)
+	xs := registerAdversarialFloats(f)
+	var partials []float64
+	for start := 0; start < len(xs); start += splitRows {
+		end := start + splitRows
+		if end > len(xs) {
+			end = len(xs)
+		}
+		var k value.Kahan
+		for _, x := range xs[start:end] {
+			k.Add(x)
+		}
+		partials = append(partials, k.Value())
+	}
+	var k value.Kahan
+	for _, p := range partials {
+		k.Add(p)
+	}
+	want := k.Value()
+	if math.Float64bits(sumF) != math.Float64bits(want) {
+		t.Errorf("SUM bits diverge from explicit Kahan replay: got %x (%v), want %x (%v)",
+			math.Float64bits(sumF), sumF, math.Float64bits(want), want)
+	}
+	if naive := func() float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}(); math.Float64bits(naive) == math.Float64bits(want) {
+		t.Log("adversarial corpus did not separate naive from compensated sum; oracle is vacuous")
+	}
+}
+
+// TestReduceFusionClassification pins the compile-time reason taxonomy.
+func TestReduceFusionClassification(t *testing.T) {
+	cases := []struct {
+		name   string
+		arm    reduceFusionArm
+		plan   *plan.Node
+		fused  bool
+		cross  bool
+		reason string
+	}{
+		{"partition_local_cross", armFull, groupByUserPlan(), true, true, ""},
+		{"nonlocal_group", armFull,
+			plan.GroupAgg(plan.Scan("twtr"), []string{"text"},
+				plan.AggSpec{Func: plan.AggCount, As: "n"}), true, false, ""},
+		{"agg_udf", armFull, winersPlan(), false, false, "agg_udf"},
+		{"unsupported_op", armFull,
+			plan.Sort(plan.Scan("twtr"), []string{"tweet_id"}, []bool{true}, 10), false, false, "unsupported_op"},
+		{"disabled", armMapOnly, groupByUserPlan(), false, false, "disabled"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, c := runReduceFusionPlan(t, tc.arm, tc.plan)
+			if tc.fused && c["mr_fused_reduce_jobs_total"] == 0 {
+				t.Error("expected a reduce-fused job")
+			}
+			if !tc.fused && c["mr_fused_reduce_jobs_total"] != 0 {
+				t.Errorf("unexpected reduce-fused jobs: %d", c["mr_fused_reduce_jobs_total"])
+			}
+			if tc.cross != (c["mr_fused_reduce_crossboundary_jobs_total"] > 0) {
+				t.Errorf("crossboundary = %d, want cross=%v",
+					c["mr_fused_reduce_crossboundary_jobs_total"], tc.cross)
+			}
+			if tc.reason != "" && c["mr_fused_reduce_fallback_total{reason="+tc.reason+"}"] == 0 {
+				t.Errorf("reason %q not recorded", tc.reason)
+			}
+			if c["mr_fused_reduce_runtime_fallback_total"] != 0 {
+				t.Error("compiled kernels must not bail at runtime")
+			}
+			// Family balance, per plan.
+			var fb int64
+			for _, r := range mr.FuseReduceFallbackReasons {
+				fb += c["mr_fused_reduce_fallback_total{reason="+r+"}"]
+			}
+			if e, j := c["mr_fused_reduce_eligible_total"], c["mr_fused_reduce_jobs_total"]; e != j+fb {
+				t.Errorf("family does not balance: eligible %d != jobs %d + fallback %d", e, j, fb)
+			}
+		})
+	}
+}

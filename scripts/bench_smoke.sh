@@ -41,5 +41,9 @@ grep -q "sim improvement" "$tmp/partition.out"
 # kernels.
 "$tmp/benchrunner" -quick -exp fusion >"$tmp/fusion.out"
 grep -q "fused jobs" "$tmp/fusion.out"
+# The reduce-heavy arm: grouped queries over hash-distributed bases must
+# compile combine/reduce agg kernels and cross at least one partition-local
+# boundary (the experiment's reduce oracles enforce the counts).
+grep -q "reduce-fused" "$tmp/fusion.out"
 
 echo "bench-smoke ok"

@@ -20,4 +20,5 @@ run ./internal/data FuzzReadRelation
 run ./internal/data FuzzKeyPrefix
 run ./internal/afk FuzzPartitionCompat
 run ./internal/optimizer FuzzFusedPipeline
+run ./internal/optimizer FuzzFusedAgg
 echo "fuzz-smoke ok"
